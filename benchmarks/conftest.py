@@ -1,0 +1,54 @@
+"""Shared benchmark fixtures: cached mini-scale datasets.
+
+The paper ran on a 40-core Xeon for hours; the bench ladder divides the
+Table 1 household counts by ``MINI_DIVISOR`` (100) and trims the CC
+families, preserving every structural property (see EXPERIMENTS.md).
+Each bench prints the paper-style table/series so the logs double as the
+reproduction record.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.datagen import CensusData, cc_family, generate_scaled
+
+_CACHE: Dict[Tuple, CensusData] = {}
+_CC_CACHE: Dict[Tuple, list] = {}
+
+#: CC-family size used by most benches (the paper used 1001).
+BENCH_NUM_CCS = 120
+
+
+def dataset(scale: int, n_housing_columns: int = 2, n_areas: int = 12) -> CensusData:
+    key = (scale, n_housing_columns, n_areas)
+    if key not in _CACHE:
+        _CACHE[key] = generate_scaled(
+            scale,
+            n_housing_columns=n_housing_columns,
+            n_areas=n_areas,
+            seed=7,
+        )
+    return _CACHE[key]
+
+
+def ccs_for(
+    scale: int,
+    kind: str,
+    num_ccs: int = BENCH_NUM_CCS,
+    n_housing_columns: int = 2,
+    n_areas: int = 12,
+) -> list:
+    key = (scale, kind, num_ccs, n_housing_columns, n_areas)
+    if key not in _CC_CACHE:
+        _CC_CACHE[key] = cc_family(
+            dataset(scale, n_housing_columns, n_areas), kind, num_ccs
+        )
+    return _CC_CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def bench_num_ccs() -> int:
+    return BENCH_NUM_CCS

@@ -1,0 +1,44 @@
+"""Ablation — marginal augmentation (DESIGN.md design choice #1).
+
+Runs Algorithm 1 alone under the three marginal modes.  Without marginal
+rows many view rows stay unassigned (the Section 4.1 failure mode the
+paper illustrates with Example 4.1's second solution); the all-way rows
+account for every tuple.
+"""
+
+import pytest
+
+from benchmarks.conftest import ccs_for, dataset
+from repro.phase1.assignment import ViewAssignment
+from repro.phase1.combos import ComboCatalog
+from repro.phase1.ilp_completion import complete_with_ilp
+
+SCALE = 1
+
+
+@pytest.mark.parametrize("marginals", ["none", "relevant", "all"])
+def test_ablation_marginal_modes(benchmark, marginals):
+    data = dataset(SCALE)
+    ccs = ccs_for(SCALE, "bad", num_ccs=60)
+    r1 = data.persons_masked
+    catalog = ComboCatalog.from_relation(data.housing)
+
+    def run():
+        assignment = ViewAssignment(n=len(r1), r2_attrs=catalog.attrs)
+        stats = complete_with_ilp(
+            r1, list(r1.schema.nonkey_names), catalog, ccs, assignment,
+            marginals=marginals,
+        )
+        return assignment, stats
+
+    assignment, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    completion = assignment.completion_fraction()
+    print(
+        f"\nAblation marginals={marginals}: completion "
+        f"{completion:.2%}, {stats.num_bin_rows} bin rows, "
+        f"{stats.num_variables} variables, solve {stats.solve_seconds:.3f}s"
+    )
+    if marginals == "all":
+        assert completion == 1.0
+    elif marginals == "none":
+        assert stats.num_bin_rows == 0

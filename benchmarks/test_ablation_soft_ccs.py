@@ -1,0 +1,52 @@
+"""Ablation — soft (L1 slack) vs strict ``Ax = b`` CC rows (choice #5).
+
+On a consistent system both encodings find the zero-error solution; on
+an over-demanding system the strict encoding refuses while the soft one
+absorbs the impossibility into slack (the behaviour the paper implies by
+"tolerating possible errors in the CC counts").
+"""
+
+import pytest
+
+from benchmarks.conftest import ccs_for, dataset
+from repro.bench import run_hybrid
+from repro.core.config import SolverConfig
+from repro.datagen import good_dcs
+from repro.errors import InfeasibleError
+
+SCALE = 1
+
+
+def test_ablation_soft_vs_strict(benchmark):
+    data = dataset(SCALE)
+    ccs = ccs_for(SCALE, "bad", num_ccs=40)
+    dcs = good_dcs()
+
+    soft = run_hybrid(
+        data, ccs, dcs, scale="soft", config=SolverConfig(soft_ccs=True)
+    )
+    strict = run_hybrid(
+        data, ccs, dcs, scale="strict", config=SolverConfig(soft_ccs=False)
+    )
+    print(
+        f"\nAblation CC encoding (consistent system, scale {SCALE}x):\n"
+        f"  soft   mean CC {soft.mean_cc_error:.4f}\n"
+        f"  strict mean CC {strict.mean_cc_error:.4f}"
+    )
+    assert soft.mean_cc_error == pytest.approx(strict.mean_cc_error, abs=0.02)
+
+    # An impossible target: strict refuses, soft absorbs.
+    impossible = [ccs[0].with_target(10 ** 6)] + list(ccs[1:])
+    with pytest.raises(InfeasibleError):
+        run_hybrid(
+            data, impossible, dcs,
+            config=SolverConfig(soft_ccs=False, force_ilp=True),
+        )
+    absorbed = run_hybrid(
+        data, impossible, dcs, config=SolverConfig(soft_ccs=True)
+    )
+    assert absorbed.dc_error == 0.0  # DCs hold even under impossible CCs
+
+    benchmark.pedantic(
+        lambda: run_hybrid(data, ccs, dcs), rounds=1, iterations=1
+    )

@@ -1,0 +1,45 @@
+"""Figure 10 — good/bad DC×CC combinations at one fixed scale.
+
+The four dataset rows (paper numbers 11, 12, 4, 9) pair
+``S_good_DC``/``S_all_DC`` with ``S_good_CC``/``S_bad_CC``.  Shape: the
+hybrid satisfies every DC in all four cells and keeps median CC error at
+0; the baselines' errors depend on the cell.
+"""
+
+from benchmarks.conftest import ccs_for, dataset
+from repro.bench import render_table, run_baseline, run_hybrid
+from repro.datagen import all_dcs, good_dcs
+
+SCALE = 2  # the paper fixes 10x; the mini ladder uses 2x
+
+
+def test_fig10_combination_table(benchmark):
+    cells = [
+        ("ds11: good DC / good CC", good_dcs(), "good"),
+        ("ds12: good DC / bad CC", good_dcs(), "bad"),
+        ("ds4 : all DC / good CC", all_dcs(), "good"),
+        ("ds9 : all DC / bad CC", all_dcs(), "bad"),
+    ]
+    data = dataset(SCALE)
+    rows = []
+    for label, dcs, kind in cells:
+        ccs = ccs_for(SCALE, kind)
+        rows.append(run_baseline(data, ccs, dcs, scale=label))
+        rows.append(
+            run_baseline(data, ccs, dcs, scale=label, with_marginals=True)
+        )
+        rows.append(run_hybrid(data, ccs, dcs, scale=label))
+
+    print("\n" + render_table(
+        "Figure 10 — good/bad DC and CC combinations", rows
+    ))
+
+    for row in rows:
+        if row.algorithm == "hybrid":
+            assert row.dc_error == 0.0
+            assert row.median_cc_error == 0.0
+
+    dcs, ccs = good_dcs(), ccs_for(SCALE, "good")
+    benchmark.pedantic(
+        lambda: run_hybrid(data, ccs, dcs), rounds=1, iterations=1
+    )

@@ -1,0 +1,44 @@
+"""Figure 11b — hybrid runtime over larger scales, good vs bad CCs.
+
+Paper shape: runtime grows roughly linearly with data scale; the bad CC
+family costs more than the good one at every scale (the ILP leg), and
+Phase II dominates when CCs are good (no ILP at all).
+"""
+
+from benchmarks.conftest import ccs_for, dataset
+from repro.bench import render_series, run_hybrid
+from repro.datagen import good_dcs
+
+SCALES = (2, 5, 10)
+
+
+def test_fig11b_scaling(benchmark):
+    dcs = good_dcs()
+    series = {"good_cc.total": [], "bad_cc.total": [],
+              "good_cc.phase2": [], "bad_cc.phase2": []}
+    totals = {"good": [], "bad": []}
+    for scale in SCALES:
+        data = dataset(scale)
+        for kind in ("good", "bad"):
+            row = run_hybrid(data, ccs_for(scale, kind), dcs, scale=f"{scale}x")
+            series[f"{kind}_cc.total"].append((f"{scale}x", row.total_seconds))
+            series[f"{kind}_cc.phase2"].append((f"{scale}x", row.phase2_seconds))
+            totals[kind].append(row.total_seconds)
+            assert row.dc_error == 0.0
+
+    print("\n" + render_series(
+        "Figure 11b — hybrid runtime vs scale (S_good_DC)", series
+    ))
+
+    # Runtime grows with the data scale for both families.
+    for kind in ("good", "bad"):
+        assert totals[kind][-1] > totals[kind][0]
+    # Bad CCs are at least as expensive as good at the largest scale
+    # (the ILP leg only fires for the intersecting family).
+    assert totals["bad"][-1] >= 0.8 * totals["good"][-1]
+
+    data = dataset(SCALES[0])
+    ccs = ccs_for(SCALES[0], "good")
+    benchmark.pedantic(
+        lambda: run_hybrid(data, ccs, dcs), rounds=1, iterations=1
+    )

@@ -1,0 +1,54 @@
+"""Figure 13 — hybrid stage breakdown for good vs bad CC sets.
+
+Paper shape (900 CCs, scale 10×): with ``S_good_CC`` the ILP never runs
+and coloring dominates (~73%); with ``S_bad_CC`` the ILP solver becomes
+the bottleneck (~86%) and everything else shrinks in relative terms.
+"""
+
+from benchmarks.conftest import ccs_for, dataset
+from repro.bench import render_breakdown, run_hybrid
+from repro.datagen import all_dcs
+
+SCALE = 10  # large enough that data-dependent stages dominate, as in the paper
+NUM_CCS = 120  # the paper's cell uses 900 of 1001
+
+
+def test_fig13_breakdown(benchmark):
+    dcs = all_dcs()
+    data = dataset(SCALE)
+    breakdowns = {}
+    for kind in ("good", "bad"):
+        ccs = ccs_for(SCALE, kind, num_ccs=NUM_CCS)
+        row = run_hybrid(data, ccs, dcs, scale=f"{SCALE}x")
+        breakdowns[kind] = {
+            "pairwise_comparison": row.pairwise_seconds,
+            "recursion": row.recursion_seconds,
+            "ilp_solver": row.ilp_seconds,
+            "coloring": row.coloring_seconds,
+        }
+
+    for kind, breakdown in breakdowns.items():
+        print("\n" + render_breakdown(
+            f"Figure 13 — stage breakdown, {NUM_CCS} CCs from S_{kind}_CC",
+            breakdown,
+        ))
+
+    # Good CCs never touch the ILP; coloring leads the data-dependent
+    # stages (paper: 73% coloring vs 26% recursion vs 1% pairwise — at
+    # mini scale the constant O(|CC|²) pairwise stage is proportionally
+    # larger, so the assertion is on the paper's orderings, not shares).
+    good = breakdowns["good"]
+    assert good["ilp_solver"] == 0.0
+    assert good["coloring"] > good["recursion"]
+    assert good["coloring"] > good["pairwise_comparison"]
+    # Bad CCs pay the ILP (paper: 86% of the bad profile), which good
+    # never does, and the whole bad run costs more.
+    bad = breakdowns["bad"]
+    assert bad["ilp_solver"] > 0.0
+    assert bad["ilp_solver"] > bad["recursion"]
+    assert sum(bad.values()) > sum(good.values())
+
+    ccs = ccs_for(SCALE, "good", num_ccs=NUM_CCS)
+    benchmark.pedantic(
+        lambda: run_hybrid(data, ccs, dcs), rounds=1, iterations=1
+    )

@@ -1,0 +1,51 @@
+"""Figure 8a — error comparison, ``S_all_DC`` + ``S_good_CC``, growing data.
+
+Paper shape: the hybrid has zero CC error and zero DC error at every
+scale; the plain baseline has large CC *and* DC error; the baseline with
+marginals repairs the CC error but its DC error is the worst of the
+three.  Absolute baseline error magnitudes differ at mini scale; the
+ordering must hold.
+"""
+
+from benchmarks.conftest import ccs_for, dataset
+from repro.bench import render_table, run_baseline, run_hybrid
+from repro.datagen import all_dcs
+
+SCALES = (1, 2)
+
+
+def test_fig8a_error_table(benchmark):
+    dcs = all_dcs()
+    rows = []
+    for scale in SCALES:
+        data = dataset(scale)
+        ccs = ccs_for(scale, "good")
+        rows.append(run_baseline(data, ccs, dcs, scale=f"{scale}x"))
+        rows.append(
+            run_baseline(data, ccs, dcs, scale=f"{scale}x", with_marginals=True)
+        )
+        rows.append(run_hybrid(data, ccs, dcs, scale=f"{scale}x"))
+
+    print("\n" + render_table(
+        "Figure 8a — S_all_DC + S_good_CC (errors vs data scale)", rows
+    ))
+
+    by_algo = {}
+    for row in rows:
+        by_algo.setdefault(row.algorithm, []).append(row)
+    for row in by_algo["hybrid"]:
+        assert row.mean_cc_error == 0.0
+        assert row.dc_error == 0.0
+    for row in by_algo["baseline"]:
+        assert row.dc_error > 0.0
+    for row in by_algo["baseline+marginals"]:
+        assert row.mean_cc_error == 0.0
+        assert row.dc_error > 0.0
+    # The with-marginals baseline trades CC error for *worse* DC error.
+    for base, marg in zip(by_algo["baseline"], by_algo["baseline+marginals"]):
+        assert marg.dc_error >= base.dc_error
+
+    data, ccs = dataset(SCALES[0]), ccs_for(SCALES[0], "good")
+    benchmark.pedantic(
+        lambda: run_hybrid(data, ccs, dcs), rounds=2, iterations=1
+    )

@@ -1,0 +1,42 @@
+"""Figure 8b — error comparison, ``S_all_DC`` + ``S_bad_CC``, growing data.
+
+Same shape as Figure 8a with intersecting CCs in play: the hybrid's
+median CC error stays 0 (mean may be small but non-negative) and its DC
+error stays 0; both baselines keep substantial DC error.
+"""
+
+from benchmarks.conftest import ccs_for, dataset
+from repro.bench import render_table, run_baseline, run_hybrid
+from repro.datagen import all_dcs
+
+SCALES = (1, 2)
+
+
+def test_fig8b_error_table(benchmark):
+    dcs = all_dcs()
+    rows = []
+    for scale in SCALES:
+        data = dataset(scale)
+        ccs = ccs_for(scale, "bad")
+        rows.append(run_baseline(data, ccs, dcs, scale=f"{scale}x"))
+        rows.append(
+            run_baseline(data, ccs, dcs, scale=f"{scale}x", with_marginals=True)
+        )
+        rows.append(run_hybrid(data, ccs, dcs, scale=f"{scale}x"))
+
+    print("\n" + render_table(
+        "Figure 8b — S_all_DC + S_bad_CC (errors vs data scale)", rows
+    ))
+
+    for row in rows:
+        if row.algorithm == "hybrid":
+            assert row.median_cc_error == 0.0
+            assert row.mean_cc_error <= 0.1  # paper: 0.048-0.093
+            assert row.dc_error == 0.0
+        else:
+            assert row.dc_error > 0.0
+
+    data, ccs = dataset(SCALES[0]), ccs_for(SCALES[0], "bad")
+    benchmark.pedantic(
+        lambda: run_hybrid(data, ccs, dcs), rounds=2, iterations=1
+    )

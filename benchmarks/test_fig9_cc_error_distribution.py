@@ -1,0 +1,42 @@
+"""Figure 9 — per-CC relative error distribution (largest scale, bad CCs).
+
+Paper shape: the hybrid leaves *most* CCs at exactly zero error with a
+thin tail; the baseline's distribution is spread across large errors.
+The bench prints the bucketised histogram behind the figure.
+"""
+
+from benchmarks.conftest import ccs_for, dataset
+from repro.bench import error_histogram, run_baseline, run_hybrid
+from repro.bench.reporting import summarize_errors
+from repro.datagen import all_dcs
+
+SCALE = 5  # the largest mini scale used for the distribution plot
+
+
+def test_fig9_distribution(benchmark):
+    data = dataset(SCALE)
+    ccs = ccs_for(SCALE, "bad")
+    dcs = all_dcs()
+
+    hybrid = run_hybrid(data, ccs, dcs, scale=f"{SCALE}x")
+    baseline = run_baseline(data, ccs, dcs, scale=f"{SCALE}x")
+
+    print(f"\nFigure 9 — relative CC error distribution at {SCALE}x, S_bad_CC")
+    for name, row in (("hybrid", hybrid), ("baseline", baseline)):
+        histogram = error_histogram(row.per_cc_errors)
+        stats = summarize_errors(row.per_cc_errors)
+        print(f"  {name} (median {stats['median']:.3f}, "
+              f"mean {stats['mean']:.3f}, max {stats['max']:.3f}):")
+        for bucket, count in histogram.items():
+            print(f"    {bucket:<12} {count}")
+
+    hybrid_exact = sum(1 for e in hybrid.per_cc_errors if e == 0.0)
+    baseline_exact = sum(1 for e in baseline.per_cc_errors if e == 0.0)
+    # Most hybrid CCs are exact; the hybrid dominates the baseline.
+    assert hybrid_exact >= 0.8 * len(ccs)
+    assert hybrid_exact >= baseline_exact
+    assert max(hybrid.per_cc_errors) <= max(baseline.per_cc_errors) + 1e-9
+
+    benchmark.pedantic(
+        lambda: run_hybrid(data, ccs, dcs), rounds=1, iterations=1
+    )

@@ -1,0 +1,41 @@
+"""Table 1 — the data-scale ladder (mini edition).
+
+Regenerates the scale ladder and prints paper vs mini row counts; the
+persons/housing ratio must track the paper's ≈2.56 at every scale.
+"""
+
+from benchmarks.conftest import dataset
+from repro.datagen import PAPER_SCALES, paper_row_counts
+
+MINI_SCALES = (1, 2, 5, 10)
+
+
+def test_table1_ladder(benchmark):
+    rows = []
+    for scale in MINI_SCALES:
+        data = dataset(scale)
+        paper_persons, paper_housing = paper_row_counts(scale)
+        rows.append(
+            (scale, paper_persons, paper_housing,
+             len(data.persons), len(data.housing),
+             len(data.persons) / len(data.housing))
+        )
+
+    print("\nTable 1 — data scales (paper counts vs mini reproduction)")
+    print(f"{'scale':>6} {'paper persons':>14} {'paper housing':>14} "
+          f"{'mini persons':>13} {'mini housing':>13} {'ratio':>6}")
+    for scale, pp, ph, mp, mh, ratio in rows:
+        print(f"{scale:>5}x {pp:>14,} {ph:>14,} {mp:>13,} {mh:>13,} {ratio:>6.2f}")
+
+    for scale, pp, ph, mp, mh, ratio in rows:
+        paper_ratio = pp / ph
+        assert abs(ratio - paper_ratio) < 0.7  # same persons-per-household shape
+    # Housing scales linearly, exactly as in the paper's ladder.
+    assert rows[1][4] >= 1.9 * rows[0][4]
+
+    # Benchmark: regenerating the 1x dataset.
+    from repro.datagen import generate_scaled
+
+    benchmark.pedantic(
+        lambda: generate_scaled(1, seed=9), rounds=3, iterations=1
+    )

@@ -1,0 +1,65 @@
+"""Census-scale synthesis: the paper's evaluation workload in miniature.
+
+Generates a Census-style database (Persons / Housing), derives the
+Table 5 constraint families (good = intersection-free, bad =
+intersecting) and the twelve Table 4 denial constraints, then runs the
+hybrid solver and both Section 6 baselines, printing a Figure-8-style
+comparison.
+
+Run:  python examples/census_synthesis.py
+"""
+
+from repro import CExtensionSolver
+from repro.baselines import baseline_solve
+from repro.datagen import CensusConfig, all_dcs, cc_family, generate_census
+
+
+def main() -> None:
+    data = generate_census(
+        CensusConfig(n_households=400, n_areas=10, seed=42)
+    )
+    dcs = all_dcs()
+    print(
+        f"Generated {len(data.persons)} persons over "
+        f"{len(data.housing)} households "
+        f"({len(data.persons) / len(data.housing):.2f} per household)\n"
+    )
+
+    for kind in ("good", "bad"):
+        ccs = cc_family(data, kind, num_ccs=120)
+        print(f"=== S_{kind}_CC ({len(ccs)} constraints) ===")
+
+        hybrid = CExtensionSolver().solve(
+            data.persons_masked, data.housing,
+            fk_column="hid", ccs=ccs, dcs=dcs,
+        )
+        he = hybrid.report.errors
+        print(
+            f"  hybrid              median CC {he.median_cc_error:.3f}  "
+            f"mean CC {he.mean_cc_error:.3f}  DC {he.dc_error:.3f}  "
+            f"(+{hybrid.phase2.stats.num_new_r2_tuples} fresh R2 tuples)"
+        )
+
+        for with_marginals in (False, True):
+            base = baseline_solve(
+                data.persons_masked, data.housing,
+                fk_column="hid", ccs=ccs, dcs=dcs,
+                with_marginals=with_marginals,
+            )
+            be = base.errors
+            label = "baseline+marginals " if with_marginals else "baseline           "
+            print(
+                f"  {label} median CC {be.median_cc_error:.3f}  "
+                f"mean CC {be.mean_cc_error:.3f}  DC {be.dc_error:.3f}"
+            )
+        print()
+
+    print(
+        "Shape check (paper Figure 8): the hybrid satisfies every DC\n"
+        "exactly and every good CC exactly; the baselines leave CC error\n"
+        "(plain) or large DC error (both)."
+    )
+
+
+if __name__ == "__main__":
+    main()

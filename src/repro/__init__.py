@@ -1,0 +1,79 @@
+"""repro — Synthesizing Linked Data Under Cardinality and Integrity Constraints.
+
+A from-scratch reproduction of Gilad, Patwa & Machanavajjhala (SIGMOD
+2021).  Given two relations linked by a missing foreign key, a set of
+linear cardinality constraints on their join and a set of foreign-key
+denial constraints, the library imputes the FK column so that every DC
+holds exactly while CC error stays low.
+
+Quickstart::
+
+    from repro import CExtensionSolver, Relation, parse_cc, parse_dc
+
+    solver = CExtensionSolver()
+    result = solver.solve(r1, r2, fk_column="hid", ccs=ccs, dcs=dcs)
+    print(result.report.errors.summary())
+"""
+
+from repro.constraints import (
+    BinaryAtom,
+    CardinalityConstraint,
+    DenialConstraint,
+    UnaryAtom,
+    parse_cc,
+    parse_dc,
+    parse_predicate,
+)
+from repro.core import (
+    CExtensionProblem,
+    CExtensionResult,
+    CExtensionSolver,
+    EdgeConstraints,
+    ErrorReport,
+    SnowflakeSynthesizer,
+    SolverConfig,
+    evaluate,
+)
+from repro.relational import (
+    CatDomain,
+    ColumnSpec,
+    Database,
+    IntDomain,
+    Interval,
+    Predicate,
+    Relation,
+    Schema,
+    ValueSet,
+    fk_join,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BinaryAtom",
+    "CardinalityConstraint",
+    "CatDomain",
+    "CExtensionProblem",
+    "CExtensionResult",
+    "CExtensionSolver",
+    "ColumnSpec",
+    "Database",
+    "DenialConstraint",
+    "EdgeConstraints",
+    "ErrorReport",
+    "IntDomain",
+    "Interval",
+    "Predicate",
+    "Relation",
+    "Schema",
+    "SnowflakeSynthesizer",
+    "SolverConfig",
+    "UnaryAtom",
+    "ValueSet",
+    "evaluate",
+    "fk_join",
+    "parse_cc",
+    "parse_dc",
+    "parse_predicate",
+    "__version__",
+]

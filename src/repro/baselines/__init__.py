@@ -1,0 +1,5 @@
+"""Comparison baselines from Section 6 (Arasu-et-al-style ILP + random FK)."""
+
+from repro.baselines.arasu import BaselineResult, baseline_solve
+
+__all__ = ["BaselineResult", "baseline_solve"]

@@ -1,0 +1,22 @@
+"""Benchmark harness: experiment runners and paper-style reporting."""
+
+from repro.bench.fidelity import fidelity_report, marginal_tvd
+from repro.bench.harness import ExperimentRow, run_baseline, run_hybrid
+from repro.bench.reporting import (
+    error_histogram,
+    render_breakdown,
+    render_series,
+    render_table,
+)
+
+__all__ = [
+    "ExperimentRow",
+    "fidelity_report",
+    "marginal_tvd",
+    "error_histogram",
+    "render_breakdown",
+    "render_series",
+    "render_table",
+    "run_baseline",
+    "run_hybrid",
+]

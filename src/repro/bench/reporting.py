@@ -1,0 +1,100 @@
+"""Paper-style table and series rendering for the benchmark harness.
+
+``render_table`` prints rows the way Figures 8/10 tabulate errors;
+``render_breakdown`` matches Figure 13's stage table; ``render_series``
+prints the (x, y) series behind the line plots (Figures 11-12).  All
+output is plain text so the bench logs double as the reproduction record.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, List, Sequence, Tuple
+
+from repro.bench.harness import ExperimentRow
+
+__all__ = [
+    "render_table",
+    "render_series",
+    "render_breakdown",
+    "error_histogram",
+]
+
+
+def render_table(
+    title: str,
+    rows: Sequence[ExperimentRow],
+    columns: Sequence[str] = (
+        "scale",
+        "algorithm",
+        "median_cc_error",
+        "mean_cc_error",
+        "dc_error",
+        "total_s",
+    ),
+) -> str:
+    """Fixed-width table over :meth:`ExperimentRow.as_dict` columns."""
+    data = [row.as_dict() for row in rows]
+    for row, original in zip(data, rows):
+        row["total_s"] = round(original.total_seconds, 4)
+    widths = {
+        col: max(len(col), *(len(str(r.get(col, ""))) for r in data))
+        for col in columns
+    }
+    header = " | ".join(col.ljust(widths[col]) for col in columns)
+    sep = "-+-".join("-" * widths[col] for col in columns)
+    lines = [title, header, sep]
+    for row in data:
+        lines.append(
+            " | ".join(str(row.get(col, "")).ljust(widths[col]) for col in columns)
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str, series: Dict[str, List[Tuple[object, float]]], unit: str = "s"
+) -> str:
+    """One line per (name, x, y) point — the data behind a line plot."""
+    lines = [title]
+    for name in sorted(series):
+        for x, y in series[name]:
+            lines.append(f"  {name:<24} x={x!s:<10} y={y:.4f}{unit}")
+    return "\n".join(lines)
+
+
+def render_breakdown(
+    title: str, breakdown: Dict[str, float]
+) -> str:
+    """Figure 13-style stage table: seconds and percentage per stage."""
+    total = sum(breakdown.values()) or 1.0
+    lines = [title, f"{'stage':<24} {'seconds':>10} {'%':>7}"]
+    for stage, seconds in breakdown.items():
+        lines.append(
+            f"{stage:<24} {seconds:>10.4f} {100 * seconds / total:>6.2f}%"
+        )
+    lines.append(f"{'total':<24} {total:>10.4f} {100.00:>6.2f}%")
+    return "\n".join(lines)
+
+
+def error_histogram(
+    errors: Sequence[float], bins: Sequence[float] = (0.0, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0)
+) -> Dict[str, int]:
+    """Bucketise per-CC relative errors (the Figure 9 distribution)."""
+    out: Dict[str, int] = {}
+    edges = list(bins) + [float("inf")]
+    for lo, hi in zip(edges, edges[1:]):
+        label = f"[{lo:g}, {hi:g})"
+        out[label] = sum(1 for e in errors if lo <= e < hi)
+    # Exact zeros get their own bucket for readability.
+    out["exact=0"] = sum(1 for e in errors if e == 0.0)
+    return out
+
+
+def summarize_errors(errors: Sequence[float]) -> Dict[str, float]:
+    if not errors:
+        return {"median": 0.0, "mean": 0.0, "max": 0.0}
+    return {
+        "median": statistics.median(errors),
+        "mean": statistics.fmean(errors),
+        "max": max(errors),
+    }

@@ -1,0 +1,39 @@
+"""Cardinality and denial constraints, their analysis and parsing."""
+
+from repro.constraints.cc import CardinalityConstraint
+from repro.constraints.dc import (
+    BinaryAtom,
+    DenialConstraint,
+    UnaryAtom,
+    count_violating_tuples,
+)
+from repro.constraints.hasse import HasseDiagram, HasseForest
+from repro.constraints.intervalize import Binning, build_binning
+from repro.constraints.marginals import marginal_constraints, relevant_bins
+from repro.constraints.parser import parse_cc, parse_dc, parse_dnf, parse_predicate
+from repro.constraints.relationships import (
+    CCRelationship,
+    RelationshipTable,
+    classify_pair,
+)
+
+__all__ = [
+    "BinaryAtom",
+    "Binning",
+    "CCRelationship",
+    "CardinalityConstraint",
+    "DenialConstraint",
+    "HasseDiagram",
+    "HasseForest",
+    "RelationshipTable",
+    "UnaryAtom",
+    "build_binning",
+    "classify_pair",
+    "count_violating_tuples",
+    "marginal_constraints",
+    "parse_cc",
+    "parse_dc",
+    "parse_dnf",
+    "parse_predicate",
+    "relevant_bins",
+]

@@ -1,0 +1,158 @@
+"""Linear cardinality constraints (Definition 2.4), with disjunction.
+
+A :class:`CardinalityConstraint` fixes the number of join-view rows that
+satisfy a selection condition: ``|σ_φ(R1 ⋈ R2)| = k``.  The paper's
+algorithms are described for conjunctive ``φ`` but note that they "can be
+extended to conditions that contain disjunction as well"; this class
+realises that extension by holding the condition in disjunctive normal
+form — a tuple of conjunctive :class:`~repro.relational.predicate
+.Predicate` *disjuncts*.  A plain conjunctive CC has exactly one
+disjunct, and :attr:`predicate` exposes it directly.
+
+Disjunctive CCs are handled by the ILP path (the hybrid routes them to
+Algorithm 1 unconditionally); the exact recursion of Algorithm 2 only
+ever sees conjunctive CCs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import AbstractSet, Iterable, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConstraintError
+from repro.relational.predicate import Predicate
+
+__all__ = ["CardinalityConstraint", "validate_cc_set"]
+
+
+@dataclass(frozen=True)
+class CardinalityConstraint:
+    """``|σ_{d1 ∨ d2 ∨ …}(R1 ⋈ R2)| = target``."""
+
+    disjuncts: Tuple[Predicate, ...]
+    target: int
+    name: str = field(default="", compare=False)
+
+    def __init__(
+        self,
+        predicate: object,
+        target: int,
+        name: str = "",
+    ) -> None:
+        """Accept a single predicate or an iterable of disjuncts."""
+        if isinstance(predicate, Predicate):
+            disjuncts: Tuple[Predicate, ...] = (predicate,)
+        else:
+            disjuncts = tuple(predicate)
+            if not disjuncts:
+                raise ConstraintError("a CC needs at least one disjunct")
+            if not all(isinstance(d, Predicate) for d in disjuncts):
+                raise ConstraintError("disjuncts must be Predicate objects")
+        if target < 0:
+            raise ConstraintError(
+                f"CC target must be non-negative, got {target}"
+            )
+        object.__setattr__(self, "disjuncts", disjuncts)
+        object.__setattr__(self, "target", int(target))
+        object.__setattr__(self, "name", name)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def is_conjunctive(self) -> bool:
+        return len(self.disjuncts) == 1
+
+    @property
+    def predicate(self) -> Predicate:
+        """The sole conjunctive predicate (conjunctive CCs only)."""
+        if not self.is_conjunctive:
+            raise ConstraintError(
+                f"CC {self.name or self.disjuncts!r} is disjunctive; "
+                "iterate .disjuncts instead"
+            )
+        return self.disjuncts[0]
+
+    @property
+    def attributes(self) -> frozenset:
+        out: frozenset = frozenset()
+        for disjunct in self.disjuncts:
+            out |= disjunct.attributes
+        return out
+
+    def r1_part(self, r1_attrs: AbstractSet[str]) -> Predicate:
+        """The R1-side conjuncts (conjunctive CCs only)."""
+        return self.predicate.restrict(
+            self.predicate.attributes & frozenset(r1_attrs)
+        )
+
+    def r2_part(self, r2_attrs: AbstractSet[str]) -> Predicate:
+        """The R2-side conjuncts (conjunctive CCs only)."""
+        return self.predicate.restrict(
+            self.predicate.attributes & frozenset(r2_attrs)
+        )
+
+    def split_disjuncts(
+        self, r1_attrs: AbstractSet[str], r2_attrs: AbstractSet[str]
+    ) -> Tuple[Tuple[Predicate, Predicate], ...]:
+        """Per-disjunct ``(r1_part, r2_part)`` pairs (any CC shape)."""
+        r1_attrs = frozenset(r1_attrs)
+        r2_attrs = frozenset(r2_attrs)
+        return tuple(
+            (
+                d.restrict(d.attributes & r1_attrs),
+                d.restrict(d.attributes & r2_attrs),
+            )
+            for d in self.disjuncts
+        )
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def matches_row(self, row: Mapping[str, object]) -> bool:
+        return any(d.matches_row(row) for d in self.disjuncts)
+
+    def mask(self, columns: Mapping[str, np.ndarray], n: int) -> np.ndarray:
+        out = np.zeros(n, dtype=bool)
+        for disjunct in self.disjuncts:
+            out |= disjunct.mask(columns, n)
+        return out
+
+    def count_in(self, relation) -> int:
+        """The CC's achieved count over a (join-view) relation."""
+        relation.schema.require(self.attributes)
+        return int(self.mask(relation.columns, len(relation)).sum())
+
+    # ------------------------------------------------------------------
+    # Utilities
+    # ------------------------------------------------------------------
+    def validate_attrs(
+        self, r1_attrs: AbstractSet[str], r2_attrs: AbstractSet[str]
+    ) -> None:
+        known = frozenset(r1_attrs) | frozenset(r2_attrs)
+        unknown = self.attributes - known
+        if unknown:
+            raise ConstraintError(
+                f"CC {self.name or self.disjuncts!r} uses unknown "
+                f"attributes {sorted(unknown)}"
+            )
+
+    def with_target(self, target: int) -> "CardinalityConstraint":
+        return CardinalityConstraint(self.disjuncts, target, self.name)
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        body = " ∨ ".join(repr(d) for d in self.disjuncts)
+        return f"CC{label}(|{body}| = {self.target})"
+
+
+def validate_cc_set(
+    ccs: Iterable[CardinalityConstraint],
+    r1_attrs: AbstractSet[str],
+    r2_attrs: AbstractSet[str],
+) -> None:
+    """Validate every CC in a set against the two attribute sets."""
+    for cc in ccs:
+        cc.validate_attrs(r1_attrs, r2_attrs)

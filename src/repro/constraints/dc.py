@@ -1,0 +1,230 @@
+"""Foreign-key denial constraints (Definition 2.2).
+
+A :class:`DenialConstraint` is the negated conjunction
+``∀t1..tk ¬(p1 ∧ … ∧ p_{n-1} ∧ t1.FK = … = tk.FK)``.  The trailing
+FK-equality atom is implicit: every DC in this library is a foreign-key DC,
+so we store only the non-FK atoms plus the arity ``k``.
+
+Atoms come in two shapes:
+
+* :class:`UnaryAtom` — ``t_i.attr ◦ c`` for a constant ``c``;
+* :class:`BinaryAtom` — ``t_i.attr ◦ t_j.attr' + offset`` comparing two
+  tuple variables (the ``offset`` captures the paper's age-gap conditions,
+  e.g. ``t2.Age < t1.Age − 50``).
+
+``violates(rows)`` evaluates the conjunction on an ordered list of ``k``
+*distinct* tuples; a set of tuples sharing an FK value violates the DC when
+some ordering of them satisfies all atoms.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import ConstraintError
+
+__all__ = ["UnaryAtom", "BinaryAtom", "DenialConstraint"]
+
+_OPS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    ">": lambda a, b: a > b,
+    "<=": lambda a, b: a <= b,
+    ">=": lambda a, b: a >= b,
+    "in": lambda a, b: a in b,
+}
+
+
+@dataclass(frozen=True)
+class UnaryAtom:
+    """``t_{var}.attr ◦ value`` — ``var`` is a 0-based tuple index.
+
+    The ``in`` operator takes a tuple/frozenset value and expresses the
+    paper's multi-relationship conditions ("biological or adoptive or step
+    child") as a single atom.
+    """
+
+    var: int
+    attr: str
+    op: str
+    value: object
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ConstraintError(f"unsupported operator {self.op!r}")
+        if self.var < 0:
+            raise ConstraintError("tuple variable index must be >= 0")
+        if self.op == "in" and not isinstance(self.value, (tuple, frozenset)):
+            object.__setattr__(self, "value", tuple(self.value))
+
+    def holds(self, row: Mapping[str, object]) -> bool:
+        return _OPS[self.op](row[self.attr], self.value)
+
+    def __repr__(self) -> str:
+        return f"t{self.var + 1}.{self.attr} {self.op} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class BinaryAtom:
+    """``t_{left}.left_attr ◦ t_{right}.right_attr + offset``."""
+
+    left_var: int
+    left_attr: str
+    op: str
+    right_var: int
+    right_attr: str
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ConstraintError(f"unsupported operator {self.op!r}")
+        if self.left_var < 0 or self.right_var < 0:
+            raise ConstraintError("tuple variable index must be >= 0")
+
+    def holds(
+        self, left: Mapping[str, object], right: Mapping[str, object]
+    ) -> bool:
+        rhs = right[self.right_attr]
+        if self.offset:
+            rhs = rhs + self.offset
+        return _OPS[self.op](left[self.left_attr], rhs)
+
+    def __repr__(self) -> str:
+        offset = ""
+        if self.offset > 0:
+            offset = f" + {self.offset}"
+        elif self.offset < 0:
+            offset = f" - {-self.offset}"
+        return (
+            f"t{self.left_var + 1}.{self.left_attr} {self.op} "
+            f"t{self.right_var + 1}.{self.right_attr}{offset}"
+        )
+
+
+@dataclass(frozen=True)
+class DenialConstraint:
+    """A foreign-key DC over ``arity`` tuple variables."""
+
+    arity: int
+    atoms: Tuple
+    name: str = field(default="", compare=False)
+
+    def __init__(
+        self,
+        atoms: Sequence,
+        arity: int = 0,
+        name: str = "",
+    ) -> None:
+        atoms = tuple(atoms)
+        max_var = -1
+        for atom in atoms:
+            if isinstance(atom, UnaryAtom):
+                max_var = max(max_var, atom.var)
+            elif isinstance(atom, BinaryAtom):
+                max_var = max(max_var, atom.left_var, atom.right_var)
+            else:
+                raise ConstraintError(f"unknown atom type {type(atom)!r}")
+        inferred = max_var + 1
+        arity = max(arity, inferred)
+        if arity < 2:
+            raise ConstraintError(
+                "a foreign-key DC needs at least two tuple variables"
+            )
+        object.__setattr__(self, "atoms", atoms)
+        object.__setattr__(self, "arity", arity)
+        object.__setattr__(self, "name", name)
+
+    # ------------------------------------------------------------------
+    # Structure accessors (used by the vectorised edge enumerator)
+    # ------------------------------------------------------------------
+    def unary_atoms(self, var: int) -> List[UnaryAtom]:
+        return [
+            a for a in self.atoms if isinstance(a, UnaryAtom) and a.var == var
+        ]
+
+    @property
+    def binary_atoms(self) -> List[BinaryAtom]:
+        return [a for a in self.atoms if isinstance(a, BinaryAtom)]
+
+    @property
+    def attributes(self) -> frozenset:
+        names = set()
+        for atom in self.atoms:
+            if isinstance(atom, UnaryAtom):
+                names.add(atom.attr)
+            else:
+                names.add(atom.left_attr)
+                names.add(atom.right_attr)
+        return frozenset(names)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def satisfied_by_assignment(
+        self, rows: Sequence[Mapping[str, object]]
+    ) -> bool:
+        """Does this *ordered* assignment satisfy all atoms (i.e. violate
+        the DC if the tuples also share an FK)?"""
+        if len(rows) != self.arity:
+            raise ConstraintError(
+                f"DC of arity {self.arity} evaluated on {len(rows)} tuples"
+            )
+        for atom in self.atoms:
+            if isinstance(atom, UnaryAtom):
+                if not atom.holds(rows[atom.var]):
+                    return False
+            else:
+                if not atom.holds(rows[atom.left_var], rows[atom.right_var]):
+                    return False
+        return True
+
+    def violates(self, rows: Sequence[Mapping[str, object]]) -> bool:
+        """Would these distinct tuples violate the DC if they shared an FK?
+
+        The FOL quantifies over all orderings of distinct tuples, so we try
+        every permutation.
+        """
+        if len(rows) != self.arity:
+            return False
+        for perm in itertools.permutations(rows):
+            if self.satisfied_by_assignment(list(perm)):
+                return True
+        return False
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        body = " & ".join(map(repr, self.atoms))
+        fk = " = ".join(f"t{i + 1}.FK" for i in range(self.arity))
+        return f"DC{label}(¬({body} & {fk}))"
+
+
+def count_violating_tuples(
+    rows: Sequence[Mapping[str, object]],
+    fk_values: Sequence[object],
+    dcs: Sequence[DenialConstraint],
+) -> int:
+    """Number of tuples involved in at least one DC violation.
+
+    This is the numerator of the paper's *DC error* measure (Section 6.1).
+    Quadratic/k-ary scan within FK groups; intended for evaluation, not for
+    the solving path.
+    """
+    by_fk: Dict[object, List[int]] = {}
+    for i, fk in enumerate(fk_values):
+        by_fk.setdefault(fk, []).append(i)
+
+    violating: set = set()
+    for members in by_fk.values():
+        if len(members) < 2:
+            continue
+        group_rows = [rows[i] for i in members]
+        for dc in dcs:
+            if dc.arity > len(members):
+                continue
+            for combo in itertools.combinations(range(len(members)), dc.arity):
+                if dc.violates([group_rows[c] for c in combo]):
+                    violating.update(members[c] for c in combo)
+    return len(violating)

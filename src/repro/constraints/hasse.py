@@ -1,0 +1,147 @@
+"""Hasse diagrams over CC containment (Section 4.2).
+
+Given a set of pairwise non-intersecting CCs, containment defines a partial
+order.  The Hasse diagram keeps only *covering* edges (``i ⊆ j`` with no
+``k`` strictly in between).  Each connected component of the undirected
+diagram is a *diagram* in the paper's terminology; within one diagram, the
+CC contained in no other is the *maximal element*.  Algorithm 2 recurses on
+these diagrams bottom-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.constraints.relationships import CCRelationship, RelationshipTable
+from repro.errors import ConstraintError
+
+__all__ = ["HasseDiagram", "HasseForest"]
+
+
+@dataclass
+class HasseDiagram:
+    """One connected component: nodes are CC indices into the owning list."""
+
+    nodes: List[int]
+    children: Dict[int, List[int]] = field(default_factory=dict)
+    parents: Dict[int, List[int]] = field(default_factory=dict)
+
+    @property
+    def edges(self) -> List[Tuple[int, int]]:
+        """(parent, child) covering pairs, child ⊆ parent."""
+        return [
+            (parent, child)
+            for parent, kids in sorted(self.children.items())
+            for child in kids
+        ]
+
+    def maximal_elements(self) -> List[int]:
+        return [n for n in self.nodes if not self.parents.get(n)]
+
+    def maximal_element(self) -> int:
+        tops = self.maximal_elements()
+        if len(tops) != 1:
+            raise ConstraintError(
+                f"diagram has {len(tops)} maximal elements, expected 1"
+            )
+        return tops[0]
+
+    def subdiagram(self, root: int) -> "HasseDiagram":
+        """The sub-diagram whose maximal element is ``root``."""
+        nodes = []
+        stack = [root]
+        seen = set()
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            nodes.append(node)
+            stack.extend(self.children.get(node, []))
+        children = {n: list(self.children.get(n, [])) for n in nodes}
+        parents = {
+            n: [p for p in self.parents.get(n, []) if p in seen] for n in nodes
+        }
+        parents[root] = []
+        return HasseDiagram(nodes=nodes, children=children, parents=parents)
+
+
+@dataclass
+class HasseForest:
+    """All diagrams over a CC list plus the relationship table used."""
+
+    diagrams: List[HasseDiagram]
+    table: RelationshipTable
+
+    @classmethod
+    def build(
+        cls, table: RelationshipTable, indices: Sequence[int]
+    ) -> "HasseForest":
+        """Build diagrams over the CC ``indices`` (no intersecting pairs).
+
+        A containment chain may have multiple maximal elements above one
+        node only if the order is not a forest; the paper's CC families are
+        forests, but we support DAG-shaped diagrams by attaching each node
+        to every cover.
+        """
+        indices = list(indices)
+        # strictly_above[i] = every j with CC_i ⊂ CC_j.
+        strictly_above: Dict[int, Set[int]] = {i: set() for i in indices}
+        for i in indices:
+            for j in indices:
+                if i == j:
+                    continue
+                if table.relationship(i, j) is CCRelationship.CONTAINED_IN:
+                    strictly_above[i].add(j)
+
+        # Covering relation: j covers i when i ⊂ j and no k has i ⊂ k ⊂ j.
+        children: Dict[int, List[int]] = {i: [] for i in indices}
+        parents: Dict[int, List[int]] = {i: [] for i in indices}
+        for i in indices:
+            above = strictly_above[i]
+            covers = [
+                j
+                for j in above
+                if not any(j in strictly_above[k] for k in above if k != j)
+            ]
+            for j in covers:
+                children[j].append(i)
+                parents[i].append(j)
+
+        # Connected components of the undirected diagram.
+        component_of: Dict[int, int] = {}
+        comp_nodes: Dict[int, List[int]] = {}
+        for start in indices:
+            if start in component_of:
+                continue
+            comp_id = len(comp_nodes)
+            stack = [start]
+            comp_nodes[comp_id] = []
+            while stack:
+                node = stack.pop()
+                if node in component_of:
+                    continue
+                component_of[node] = comp_id
+                comp_nodes[comp_id].append(node)
+                stack.extend(children[node])
+                stack.extend(parents[node])
+
+        diagrams = []
+        for comp_id, nodes in sorted(comp_nodes.items()):
+            diagrams.append(
+                HasseDiagram(
+                    nodes=sorted(nodes),
+                    children={n: sorted(children[n]) for n in nodes},
+                    parents={n: sorted(parents[n]) for n in nodes},
+                )
+            )
+        return cls(diagrams=diagrams, table=table)
+
+    @property
+    def node_count(self) -> int:
+        return sum(len(d.nodes) for d in self.diagrams)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(d.edges) for d in self.diagrams)

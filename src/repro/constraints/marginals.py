@@ -1,0 +1,59 @@
+"""Marginal augmentation helpers (Sections 4.1 and 4.3).
+
+Algorithm 1 augments the CC system with the *all-way marginals* of R1: one
+equation per bin, fixing how many join-view rows carry that bin's R1 values.
+These counts are known exactly (they do not depend on the missing FK), and
+they force the ILP to account for every tuple.
+
+The hybrid approach (Section 4.3) instead adds *modified marginals*: only
+the bins relevant to the CCs routed to the ILP, since the rest of the view
+was already completed exactly by Algorithm 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set
+
+from repro.constraints.cc import CardinalityConstraint
+from repro.constraints.intervalize import Binning
+
+__all__ = ["relevant_bins", "marginal_constraints"]
+
+
+def relevant_bins(
+    binning: Binning,
+    bin_keys: Iterable[tuple],
+    ccs: Sequence[CardinalityConstraint],
+    r1_attrs: Set[str],
+) -> Set[tuple]:
+    """Bins whose rows can contribute to at least one of the given CCs."""
+    out: Set[tuple] = set()
+    r1_parts = [
+        r1_part
+        for cc in ccs
+        for r1_part, _ in cc.split_disjuncts(r1_attrs, set())
+    ]
+    for key in bin_keys:
+        if any(binning.bin_matches(key, part) for part in r1_parts):
+            out.add(key)
+    return out
+
+
+def marginal_constraints(
+    binning: Binning, bin_counts: Dict[tuple, int]
+) -> List[CardinalityConstraint]:
+    """All-way marginals expressed as ordinary CC objects.
+
+    Used by the *baseline with marginals* (Section 6.1), which feeds them to
+    the same ILP path as regular CCs.
+    """
+    out = []
+    for key, count in sorted(bin_counts.items(), key=lambda kv: repr(kv[0])):
+        out.append(
+            CardinalityConstraint(
+                predicate=binning.bin_predicate(key),
+                target=count,
+                name=f"marginal:{key}",
+            )
+        )
+    return out

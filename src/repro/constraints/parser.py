@@ -1,0 +1,259 @@
+"""A small text DSL for predicates, CCs and DCs.
+
+The paper writes constraints as logic; users of the library can write them
+as strings:
+
+* predicate — ``"Rel == 'Owner' & Area == 'Chicago' & Age in [10, 14]"``
+* cardinality constraint — ``"|Rel == 'Owner' & Area == 'Chicago'| = 4"``
+* denial constraint — ``"not(t1.Rel == 'Owner' & t2.Rel == 'Owner')"``
+  with the FK-equality atom implicit; binary age-gap atoms are written
+  ``"t2.Age < t1.Age - 50"``.
+
+Unquoted barewords are treated as string values (``Rel == Owner`` works).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.constraints.cc import CardinalityConstraint
+from repro.constraints.dc import BinaryAtom, DenialConstraint, UnaryAtom
+from repro.errors import ParseError
+from repro.relational.predicate import (
+    Condition,
+    Interval,
+    Predicate,
+    condition_from_atom,
+)
+from repro.relational.types import Domain
+
+__all__ = ["parse_predicate", "parse_cc", "parse_dc"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<number>-?\d+)
+      | (?P<string>'[^']*'|"[^"]*")
+      | (?P<op><=|>=|==|!=|=|<|>)
+      | (?P<punct>[\[\],&().|])
+      | (?P<word>[A-Za-z_][A-Za-z0-9_\-/ ]*?(?=\s*(?:<=|>=|==|!=|=|<|>|[\[\],&().|]|$)))
+      | (?P<keyword>in|not)\b
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+class _Tokens:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens: List[Tuple[str, str]] = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN_RE.match(text, pos)
+            if match is None or match.end() == pos:
+                raise ParseError(f"cannot tokenize {text[pos:]!r} in {text!r}")
+            pos = match.end()
+            kind = match.lastgroup
+            value = match.group(kind).strip()
+            if not value:
+                continue
+            self.tokens.append((kind, value))
+        self.index = 0
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def next(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise ParseError(f"unexpected end of input in {self.text!r}")
+        self.index += 1
+        return token
+
+    def expect(self, value: str) -> None:
+        kind, got = self.next()
+        if got != value:
+            raise ParseError(
+                f"expected {value!r} but found {got!r} in {self.text!r}"
+            )
+
+    @property
+    def exhausted(self) -> bool:
+        return self.index >= len(self.tokens)
+
+
+def _parse_value(tokens: _Tokens) -> object:
+    kind, value = tokens.next()
+    if kind == "number":
+        return int(value)
+    if kind == "string":
+        return value[1:-1]
+    if kind == "word":
+        return value
+    raise ParseError(f"expected a value, found {value!r}")
+
+
+def _normalise_op(op: str) -> str:
+    return "==" if op == "=" else op
+
+
+def _parse_atom(
+    tokens: _Tokens, domains: Optional[Dict[str, Domain]]
+) -> Tuple[str, Condition]:
+    kind, attr = tokens.next()
+    if kind != "word":
+        raise ParseError(f"expected an attribute name, found {attr!r}")
+    # "Age in [10, 14]" tokenizes as the single word "Age in" because word
+    # tokens may contain spaces (multi-word categorical values); peel the
+    # trailing "in" keyword off here.
+    interval_follows = False
+    if attr.endswith(" in"):
+        attr = attr[:-3].strip()
+        interval_follows = True
+    nxt = tokens.peek()
+    if interval_follows or (nxt is not None and nxt[1] == "in"):
+        if not interval_follows:
+            tokens.next()
+        tokens.expect("[")
+        lo = _parse_value(tokens)
+        tokens.expect(",")
+        hi = _parse_value(tokens)
+        tokens.expect("]")
+        if not isinstance(lo, int) or not isinstance(hi, int):
+            raise ParseError("interval endpoints must be integers")
+        return attr, Interval(lo, hi)
+    kind, op = tokens.next()
+    if kind != "op":
+        raise ParseError(f"expected an operator after {attr!r}, found {op!r}")
+    value = _parse_value(tokens)
+    domain = domains.get(attr) if domains else None
+    return attr, condition_from_atom(_normalise_op(op), value, domain)
+
+
+def parse_predicate(
+    text: str, domains: Optional[Dict[str, Domain]] = None
+) -> Predicate:
+    """Parse a conjunctive selection predicate."""
+    tokens = _Tokens(text)
+    conditions: Dict[str, Condition] = {}
+    while True:
+        attr, condition = _parse_atom(tokens, domains)
+        if attr in conditions:
+            meet = conditions[attr].intersect(condition)
+            if meet is None:
+                raise ParseError(
+                    f"contradictory conditions on {attr!r} in {text!r}"
+                )
+            conditions[attr] = meet
+        else:
+            conditions[attr] = condition
+        if tokens.exhausted:
+            break
+        tokens.expect("&")
+    return Predicate(conditions)
+
+
+def parse_dnf(
+    text: str, domains: Optional[Dict[str, Domain]] = None
+) -> list:
+    """Parse a DNF condition: conjunctions joined by the ``or`` keyword.
+
+    The split happens textually on `` or `` before tokenisation, so a
+    *quoted value* containing the word "or" is not supported inside
+    disjunctive conditions.
+    """
+    parts = re.split(r"\s+or\s+", text)
+    return [parse_predicate(part, domains) for part in parts]
+
+
+def parse_cc(
+    text: str,
+    domains: Optional[Dict[str, Domain]] = None,
+    name: str = "",
+) -> CardinalityConstraint:
+    """Parse ``"|<condition>| = <target>"``.
+
+    The condition is a conjunction, or several conjunctions joined by the
+    ``or`` keyword (the paper's disjunctive extension):
+    ``"|Age in [0, 10] & Area == 'X' or Age in [60, 99] & Area == 'Y'| = 5"``.
+    """
+    match = re.fullmatch(r"\s*\|(.*)\|\s*==?\s*(\d+)\s*", text, re.DOTALL)
+    if match is None:
+        raise ParseError(f"CC must look like '|<condition>| = k': {text!r}")
+    disjuncts = parse_dnf(match.group(1), domains)
+    if len(disjuncts) == 1:
+        return CardinalityConstraint(disjuncts[0], int(match.group(2)), name=name)
+    return CardinalityConstraint(disjuncts, int(match.group(2)), name=name)
+
+
+_TREF_RE = re.compile(r"t(\d+)\.([A-Za-z_][A-Za-z0-9_\-]*)")
+
+
+def parse_dc(text: str, name: str = "", fk_column: str = "FK") -> DenialConstraint:
+    """Parse ``"not(<atom> & <atom> & ...)"`` into a foreign-key DC.
+
+    Atoms referencing ``fk_column`` (e.g. ``t1.hid == t2.hid``) are accepted
+    and dropped — the FK equality is implicit in every foreign-key DC.
+    """
+    match = re.fullmatch(r"\s*not\s*\((.*)\)\s*", text, re.DOTALL)
+    if match is None:
+        raise ParseError(f"DC must look like 'not(...)': {text!r}")
+    body = match.group(1)
+
+    atoms: List[object] = []
+    max_var = 0
+    for part in body.split("&"):
+        part = part.strip()
+        if not part:
+            raise ParseError(f"empty atom in {text!r}")
+        left = _TREF_RE.match(part)
+        if left is None:
+            raise ParseError(f"atom must start with t<i>.<attr>: {part!r}")
+        left_var = int(left.group(1)) - 1
+        left_attr = left.group(2)
+        max_var = max(max_var, left_var)
+        rest = part[left.end():].strip()
+        op_match = re.match(r"(<=|>=|==|!=|=|<|>)", rest)
+        if op_match is None:
+            raise ParseError(f"missing operator in atom {part!r}")
+        op = _normalise_op(op_match.group(1))
+        rhs = rest[op_match.end():].strip()
+
+        right = _TREF_RE.match(rhs)
+        if right is not None:
+            right_var = int(right.group(1)) - 1
+            right_attr = right.group(2)
+            max_var = max(max_var, right_var)
+            offset_text = rhs[right.end():].strip()
+            offset = 0
+            if offset_text:
+                offset_match = re.fullmatch(r"([+-])\s*(\d+)", offset_text)
+                if offset_match is None:
+                    raise ParseError(f"bad offset {offset_text!r} in {part!r}")
+                offset = int(offset_match.group(2))
+                if offset_match.group(1) == "-":
+                    offset = -offset
+            if left_attr == fk_column and right_attr == fk_column:
+                continue  # implicit FK-equality atom
+            atoms.append(
+                BinaryAtom(left_var, left_attr, op, right_var, right_attr, offset)
+            )
+        else:
+            value: object
+            if re.fullmatch(r"-?\d+", rhs):
+                value = int(rhs)
+            elif rhs.startswith(("'", '"')) and rhs.endswith(("'", '"')):
+                value = rhs[1:-1]
+            elif rhs:
+                value = rhs
+            else:
+                raise ParseError(f"missing right-hand side in atom {part!r}")
+            atoms.append(UnaryAtom(left_var, left_attr, op, value))
+
+    if not atoms:
+        raise ParseError(f"DC {text!r} has no non-FK atoms")
+    return DenialConstraint(atoms, arity=max_var + 1, name=name)

@@ -1,0 +1,191 @@
+"""Pairwise CC relationships: disjoint, contained, intersecting.
+
+This module implements Definitions 4.2–4.4:
+
+* **Disjoint** — the R1 parts of the selection conditions are disjoint, or
+  the R1 parts are identical and the R2 parts are disjoint.
+* **Contained** — ``CC_i ⊆ CC_j`` when ``φ_i`` constrains a superset of
+  ``φ_j``'s attributes and is value-wise a subset on each common attribute.
+* **Intersecting** — neither of the above.  Intersecting CCs force the ILP
+  path; everything else can be solved exactly by Algorithm 2.
+
+The classification drives the hybrid split of Section 4.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import AbstractSet, Dict, List, Sequence, Set, Tuple
+
+from repro.constraints.cc import CardinalityConstraint
+
+__all__ = ["CCRelationship", "classify_pair", "RelationshipTable"]
+
+
+class CCRelationship(Enum):
+    EQUAL = "equal"
+    DISJOINT = "disjoint"
+    CONTAINED_IN = "contained_in"  # first ⊆ second
+    CONTAINS = "contains"  # second ⊆ first
+    INTERSECTING = "intersecting"
+
+
+def _pair_disjoint(
+    split_i: tuple, split_j: tuple
+) -> bool:
+    """Definition 4.2 lifted to DNF: every disjunct pair must be disjoint."""
+    for r1_i, r2_i in split_i:
+        for r1_j, r2_j in split_j:
+            if r1_i.is_disjoint_from(r1_j):
+                continue
+            if r1_i == r1_j and r2_i.is_disjoint_from(r2_j):
+                continue
+            return False
+    return True
+
+
+def classify_pair(
+    cc_i: CardinalityConstraint,
+    cc_j: CardinalityConstraint,
+    r1_attrs: AbstractSet[str],
+    r2_attrs: AbstractSet[str],
+) -> CCRelationship:
+    """Classify one ordered pair of CCs per Definitions 4.2–4.4.
+
+    Disjunctive CCs are classified conservatively: disjoint when *every*
+    disjunct pair is Def-4.2 disjoint, intersecting otherwise (they are
+    always routed to the ILP path regardless, see Section 4.3 routing).
+    """
+    conj_i, conj_j = cc_i.is_conjunctive, cc_j.is_conjunctive
+    return _classify_cached(
+        cc_i,
+        cc_j,
+        cc_i.r1_part(r1_attrs) if conj_i else None,
+        cc_j.r1_part(r1_attrs) if conj_j else None,
+        cc_i.r2_part(r2_attrs) if conj_i else None,
+        cc_j.r2_part(r2_attrs) if conj_j else None,
+        None if conj_i else cc_i.split_disjuncts(r1_attrs, r2_attrs),
+        None if conj_j else cc_j.split_disjuncts(r1_attrs, r2_attrs),
+        r1_attrs,
+        r2_attrs,
+    )
+
+
+def _classify_cached(
+    cc_i: CardinalityConstraint,
+    cc_j: CardinalityConstraint,
+    phi_i_r1,
+    phi_j_r1,
+    phi_i_r2,
+    phi_j_r2,
+    split_i,
+    split_j,
+    r1_attrs: AbstractSet[str],
+    r2_attrs: AbstractSet[str],
+) -> CCRelationship:
+    """The classification core, with all predicate splits precomputed."""
+    if cc_i.disjuncts == cc_j.disjuncts:
+        return CCRelationship.EQUAL
+
+    if split_i is not None or split_j is not None:
+        if split_i is None:
+            split_i = cc_i.split_disjuncts(r1_attrs, r2_attrs)
+        if split_j is None:
+            split_j = cc_j.split_disjuncts(r1_attrs, r2_attrs)
+        if _pair_disjoint(split_i, split_j):
+            return CCRelationship.DISJOINT
+        return CCRelationship.INTERSECTING
+
+    if phi_i_r1.is_disjoint_from(phi_j_r1):
+        return CCRelationship.DISJOINT
+    if phi_i_r1 == phi_j_r1 and phi_i_r2.is_disjoint_from(phi_j_r2):
+        return CCRelationship.DISJOINT
+
+    if cc_i.predicate.is_subset_of(cc_j.predicate):
+        return CCRelationship.CONTAINED_IN
+    if cc_j.predicate.is_subset_of(cc_i.predicate):
+        return CCRelationship.CONTAINS
+    return CCRelationship.INTERSECTING
+
+
+@dataclass
+class RelationshipTable:
+    """All pairwise relationships over an indexed CC list.
+
+    ``intersecting_indices`` is the set of CC indices involved in at least
+    one intersecting pair (equal predicates with different targets are
+    treated as intersecting too — they are mutually inconsistent and only
+    the ILP's soft encoding can arbitrate).
+    """
+
+    ccs: Sequence[CardinalityConstraint]
+    pairs: Dict[Tuple[int, int], CCRelationship]
+    intersecting_indices: Set[int]
+
+    @classmethod
+    def build(
+        cls,
+        ccs: Sequence[CardinalityConstraint],
+        r1_attrs: AbstractSet[str],
+        r2_attrs: AbstractSet[str],
+    ) -> "RelationshipTable":
+        """Classify all pairs, caching each CC's R1/R2 split.
+
+        Restricting a predicate builds a new object; doing that inside the
+        O(|S_CC|²) loop dominated the pairwise stage (Figure 13's first
+        row), so the splits are computed once per CC here.
+        """
+        pairs: Dict[Tuple[int, int], CCRelationship] = {}
+        intersecting: Set[int] = set()
+        n = len(ccs)
+        r1_parts = [
+            cc.r1_part(r1_attrs) if cc.is_conjunctive else None for cc in ccs
+        ]
+        r2_parts = [
+            cc.r2_part(r2_attrs) if cc.is_conjunctive else None for cc in ccs
+        ]
+        dnf_splits = [
+            None if cc.is_conjunctive
+            else cc.split_disjuncts(r1_attrs, r2_attrs)
+            for cc in ccs
+        ]
+        for i in range(n):
+            for j in range(i + 1, n):
+                rel = _classify_cached(
+                    ccs[i], ccs[j],
+                    r1_parts[i], r1_parts[j],
+                    r2_parts[i], r2_parts[j],
+                    dnf_splits[i], dnf_splits[j],
+                    r1_attrs, r2_attrs,
+                )
+                if rel is CCRelationship.EQUAL and ccs[i].target != ccs[j].target:
+                    rel = CCRelationship.INTERSECTING
+                pairs[(i, j)] = rel
+                if rel is CCRelationship.INTERSECTING:
+                    intersecting.add(i)
+                    intersecting.add(j)
+        return cls(ccs=ccs, pairs=pairs, intersecting_indices=intersecting)
+
+    def relationship(self, i: int, j: int) -> CCRelationship:
+        if i == j:
+            return CCRelationship.EQUAL
+        if i < j:
+            return self.pairs[(i, j)]
+        flipped = self.pairs[(j, i)]
+        if flipped is CCRelationship.CONTAINED_IN:
+            return CCRelationship.CONTAINS
+        if flipped is CCRelationship.CONTAINS:
+            return CCRelationship.CONTAINED_IN
+        return flipped
+
+    def contained_in(self, i: int) -> List[int]:
+        """Indices j such that CC_i ⊆ CC_j (strictly)."""
+        out = []
+        for j in range(len(self.ccs)):
+            if j != i and self.relationship(i, j) is CCRelationship.CONTAINED_IN:
+                out.append(j)
+        return out
+
+    def has_intersections(self) -> bool:
+        return bool(self.intersecting_indices)

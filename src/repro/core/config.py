@@ -1,0 +1,42 @@
+"""Solver configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SolverConfig"]
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Knobs for the end-to-end C-Extension solver.
+
+    * ``backend`` — ``"scipy"`` (HiGHS) or ``"native"`` (own simplex+B&B).
+    * ``marginals`` — marginal augmentation for the ILP leg: ``"relevant"``
+      (hybrid's modified marginals, the default), ``"all"`` (Section 4.1
+      all-way marginals) or ``"none"``.
+    * ``soft_ccs`` — encode CC rows with L1 slack (always feasible); when
+      ``False`` an inconsistent CC system raises ``InfeasibleError``.
+    * ``force_ilp`` — send every CC to Algorithm 1 (ablation / baselines).
+    * ``partitioned_coloring`` — the Section 5.2 partition optimization;
+      ``False`` builds one global conflict graph (ablation).
+    * ``parallel_workers`` — color partitions on a process pool of this
+      size (Appendix A.3); ``0`` keeps everything in-process.
+    * ``evaluate`` — compute CC/DC error measures on the result.
+    """
+
+    backend: str = "scipy"
+    marginals: str = "relevant"
+    soft_ccs: bool = True
+    force_ilp: bool = False
+    partitioned_coloring: bool = True
+    parallel_workers: int = 0
+    evaluate: bool = True
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("scipy", "native"):
+            raise ValueError(f"unknown backend {self.backend!r}")
+        if self.marginals not in ("all", "relevant", "none"):
+            raise ValueError(f"unknown marginals mode {self.marginals!r}")
+        if self.parallel_workers < 0:
+            raise ValueError("parallel_workers must be >= 0")

@@ -1,0 +1,45 @@
+"""Synthetic data and constraint generation for the evaluation."""
+
+from repro.datagen.census import (
+    CensusConfig,
+    CensusData,
+    generate_census,
+)
+from repro.datagen.constraints_census import all_dcs, cc_family, good_dcs
+from repro.datagen.nae3sat import (
+    decode_assignment,
+    nae_satisfiable,
+    random_formula,
+    reduce_to_cextension,
+    reduction_dcs,
+)
+from repro.datagen.scales import (
+    MINI_DIVISOR,
+    PAPER_SCALES,
+    generate_scaled,
+    paper_row_counts,
+    scaled_config,
+)
+from repro.datagen.workloads import DATASETS, DatasetSpec, materialize
+
+__all__ = [
+    "CensusConfig",
+    "CensusData",
+    "DATASETS",
+    "DatasetSpec",
+    "MINI_DIVISOR",
+    "PAPER_SCALES",
+    "all_dcs",
+    "cc_family",
+    "decode_assignment",
+    "generate_census",
+    "generate_scaled",
+    "good_dcs",
+    "materialize",
+    "nae_satisfiable",
+    "paper_row_counts",
+    "random_formula",
+    "reduce_to_cextension",
+    "reduction_dcs",
+    "scaled_config",
+]

@@ -1,0 +1,220 @@
+"""The NAE-3SAT → C-Extension reduction of Proposition 2.8, executable.
+
+Given a 3-CNF formula, build the relation ``R1(Var, alpha, Cls, Chosen)``
+with one row per (variable, polarity, clause) literal occurrence, the
+two-row relation ``R2(Chosen, E)`` with keys ``{0, 1}``, and the two DCs:
+
+1. ``¬(t1.Var = t2.Var ∧ t1.alpha ≠ t2.alpha ∧ t1.Chosen = t2.Chosen)`` —
+   a variable's true-rows and false-rows may not share an FK;
+2. ``¬(t1.Cls = t2.Cls = t3.Cls ∧ t1.Chosen = t2.Chosen = t3.Chosen)`` —
+   no clause has all three literal rows on one FK value.
+
+A completion of ``Chosen`` *within the original two keys* encodes exactly
+a not-all-equal satisfying assignment.  The heuristic pipeline always
+terminates with all DCs satisfied but may mint extra keys (growing R2̂) —
+the tests distinguish the two outcomes and use the brute-force oracle as
+ground truth.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.constraints.dc import BinaryAtom, DenialConstraint
+from repro.core.problem import CExtensionProblem
+from repro.errors import ReproError
+from repro.relational.relation import Relation
+from repro.relational.schema import ColumnSpec, Schema
+from repro.relational.types import Dtype
+
+__all__ = [
+    "Literal",
+    "Clause",
+    "Formula",
+    "reduction_dcs",
+    "reduce_to_cextension",
+    "decode_assignment",
+    "nae_satisfiable",
+    "random_formula",
+]
+
+#: ``(variable_name, polarity)`` — polarity True means the positive literal.
+Literal = Tuple[str, bool]
+Clause = Tuple[Literal, Literal, Literal]
+Formula = List[Clause]
+
+
+def reduction_dcs() -> List[DenialConstraint]:
+    """The two DCs of the reduction."""
+    dc_var = DenialConstraint(
+        [
+            BinaryAtom(0, "Var", "==", 1, "Var"),
+            BinaryAtom(0, "alpha", "!=", 1, "alpha"),
+        ],
+        name="nae_variable_consistency",
+    )
+    dc_clause = DenialConstraint(
+        [
+            BinaryAtom(0, "Cls", "==", 1, "Cls"),
+            BinaryAtom(1, "Cls", "==", 2, "Cls"),
+        ],
+        arity=3,
+        name="nae_clause_not_all_equal",
+    )
+    return [dc_var, dc_clause]
+
+
+def reduce_to_cextension(formula: Formula) -> CExtensionProblem:
+    """Build the C-Extension instance for a 3-CNF formula."""
+    if not formula:
+        raise ReproError("the formula must have at least one clause")
+    r1_schema = Schema(
+        [
+            ColumnSpec("rid", Dtype.INT),
+            ColumnSpec("Var", Dtype.STR),
+            ColumnSpec("alpha", Dtype.INT),
+            ColumnSpec("Cls", Dtype.STR),
+        ],
+        key="rid",
+    )
+    rows = []
+    rid = 0
+    for c_index, clause in enumerate(formula):
+        if len(clause) != 3:
+            raise ReproError("every clause must have exactly three literals")
+        for var, polarity in clause:
+            # Making `var` equal to `polarity` makes the clause true.
+            rows.append((rid, var, 1 if polarity else 0, f"C{c_index}"))
+            rid += 1
+    r1 = Relation.from_rows(r1_schema, rows)
+
+    r2 = Relation.from_rows(
+        Schema(
+            [ColumnSpec("Chosen", Dtype.INT), ColumnSpec("E", Dtype.STR)],
+            key="Chosen",
+        ),
+        [(0, "a"), (1, "b")],
+    )
+    return CExtensionProblem(
+        r1=r1, r2=r2, fk_column="Chosen", ccs=(), dcs=tuple(reduction_dcs())
+    )
+
+
+def decode_assignment(
+    formula: Formula, fk_values: Sequence[int]
+) -> Dict[str, bool]:
+    """Recover the NAE assignment from a completed ``Chosen`` column.
+
+    Row ``(x, alpha, C)`` with ``Chosen = 1`` means the assignment sets
+    ``x = alpha``; ``Chosen = 0`` means ``x = ¬alpha``.
+
+    Subtlety (a gap in the paper's proof sketch): DC 1 only separates
+    *opposite-polarity* rows, so a variable appearing in a single polarity
+    may carry different ``Chosen`` values on different rows without
+    violating any DC — such variables are *unconstrained* by the
+    completion.  Variables appearing in both polarities are forced (each
+    polarity class occupies exactly one key).  This decoder fixes the
+    forced variables and searches the unconstrained ones for a
+    not-all-equal-satisfying completion, raising when none exists.
+    """
+    pos_keys: Dict[str, set] = {}
+    neg_keys: Dict[str, set] = {}
+    rid = 0
+    for clause in formula:
+        for var, polarity in clause:
+            bucket = pos_keys if polarity else neg_keys
+            bucket.setdefault(var, set()).add(int(fk_values[rid]))
+            rid += 1
+
+    forced: Dict[str, bool] = {}
+    free: List[str] = []
+    for var in sorted(set(pos_keys) | set(neg_keys)):
+        pos = pos_keys.get(var, set())
+        neg = neg_keys.get(var, set())
+        if pos and neg:
+            if pos & neg:
+                raise ReproError(
+                    f"completion violates DC 1 for variable {var}: "
+                    f"opposite polarities share a key"
+                )
+            forced[var] = 1 in pos
+        else:
+            only = pos or neg
+            if len(only) == 1:
+                # A single consistent vote: chosen=1 means var == alpha.
+                forced[var] = (1 in only) if pos else (1 not in only)
+            else:
+                free.append(var)
+
+    def nae_ok(assignment: Dict[str, bool]) -> bool:
+        for clause in formula:
+            values = [assignment[v] == p for v, p in clause]
+            if all(values) or not any(values):
+                return False
+        return True
+
+    for bits in itertools.product((False, True), repeat=len(free)):
+        assignment = dict(forced)
+        assignment.update(zip(free, bits))
+        if nae_ok(assignment):
+            return assignment
+    raise ReproError(
+        "the completion does not correspond to any NAE assignment "
+        "(unconstrained single-polarity variables could not be repaired)"
+    )
+
+
+def nae_satisfiable(formula: Formula) -> Optional[Dict[str, bool]]:
+    """Brute-force NAE-SAT oracle (exponential; tests only)."""
+    variables = sorted({var for clause in formula for var, _ in clause})
+    for bits in itertools.product((False, True), repeat=len(variables)):
+        assignment = dict(zip(variables, bits))
+        ok = True
+        for clause in formula:
+            values = [
+                assignment[var] == polarity for var, polarity in clause
+            ]
+            if all(values) or not any(values):
+                ok = False
+                break
+        if ok:
+            return assignment
+    return None
+
+
+def random_formula(
+    n_vars: int, n_clauses: int, seed: int = 0, balanced: bool = True
+) -> Formula:
+    """A random 3-CNF formula over ``x0..x{n_vars-1}``.
+
+    With ``balanced=True`` (default), any variable with at least two
+    occurrences appears in both polarities, which makes the reduction's
+    decode exact (see :func:`decode_assignment`).
+    """
+    rng = random.Random(seed)
+    if n_vars < 3:
+        raise ReproError("need at least three variables")
+    names = [f"x{i}" for i in range(n_vars)]
+    clauses: List[List[Literal]] = []
+    for _ in range(n_clauses):
+        chosen = rng.sample(names, 3)
+        clauses.append([(var, rng.random() < 0.5) for var in chosen])
+
+    if balanced:
+        polarities: Dict[str, set] = {}
+        occurrences: Dict[str, List[Tuple[int, int]]] = {}
+        for ci, clause in enumerate(clauses):
+            for li, (var, polarity) in enumerate(clause):
+                polarities.setdefault(var, set()).add(polarity)
+                occurrences.setdefault(var, []).append((ci, li))
+        for var, seen in polarities.items():
+            spots = occurrences[var]
+            if len(spots) >= 2 and len(seen) == 1:
+                ci, li = spots[-1]
+                name, polarity = clauses[ci][li]
+                clauses[ci][li] = (name, not polarity)
+
+    return [tuple(clause) for clause in clauses]  # type: ignore[return-value]

@@ -1,0 +1,73 @@
+"""The Table 1 data-scale ladder, paper-size and laptop-size.
+
+The paper's 1× scale is 25,099 persons over 9,820 households; scales run
+1× to 160×.  Benchmarks here use a *mini* ladder that divides household
+counts by ``MINI_DIVISOR`` (default 100) while keeping every structural
+property — persons-per-household ratio, relationship mix, constraint
+topology — identical.  ``paper_row_counts`` records the original Table 1
+numbers so the benches can print them side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.datagen.census import CensusConfig, CensusData, generate_census
+
+__all__ = [
+    "PAPER_SCALES",
+    "MINI_DIVISOR",
+    "paper_row_counts",
+    "scaled_config",
+    "generate_scaled",
+]
+
+#: Table 1 — scale factor → (persons, housing) row counts in the paper.
+PAPER_SCALES: Dict[int, Tuple[int, int]] = {
+    1: (25_099, 9_820),
+    2: (50_039, 19_640),
+    5: (124_746, 49_100),
+    10: (249_259, 98_200),
+    40: (1_015_686, 392_800),
+    80: (2_043_975, 785_600),
+    120: (3_064_328, 1_178_400),
+    160: (4_097_471, 1_571_200),
+}
+
+#: Households at paper scale 1×.
+_BASE_HOUSEHOLDS = 9_820
+
+#: The laptop ladder divides the household count by this factor.
+MINI_DIVISOR = 100
+
+
+def paper_row_counts(scale: int) -> Tuple[int, int]:
+    """The paper's (persons, housing) counts for a Table 1 scale."""
+    if scale not in PAPER_SCALES:
+        raise KeyError(f"scale {scale} is not a Table 1 scale")
+    return PAPER_SCALES[scale]
+
+
+def scaled_config(
+    scale: int,
+    mini_divisor: int = MINI_DIVISOR,
+    n_areas: int = 12,
+    n_tenures: int = 3,
+    n_housing_columns: int = 2,
+    seed: int = 7,
+) -> CensusConfig:
+    """A generator config for (mini) Table 1 scale ``scale``."""
+    households = max(20, (_BASE_HOUSEHOLDS * scale) // mini_divisor)
+    return CensusConfig(
+        n_households=households,
+        n_areas=n_areas,
+        n_tenures=n_tenures,
+        n_housing_columns=n_housing_columns,
+        seed=seed,
+    )
+
+
+def generate_scaled(scale: int, **kwargs) -> CensusData:
+    """Generate the (mini) dataset for one Table 1 scale."""
+    return generate_census(scaled_config(scale, **kwargs))

@@ -1,0 +1,102 @@
+"""Table 2 — the 34 evaluation datasets, as reproducible configurations.
+
+Each :class:`DatasetSpec` records the Table 2 row: data scale, DC family
+(``S_all_DC`` rows 1-12 or ``S_good_DC`` rows 1-8, optionally truncated to
+the first *n* for datasets 13-22), CC family (good / bad) and CC count,
+plus the number of Housing columns (datasets 31-34 widen R2 along the
+Figure 12 ladder).  ``materialize`` builds the actual data + constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.constraints.cc import CardinalityConstraint
+from repro.constraints.dc import DenialConstraint
+from repro.datagen.census import CensusData
+from repro.datagen.constraints_census import all_dcs, cc_family, good_dcs
+from repro.datagen.scales import generate_scaled
+
+__all__ = ["DatasetSpec", "DATASETS", "materialize"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One Table 2 row."""
+
+    number: int
+    scale: int
+    dc_kind: str  # "all" | "good"
+    num_dcs: Optional[int]  # None = the full family
+    cc_kind: str  # "good" | "bad"
+    num_ccs: int
+    n_housing_columns: int = 2
+
+    def dcs(self) -> List[DenialConstraint]:
+        family = all_dcs() if self.dc_kind == "all" else good_dcs()
+        if self.num_dcs is None:
+            return family
+        return family[: self.num_dcs]
+
+
+def _rows() -> List[DatasetSpec]:
+    rows: List[DatasetSpec] = []
+    number = 1
+    full = 1001
+    # 1-5: scales 1..40, S_all_DC, S_good_CC.
+    for scale in (1, 2, 5, 10, 40):
+        rows.append(DatasetSpec(number, scale, "all", None, "good", full))
+        number += 1
+    # 6-10: scales 1..40, S_all_DC, S_bad_CC.
+    for scale in (1, 2, 5, 10, 40):
+        rows.append(DatasetSpec(number, scale, "all", None, "bad", full))
+        number += 1
+    # 11, 12: scale 10, S_good_DC with good/bad CCs.
+    rows.append(DatasetSpec(11, 10, "good", None, "good", full))
+    rows.append(DatasetSpec(12, 10, "good", None, "bad", full))
+    number = 13
+    # 13-17 / 18-22: scale 10, S_all_DC, 500..900 CCs good/bad.
+    for cc_kind in ("good", "bad"):
+        for n_ccs in (500, 600, 700, 800, 900):
+            rows.append(DatasetSpec(number, 10, "all", None, cc_kind, n_ccs))
+            number += 1
+    # 23-26 / 27-30: scales 40..160, S_good_DC, good/bad CCs.
+    for cc_kind in ("good", "bad"):
+        for scale in (40, 80, 120, 160):
+            rows.append(DatasetSpec(number, scale, "good", None, cc_kind, full))
+            number += 1
+    # 31-34: scale 10, S_good_DC + S_good_CC, 4..10 Housing columns.
+    for n_cols in (4, 6, 8, 10):
+        rows.append(
+            DatasetSpec(number, 10, "good", None, "good", full, n_cols)
+        )
+        number += 1
+    return rows
+
+
+#: Table 2, keyed by dataset number (1-34).
+DATASETS: Dict[int, DatasetSpec] = {spec.number: spec for spec in _rows()}
+
+
+def materialize(
+    spec: DatasetSpec,
+    num_ccs: Optional[int] = None,
+    mini_divisor: int = 100,
+    n_areas: int = 12,
+    seed: int = 7,
+) -> Tuple[CensusData, List[CardinalityConstraint], List[DenialConstraint]]:
+    """Generate the data and constraint sets for one Table 2 row.
+
+    ``num_ccs`` overrides the spec's CC count (benches shrink it to keep
+    laptop runtimes sane while preserving the good/bad structure).
+    """
+    data = generate_scaled(
+        spec.scale,
+        mini_divisor=mini_divisor,
+        n_areas=n_areas,
+        n_housing_columns=spec.n_housing_columns,
+        seed=seed,
+    )
+    ccs = cc_family(data, spec.cc_kind, num_ccs or spec.num_ccs)
+    return data, ccs, spec.dcs()

@@ -1,0 +1,23 @@
+"""Extensions beyond the paper's core: the future-work items it names."""
+
+from repro.extensions.capacity import (
+    CapacityResult,
+    capacity_coloring,
+    fk_usage_histogram,
+    solve_with_capacity,
+)
+from repro.extensions.discovery import (
+    DiscoveryConfig,
+    discover_fk_dcs,
+    discovered_windows,
+)
+
+__all__ = [
+    "CapacityResult",
+    "DiscoveryConfig",
+    "capacity_coloring",
+    "discover_fk_dcs",
+    "discovered_windows",
+    "fk_usage_histogram",
+    "solve_with_capacity",
+]

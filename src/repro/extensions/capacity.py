@@ -1,0 +1,225 @@
+"""Capacity-constrained FK assignment (the paper's future-work item 1).
+
+The paper's linear CCs count join-view rows; its conclusions name
+*non-linear* CCs — constraints "on the number of rows that share the same
+foreign key" — as future work.  The most common such constraint is a
+**capacity**: no key may be referenced by more than ``max_per_key`` rows
+(census households have bounded size; a department hosts at most so many
+majors).
+
+This module extends Phase II's list coloring with per-color capacities: a
+color becomes forbidden once its usage reaches the cap, in addition to
+Algorithm 3's DC-based forbidding.  Skipped vertices receive fresh keys
+exactly as in Algorithm 4, so the capacity invariant always holds in the
+output (at the price of possibly more fresh R2 tuples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.constraints.cc import CardinalityConstraint
+from repro.constraints.dc import DenialConstraint
+from repro.core.config import SolverConfig
+from repro.core.metrics import ErrorReport, evaluate
+from repro.errors import ColoringError, ReproError
+from repro.phase1.hybrid import run_phase1
+from repro.phase2.edges import build_conflict_graph
+from repro.phase2.fk_assignment import FreshKeyFactory
+from repro.phase2.hypergraph import ConflictHypergraph
+from repro.relational.relation import Relation
+from repro.relational.schema import ColumnSpec
+
+__all__ = [
+    "capacity_coloring",
+    "CapacityResult",
+    "solve_with_capacity",
+    "fk_usage_histogram",
+]
+
+
+def capacity_coloring(
+    graph: ConflictHypergraph,
+    candidates: Sequence[object],
+    max_per_key: int,
+    coloring: Optional[Dict[int, object]] = None,
+    usage: Optional[Dict[object, int]] = None,
+) -> Tuple[Dict[int, object], List[int]]:
+    """Largest-first list coloring with a per-color usage cap.
+
+    Follows Algorithm 3 exactly, with one extra forbidding rule: a color
+    whose usage has reached ``max_per_key`` is unavailable.  ``usage`` may
+    carry pre-existing counts (e.g. from earlier partitions sharing keys).
+    """
+    if max_per_key < 1:
+        raise ReproError("max_per_key must be at least 1")
+    coloring = coloring if coloring is not None else {}
+    usage = usage if usage is not None else {}
+    for color in coloring.values():
+        usage.setdefault(color, 0)
+
+    order = sorted(
+        (v for v in graph.vertices if v not in coloring),
+        key=lambda v: (-graph.degree(v), v),
+    )
+    skipped: List[int] = []
+    for v in order:
+        forbidden = set()
+        for edge in graph.incident_edges(v):
+            others = [u for u in edge if u != v]
+            colors = {coloring.get(u) for u in others}
+            if len(colors) == 1:
+                (only,) = colors
+                if only is not None:
+                    forbidden.add(only)
+        chosen = next(
+            (
+                c
+                for c in candidates
+                if c not in forbidden and usage.get(c, 0) < max_per_key
+            ),
+            None,
+        )
+        if chosen is None:
+            skipped.append(v)
+        else:
+            coloring[v] = chosen
+            usage[chosen] = usage.get(chosen, 0) + 1
+    return coloring, skipped
+
+
+@dataclass
+class CapacityResult:
+    """Output of a capacity-constrained solve."""
+
+    r1_hat: Relation
+    r2_hat: Relation
+    fk_column: str
+    max_per_key: int
+    num_new_r2_tuples: int
+    errors: Optional[ErrorReport] = None
+
+    def usage(self) -> Dict[object, int]:
+        return fk_usage_histogram(self.r1_hat, self.fk_column)
+
+
+def fk_usage_histogram(r1_hat: Relation, fk_column: str) -> Dict[object, int]:
+    """How many rows reference each key (the non-linear CC's subject)."""
+    out: Dict[object, int] = {}
+    for value in r1_hat.column(fk_column):
+        out[value] = out.get(value, 0) + 1
+    return out
+
+
+def solve_with_capacity(
+    r1: Relation,
+    r2: Relation,
+    *,
+    fk_column: str,
+    max_per_key: int,
+    ccs: Sequence[CardinalityConstraint] = (),
+    dcs: Sequence[DenialConstraint] = (),
+    config: Optional[SolverConfig] = None,
+) -> CapacityResult:
+    """C-Extension with a hard per-key capacity.
+
+    Phase I is the unchanged hybrid; Phase II swaps Algorithm 3 for
+    :func:`capacity_coloring`.  All DCs hold exactly and every key serves
+    at most ``max_per_key`` rows; both invariants are enforced even for
+    invalid tuples (which here always receive fresh keys — the safest
+    capacity-respecting choice).
+    """
+    config = config or SolverConfig()
+    if fk_column in r1.schema:
+        r1 = r1.drop_column(fk_column)
+    phase1 = run_phase1(
+        r1,
+        r2,
+        ccs,
+        marginals=config.marginals,
+        soft_ccs=config.soft_ccs,
+        backend=config.backend,
+        force_ilp=config.force_ilp,
+    )
+    assignment = phase1.assignment
+    catalog = phase1.catalog
+
+    key_column = r2.schema.key
+    factory = FreshKeyFactory(list(r2.column(key_column)))
+    keys_by_combo = {c: list(k) for c, k in catalog.keys_by_combo.items()}
+    new_rows: List[tuple] = []
+    coloring: Dict[int, object] = {}
+    usage: Dict[object, int] = {}
+
+    def record_new_key(key: object, combo: tuple) -> None:
+        values = catalog.as_dict(combo)
+        new_rows.append(
+            tuple(
+                key if name == key_column else values[name]
+                for name in r2.schema.names
+            )
+        )
+        keys_by_combo.setdefault(combo, []).append(key)
+
+    partitions: Dict[tuple, List[int]] = {}
+    invalid_rows: List[int] = []
+    for row in range(assignment.n):
+        if row in assignment.invalid or not assignment.is_complete(row):
+            invalid_rows.append(row)
+            continue
+        partitions.setdefault(assignment.combo(row), []).append(row)
+
+    for combo in sorted(partitions.keys(), key=repr):
+        rows = partitions[combo]
+        graph = build_conflict_graph(r1, dcs, rows)
+        candidates = sorted(keys_by_combo.get(combo, []), key=repr)
+        part_coloring, skipped = capacity_coloring(
+            graph, candidates, max_per_key, {}, usage
+        )
+        guard = 0
+        while skipped:
+            guard += 1
+            if guard > len(rows) + 1:
+                raise ColoringError("capacity coloring failed to progress")
+            fresh = [factory.mint() for _ in skipped]
+            part_coloring, skipped = capacity_coloring(
+                graph, fresh, max_per_key, part_coloring, usage
+            )
+            for key in fresh:
+                if key in set(part_coloring.values()):
+                    record_new_key(key, combo)
+        coloring.update(part_coloring)
+
+    # Invalid tuples: fresh keys with an arbitrary safe combo (capacity 1
+    # usage each) — the conservative capacity-respecting escape hatch.
+    for row in invalid_rows:
+        combo = catalog.combos[0] if catalog.combos else None
+        if combo is None:
+            raise ColoringError("R2 has no value combinations at all")
+        safe = catalog.unused_for_row(r1.row(row), list(ccs))
+        if safe:
+            combo = safe[0]
+        key = factory.mint()
+        record_new_key(key, combo)
+        coloring[row] = key
+        usage[key] = usage.get(key, 0) + 1
+        assignment.assign(row, catalog.as_dict(combo))
+        assignment.invalid.discard(row)
+
+    fk_values = [coloring[row] for row in range(assignment.n)]
+    key_dtype = r2.schema.dtype(key_column)
+    r1_hat = r1.with_column(ColumnSpec(fk_column, key_dtype), fk_values)
+    r2_hat = r2.append_rows(new_rows)
+
+    errors = None
+    if config.evaluate:
+        errors = evaluate(r1_hat, r2_hat, fk_column, ccs, dcs)
+    return CapacityResult(
+        r1_hat=r1_hat,
+        r2_hat=r2_hat,
+        fk_column=fk_column,
+        max_per_key=max_per_key,
+        num_new_r2_tuples=len(new_rows),
+        errors=errors,
+    )

@@ -1,0 +1,22 @@
+"""Phase I: completing the join view from cardinality constraints."""
+
+from repro.phase1.assignment import ViewAssignment
+from repro.phase1.combos import ComboCatalog
+from repro.phase1.hasse_completion import (
+    HasseCompletionStats,
+    complete_with_hasse,
+)
+from repro.phase1.hybrid import Phase1Result, Phase1Stats, run_phase1
+from repro.phase1.ilp_completion import IlpCompletionStats, complete_with_ilp
+
+__all__ = [
+    "ComboCatalog",
+    "HasseCompletionStats",
+    "IlpCompletionStats",
+    "Phase1Result",
+    "Phase1Stats",
+    "ViewAssignment",
+    "complete_with_hasse",
+    "complete_with_ilp",
+    "run_phase1",
+]

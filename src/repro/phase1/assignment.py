@@ -1,0 +1,119 @@
+"""Bookkeeping for the incremental completion of ``V_join``.
+
+Phase I fills the R2-originated columns ``B1..Bq`` of the join view row by
+row.  Assignments may be *partial* — a CC whose R2 condition pins only
+``Area`` leaves ``Tenure`` open (the paper completes such tuples in the
+final loop of Algorithm 2).  :class:`ViewAssignment` tracks, per row:
+
+* the partial ``{attr: value}`` assignment so far,
+* which CC (if any) the row was selected for (used to complete partial
+  assignments without perturbing other CC counts),
+* whether the row ended up *invalid* (no usable combination exists).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import CompletionError
+
+__all__ = ["ViewAssignment"]
+
+
+@dataclass
+class ViewAssignment:
+    """Partial B-column assignments for the ``n`` rows of ``V_join``."""
+
+    n: int
+    r2_attrs: Tuple[str, ...]
+    partial: List[Optional[Dict[str, object]]] = field(init=False)
+    intended_cc: List[Optional[int]] = field(init=False)
+    invalid: Set[int] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.partial = [None] * self.n
+        self.intended_cc = [None] * self.n
+        self.invalid = set()
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def assign(
+        self,
+        row: int,
+        values: Dict[str, object],
+        cc_index: Optional[int] = None,
+    ) -> None:
+        """Merge ``values`` into the row's partial assignment."""
+        unknown = set(values) - set(self.r2_attrs)
+        if unknown:
+            raise CompletionError(
+                f"assignment uses non-R2 attributes {sorted(unknown)}"
+            )
+        current = self.partial[row]
+        if current is None:
+            current = {}
+            self.partial[row] = current
+        for attr, value in values.items():
+            if attr in current and current[attr] != value:
+                raise CompletionError(
+                    f"row {row}: conflicting assignment for {attr!r} "
+                    f"({current[attr]!r} vs {value!r})"
+                )
+            current[attr] = value
+        if cc_index is not None and self.intended_cc[row] is None:
+            self.intended_cc[row] = cc_index
+
+    def mark_invalid(self, row: int) -> None:
+        self.invalid.add(row)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_touched(self, row: int) -> bool:
+        return self.partial[row] is not None
+
+    def is_complete(self, row: int) -> bool:
+        values = self.partial[row]
+        return values is not None and len(values) == len(self.r2_attrs)
+
+    def values(self, row: int) -> Optional[Dict[str, object]]:
+        return self.partial[row]
+
+    def combo(self, row: int) -> tuple:
+        """The full B-combo of a completed row."""
+        values = self.partial[row]
+        if values is None or len(values) != len(self.r2_attrs):
+            raise CompletionError(f"row {row} is not fully assigned")
+        return tuple(values[attr] for attr in self.r2_attrs)
+
+    def untouched_indices(self) -> np.ndarray:
+        return np.asarray(
+            [i for i in range(self.n) if self.partial[i] is None],
+            dtype=np.int64,
+        )
+
+    def incomplete_indices(self) -> List[int]:
+        """Rows touched but not fully assigned (partial rows)."""
+        return [
+            i
+            for i in range(self.n)
+            if self.partial[i] is not None
+            and len(self.partial[i]) != len(self.r2_attrs)
+        ]
+
+    def complete_indices(self) -> List[int]:
+        return [i for i in range(self.n) if self.is_complete(i)]
+
+    def completion_fraction(self) -> float:
+        if self.n == 0:
+            return 1.0
+        return len(self.complete_indices()) / self.n
+
+    def untouched_mask(self) -> np.ndarray:
+        mask = np.zeros(self.n, dtype=bool)
+        mask[self.untouched_indices()] = True
+        return mask

@@ -1,0 +1,140 @@
+"""Algorithm 2 — exact completion for non-intersecting CCs.
+
+The containment Hasse forest drives a bottom-up recursion: each diagram's
+maximal CC is completed after its children, taking ``k_m − Σ k_child``
+still-free rows that satisfy the maximal R1 condition but none of the
+children's (line 12 of Algorithm 2), and assigning the B-values pinned by
+the CC's R2 condition.  Proposition 4.7: when no CCs intersect and a
+satisfying view exists, this recursion finds one exactly.
+
+Rows keep *partial* assignments when a CC pins only some R2 attributes;
+the hybrid completes them later against ``combo_unused``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.constraints.cc import CardinalityConstraint
+from repro.constraints.hasse import HasseDiagram, HasseForest
+from repro.phase1.assignment import ViewAssignment
+from repro.phase1.combos import ComboCatalog
+from repro.relational.relation import Relation
+
+__all__ = ["HasseCompletionStats", "complete_with_hasse"]
+
+
+@dataclass
+class HasseCompletionStats:
+    """Diagnostics for one Algorithm-2 run."""
+
+    assigned_rows: int = 0
+    #: CC index → how many tuples short the selection came up.
+    shortfalls: Dict[int, int] = field(default_factory=dict)
+    #: CC index → how many tuples were requested at that node.
+    requested: Dict[int, int] = field(default_factory=dict)
+    recursion_seconds: float = 0.0
+
+
+def _assignment_values(
+    cc: CardinalityConstraint,
+    catalog: ComboCatalog,
+) -> Optional[Dict[str, object]]:
+    """The B-values a CC pins, realised from an actual R2 combo.
+
+    Equality conditions produce their constant directly; interval
+    conditions are realised by any active combo inside the interval.
+    Returns ``None`` when no R2 combo satisfies the CC's R2 condition (the
+    CC is unsatisfiable against this R2 — its rows are left free).
+    """
+    r2_part = cc.r2_part(set(catalog.attrs))
+    if r2_part.is_trivial:
+        return {}
+    matches = catalog.matching(r2_part)
+    if not matches:
+        return None
+    chosen = catalog.as_dict(matches[0])
+    return {attr: chosen[attr] for attr in r2_part.attributes}
+
+
+def complete_with_hasse(
+    r1: Relation,
+    r1_attrs: Sequence[str],
+    catalog: ComboCatalog,
+    ccs: Sequence[CardinalityConstraint],
+    forest: HasseForest,
+    assignment: ViewAssignment,
+) -> HasseCompletionStats:
+    """Run Algorithm 2 for the CC indices contained in ``forest``."""
+    stats = HasseCompletionStats()
+    started = time.perf_counter()
+
+    r1_attr_set = set(r1_attrs)
+    n = len(r1)
+
+    # Vectorised R1-side masks, one per CC index that appears in the forest.
+    masks: Dict[int, np.ndarray] = {}
+    for diagram in forest.diagrams:
+        for index in diagram.nodes:
+            if index not in masks:
+                masks[index] = r1.mask(ccs[index].r1_part(r1_attr_set))
+
+    free = assignment.untouched_mask()
+
+    def select_and_assign(
+        cc_index: int, needed: int, exclusions: List[int]
+    ) -> None:
+        if needed <= 0:
+            stats.requested[cc_index] = max(needed, 0)
+            if needed < 0:
+                # Children already over-cover the parent's target; the
+                # overshoot is a CC inconsistency we record as shortfall.
+                stats.shortfalls[cc_index] = needed
+            return
+        selection = free & masks[cc_index]
+        parent_mask = masks[cc_index]
+        for child_index in exclusions:
+            child_mask = masks[child_index]
+            # Exclude strictly-narrower R1 conditions (line 12).  A child
+            # that refines only the R2 side shares the parent's R1 pool and
+            # must not be excluded or the parent would starve.
+            if not np.array_equal(child_mask, parent_mask):
+                selection &= ~child_mask
+        rows = np.flatnonzero(selection)[:needed]
+        stats.requested[cc_index] = needed
+        if len(rows) < needed:
+            stats.shortfalls[cc_index] = needed - len(rows)
+        values = _assignment_values(ccs[cc_index], catalog)
+        if values is None:
+            # No R2 combo can realise this CC; leave its rows free and
+            # count the whole request as shortfall.
+            stats.shortfalls[cc_index] = needed
+            return
+        for row in rows:
+            assignment.assign(int(row), values, cc_index=cc_index)
+            free[row] = False
+            stats.assigned_rows += 1
+
+    processed: Set[int] = set()
+
+    def process(diagram: HasseDiagram) -> None:
+        maximal = diagram.maximal_elements()
+        for m in maximal:
+            if m in processed:
+                continue
+            processed.add(m)
+            children = diagram.children.get(m, [])
+            for child in children:
+                process(diagram.subdiagram(child))
+            needed = ccs[m].target - sum(ccs[c].target for c in children)
+            select_and_assign(m, needed, children)
+
+    for diagram in forest.diagrams:
+        process(diagram)
+
+    stats.recursion_seconds = time.perf_counter() - started
+    return stats

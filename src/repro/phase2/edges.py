@@ -1,0 +1,161 @@
+"""Vectorised conflict-edge enumeration from denial constraints.
+
+For the (dominant) binary DCs the enumerator evaluates each DC's unary
+atoms as numpy masks and its cross-tuple atoms on a broadcast grid, so a
+partition of ``m`` rows costs ``O(m²)`` numpy work instead of ``m²``
+Python-level evaluations.  DCs of arity ≥ 3 fall back to a pruned
+combinatorial scan (they only occur in small partitions in practice; the
+NAE-3SAT reduction is the canonical ternary example).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.constraints.dc import BinaryAtom, DenialConstraint, UnaryAtom
+from repro.phase2.hypergraph import ConflictHypergraph
+from repro.relational.relation import Relation
+
+__all__ = ["add_dc_edges", "build_conflict_graph", "conflicting_pairs"]
+
+_NP_OPS = {
+    "==": np.equal,
+    "!=": np.not_equal,
+    "<": np.less,
+    ">": np.greater,
+    "<=": np.less_equal,
+    ">=": np.greater_equal,
+}
+
+
+def _unary_mask(
+    relation: Relation, rows: np.ndarray, atoms: Sequence[UnaryAtom]
+) -> np.ndarray:
+    mask = np.ones(len(rows), dtype=bool)
+    for atom in atoms:
+        values = relation.column(atom.attr)[rows]
+        if atom.op == "in":
+            mask &= np.isin(values, list(atom.value))
+        else:
+            mask &= _NP_OPS[atom.op](values, atom.value)
+    return mask
+
+
+def _binary_grid(
+    relation: Relation,
+    rows_a: np.ndarray,
+    rows_b: np.ndarray,
+    atoms: Sequence[BinaryAtom],
+) -> np.ndarray:
+    """Grid[i, j] — do (t1 = rows_a[i], t2 = rows_b[j]) satisfy all atoms?"""
+    grid = np.ones((len(rows_a), len(rows_b)), dtype=bool)
+    for atom in atoms:
+        left_rows = rows_a if atom.left_var == 0 else rows_b
+        right_rows = rows_a if atom.right_var == 0 else rows_b
+        left = relation.column(atom.left_attr)[left_rows]
+        right = relation.column(atom.right_attr)[right_rows]
+        if atom.offset:
+            right = right + atom.offset
+        if atom.left_var == 0 and atom.right_var == 1:
+            grid &= _NP_OPS[atom.op](left[:, None], right[None, :])
+        elif atom.left_var == 1 and atom.right_var == 0:
+            # left values index t2 (columns of the grid), right values t1
+            # (rows); broadcasting yields the (|a|, |b|) grid directly.
+            grid &= _NP_OPS[atom.op](left[None, :], right[:, None])
+        elif atom.left_var == 0 and atom.right_var == 0:
+            grid &= _NP_OPS[atom.op](left, right)[:, None]
+        else:  # both refer to t2
+            grid &= _NP_OPS[atom.op](left, right)[None, :]
+    return grid
+
+
+def conflicting_pairs(
+    relation: Relation,
+    dc: DenialConstraint,
+    rows_a: np.ndarray,
+    rows_b: Optional[np.ndarray] = None,
+) -> List[Tuple[int, int]]:
+    """All unordered row pairs (one from each set) that violate a binary DC.
+
+    ``rows_b`` defaults to ``rows_a`` (within-partition enumeration); when
+    distinct it enables the cross enumeration ``solveInvalidTuples`` needs.
+    """
+    if dc.arity != 2:
+        raise ValueError("conflicting_pairs only handles binary DCs")
+    if rows_b is None:
+        rows_b = rows_a
+
+    mask_a0 = _unary_mask(relation, rows_a, dc.unary_atoms(0))
+    mask_b1 = _unary_mask(relation, rows_b, dc.unary_atoms(1))
+    cand_a = rows_a[mask_a0]
+    cand_b = rows_b[mask_b1]
+    if len(cand_a) == 0 or len(cand_b) == 0:
+        return []
+    grid = _binary_grid(relation, cand_a, cand_b, dc.binary_atoms)
+    # Exclude the degenerate pairing of a row with itself.
+    same = cand_a[:, None] == cand_b[None, :]
+    grid &= ~same
+    a_idx, b_idx = np.nonzero(grid)
+    pairs = set()
+    for i, j in zip(a_idx, b_idx):
+        u, v = int(cand_a[i]), int(cand_b[j])
+        pairs.add((u, v) if u < v else (v, u))
+    return sorted(pairs)
+
+
+def _kary_edges(
+    relation: Relation,
+    dc: DenialConstraint,
+    rows: np.ndarray,
+) -> List[frozenset]:
+    """Pruned combinatorial scan for DCs of arity ≥ 3."""
+    var_candidates = []
+    for var in range(dc.arity):
+        mask = _unary_mask(relation, rows, dc.unary_atoms(var))
+        var_candidates.append([int(r) for r in rows[mask]])
+    union: Set[int] = set()
+    for candidates in var_candidates:
+        union.update(candidates)
+    union_rows = sorted(union)
+    row_cache = {r: relation.row(r) for r in union_rows}
+
+    edges: Set[frozenset] = set()
+    for combo in itertools.combinations(union_rows, dc.arity):
+        if dc.violates([row_cache[r] for r in combo]):
+            edges.add(frozenset(combo))
+    return sorted(edges, key=sorted)
+
+
+def add_dc_edges(
+    graph: ConflictHypergraph,
+    relation: Relation,
+    dcs: Sequence[DenialConstraint],
+    rows: np.ndarray,
+) -> int:
+    """Add all conflict edges among ``rows`` for every DC; returns count."""
+    added = 0
+    for dc in dcs:
+        if dc.arity == 2:
+            for pair in conflicting_pairs(relation, dc, rows):
+                if graph.add_edge(pair):
+                    added += 1
+        else:
+            for edge in _kary_edges(relation, dc, rows):
+                if graph.add_edge(edge):
+                    added += 1
+    return added
+
+
+def build_conflict_graph(
+    relation: Relation,
+    dcs: Sequence[DenialConstraint],
+    rows: Iterable[int],
+) -> ConflictHypergraph:
+    """The conflict hypergraph of one partition (Definition 5.1)."""
+    rows = np.asarray(sorted(rows), dtype=np.int64)
+    graph = ConflictHypergraph.over(int(r) for r in rows)
+    add_dc_edges(graph, relation, dcs, rows)
+    return graph

@@ -1,0 +1,281 @@
+"""Algorithm 4 — completing ``R1.FK`` from the filled-in join view.
+
+The view is partitioned by its full B-combo (the Section 5.2 optimization:
+candidate keys are disjoint across combos, so conflict graphs stay small).
+Each partition's conflict hypergraph is colored with Algorithm 3 against
+the candidate list ``π_{K2} σ_{B=combo} R2̂``; skipped vertices receive
+fresh keys, which materialise as new tuples appended to ``R2̂`` (this is
+the second output of the paper's pipeline).  Invalid tuples — rows Phase I
+could not give B-values — are resolved last by ``solveInvalidTuples``.
+
+Proposition 5.5 invariants (all DCs satisfied; ``R1̂ ⋈ R2̂ = V_join``) are
+exercised by the integration tests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.constraints.cc import CardinalityConstraint
+from repro.constraints.dc import DenialConstraint
+from repro.errors import ColoringError
+from repro.phase1.assignment import ViewAssignment
+from repro.phase1.combos import ComboCatalog
+from repro.phase2.coloring import coloring_lf
+from repro.phase2.edges import build_conflict_graph
+from repro.phase2.hypergraph import ConflictHypergraph
+from repro.phase2.invalid import solve_invalid_tuples
+from repro.relational.relation import Relation
+from repro.relational.schema import ColumnSpec
+from repro.relational.types import Dtype
+
+__all__ = ["Phase2Stats", "Phase2Result", "run_phase2", "FreshKeyFactory"]
+
+
+class FreshKeyFactory:
+    """Mints primary-key values that do not collide with existing ones."""
+
+    def __init__(self, existing: Sequence[object]) -> None:
+        self._existing: Set[object] = set(existing)
+        ints = [k for k in self._existing if isinstance(k, (int, np.integer))]
+        self._next_int = (int(max(ints)) + 1) if ints else 1
+        all_ints = len(ints) == len(self._existing)
+        self._numeric = all_ints  # an empty key set also mints integers
+
+    def mint(self) -> object:
+        if self._numeric:
+            while self._next_int in self._existing:
+                self._next_int += 1
+            key = int(self._next_int)
+            self._next_int += 1
+        else:
+            n = len(self._existing)
+            key = f"synthetic_{n}"
+            while key in self._existing:
+                n += 1
+                key = f"synthetic_{n}"
+        self._existing.add(key)
+        return key
+
+
+@dataclass
+class Phase2Stats:
+    """Diagnostics for one Algorithm-4 run (feeds Figures 11–13)."""
+
+    num_partitions: int = 0
+    num_edges: int = 0
+    num_skipped: int = 0
+    num_new_r2_tuples: int = 0
+    num_invalid_handled: int = 0
+    edge_seconds: float = 0.0
+    coloring_seconds: float = 0.0
+    invalid_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.edge_seconds + self.coloring_seconds + self.invalid_seconds
+
+
+@dataclass
+class Phase2Result:
+    r1_hat: Relation
+    r2_hat: Relation
+    coloring: Dict[int, object]
+    stats: Phase2Stats
+
+
+def _color_partition(
+    graph: ConflictHypergraph,
+    candidates: List[object],
+    factory: FreshKeyFactory,
+    stats: Phase2Stats,
+) -> Tuple[Dict[int, object], List[object]]:
+    """Color one partition; returns (coloring, fresh keys actually used)."""
+    coloring: Dict[int, object] = {}
+    coloring, skipped = coloring_lf(graph, coloring, candidates)
+    stats.num_skipped += len(skipped)
+    used_fresh: List[object] = []
+    guard = 0
+    while skipped:
+        guard += 1
+        if guard > graph.num_vertices + 1:
+            raise ColoringError("fresh-color loop failed to make progress")
+        fresh = [factory.mint() for _ in skipped]
+        coloring, skipped = coloring_lf(graph, coloring, fresh)
+        used = set(coloring.values()) & set(fresh)
+        used_fresh.extend(k for k in fresh if k in used)
+    return coloring, used_fresh
+
+
+def run_phase2(
+    r1: Relation,
+    r2: Relation,
+    dcs: Sequence[DenialConstraint],
+    assignment: ViewAssignment,
+    catalog: ComboCatalog,
+    fk_column: str,
+    ccs: Sequence[CardinalityConstraint] = (),
+    partitioned: bool = True,
+    parallel_workers: int = 0,
+) -> Phase2Result:
+    """Complete ``R1.FK`` so every DC holds; possibly grow ``R2``.
+
+    ``partitioned=False`` builds a single global conflict graph with
+    per-vertex candidate lists (the ablation of the Section 5.2
+    optimization) — correct but quadratic in ``|R1|``.
+
+    ``parallel_workers > 0`` colors the partitions on a process pool
+    (Appendix A.3); fresh keys for skipped vertices are still minted by
+    this process, which keeps key uniqueness single-owner.
+    """
+    stats = Phase2Stats()
+    key_column = r2.schema.key
+    factory = FreshKeyFactory(list(r2.column(key_column)))
+    new_r2_rows: List[tuple] = []
+    coloring: Dict[int, object] = {}
+
+    keys_by_combo: Dict[tuple, List[object]] = {
+        combo: list(keys) for combo, keys in catalog.keys_by_combo.items()
+    }
+
+    # Partition the completed rows by their full B-combo.
+    partitions: Dict[tuple, List[int]] = {}
+    for row in range(assignment.n):
+        if row in assignment.invalid or not assignment.is_complete(row):
+            continue
+        partitions.setdefault(assignment.combo(row), []).append(row)
+
+    def record_new_key(key: object, combo: tuple) -> None:
+        values = catalog.as_dict(combo)
+        r2_row = tuple(
+            key if name == key_column else values[name]
+            for name in r2.schema.names
+        )
+        new_r2_rows.append(r2_row)
+        keys_by_combo.setdefault(combo, []).append(key)
+        stats.num_new_r2_tuples += 1
+
+    if partitioned and parallel_workers > 0:
+        from repro.phase2.parallel import color_partitions_parallel
+
+        started = time.perf_counter()
+        coloring, skipped_by_combo, num_edges = color_partitions_parallel(
+            r1, dcs, partitions, keys_by_combo, max_workers=parallel_workers
+        )
+        stats.num_edges = num_edges
+        stats.num_partitions = len(partitions)
+        # Finish skipped vertices sequentially: fresh keys are minted here.
+        for combo, skipped_rows in sorted(
+            skipped_by_combo.items(), key=lambda kv: repr(kv[0])
+        ):
+            stats.num_skipped += len(skipped_rows)
+            graph = build_conflict_graph(r1, dcs, partitions[combo])
+            remaining = list(skipped_rows)
+            guard = 0
+            while remaining:
+                guard += 1
+                if guard > len(partitions[combo]) + 1:
+                    raise ColoringError(
+                        "fresh-color loop failed to make progress"
+                    )
+                fresh = [factory.mint() for _ in remaining]
+                coloring, remaining = coloring_lf(graph, coloring, fresh)
+                used = set(coloring.values()) & set(fresh)
+                for key in fresh:
+                    if key in used:
+                        record_new_key(key, combo)
+        stats.coloring_seconds = time.perf_counter() - started
+    elif partitioned:
+        for combo in sorted(partitions.keys(), key=repr):
+            rows = partitions[combo]
+            started = time.perf_counter()
+            graph = build_conflict_graph(r1, dcs, rows)
+            stats.edge_seconds += time.perf_counter() - started
+            stats.num_edges += graph.num_edges
+            stats.num_partitions += 1
+
+            candidates = sorted(keys_by_combo.get(combo, []), key=repr)
+            if not candidates:
+                raise ColoringError(
+                    f"no candidate keys for combo {combo!r}; Phase I "
+                    "assigned a combination absent from R2"
+                )
+            started = time.perf_counter()
+            part_coloring, used_fresh = _color_partition(
+                graph, candidates, factory, stats
+            )
+            stats.coloring_seconds += time.perf_counter() - started
+            for key in used_fresh:
+                record_new_key(key, combo)
+            coloring.update(part_coloring)
+    else:
+        all_rows = sorted(
+            row
+            for rows in partitions.values()
+            for row in rows
+        )
+        started = time.perf_counter()
+        graph = build_conflict_graph(r1, dcs, all_rows)
+        stats.edge_seconds += time.perf_counter() - started
+        stats.num_edges += graph.num_edges
+        stats.num_partitions = 1
+        candidate_lists = {
+            row: sorted(keys_by_combo.get(assignment.combo(row), []), key=repr)
+            for row in all_rows
+        }
+        started = time.perf_counter()
+        coloring, skipped = coloring_lf(graph, coloring, [], candidate_lists)
+        stats.num_skipped += len(skipped)
+        guard = 0
+        while skipped:
+            guard += 1
+            if guard > len(all_rows) + 1:
+                raise ColoringError("fresh-color loop failed to make progress")
+            fresh_lists = {}
+            fresh_by_row = {}
+            for row in skipped:
+                key = factory.mint()
+                fresh_by_row[row] = key
+                fresh_lists[row] = [key]
+            coloring, skipped = coloring_lf(graph, coloring, [], fresh_lists)
+            for row, key in fresh_by_row.items():
+                if coloring.get(row) == key:
+                    record_new_key(key, assignment.combo(row))
+        stats.coloring_seconds += time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    # Invalid tuples.
+    # ------------------------------------------------------------------
+    started = time.perf_counter()
+    if assignment.invalid:
+        handled = solve_invalid_tuples(
+            r1=r1,
+            dcs=dcs,
+            ccs=ccs,
+            assignment=assignment,
+            catalog=catalog,
+            coloring=coloring,
+            keys_by_combo=keys_by_combo,
+            factory=factory,
+            record_new_key=record_new_key,
+        )
+        stats.num_invalid_handled = handled
+    stats.invalid_seconds = time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    # Materialise R1̂ and R2̂.
+    # ------------------------------------------------------------------
+    missing = [row for row in range(assignment.n) if row not in coloring]
+    if missing:
+        raise ColoringError(f"{len(missing)} rows ended up uncolored")
+    fk_values = [coloring[row] for row in range(assignment.n)]
+    key_dtype = r2.schema.dtype(key_column)
+    r1_hat = r1.with_column(ColumnSpec(fk_column, key_dtype), fk_values)
+    r2_hat = r2.append_rows(new_r2_rows)
+    return Phase2Result(
+        r1_hat=r1_hat, r2_hat=r2_hat, coloring=coloring, stats=stats
+    )

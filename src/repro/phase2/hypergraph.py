@@ -1,0 +1,85 @@
+"""Conflict hypergraphs for foreign-key DCs (Definition 5.1).
+
+Vertices are R1 row indices; a hyperedge joins every set of tuples that
+would violate some DC if assigned the same FK value.  A *proper coloring*
+(no edge monochromatic) therefore yields a DC-satisfying FK assignment
+(Proposition 5.2 — tested in ``tests/phase2``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+__all__ = ["ConflictHypergraph"]
+
+
+@dataclass
+class ConflictHypergraph:
+    """A hypergraph over integer vertex ids with incidence lists."""
+
+    vertices: List[int] = field(default_factory=list)
+    edges: List[FrozenSet[int]] = field(default_factory=list)
+    _incident: Dict[int, List[int]] = field(default_factory=dict)
+    _edge_set: Set[FrozenSet[int]] = field(default_factory=set)
+
+    @classmethod
+    def over(cls, vertices: Iterable[int]) -> "ConflictHypergraph":
+        graph = cls()
+        for v in vertices:
+            graph.add_vertex(v)
+        return graph
+
+    def add_vertex(self, v: int) -> None:
+        if v not in self._incident:
+            self.vertices.append(v)
+            self._incident[v] = []
+
+    def add_edge(self, members: Iterable[int]) -> bool:
+        """Add a hyperedge; returns ``False`` for duplicates/degenerate."""
+        edge = frozenset(members)
+        if len(edge) < 2 or edge in self._edge_set:
+            return False
+        for v in edge:
+            self.add_vertex(v)
+        index = len(self.edges)
+        self.edges.append(edge)
+        self._edge_set.add(edge)
+        for v in edge:
+            self._incident[v].append(index)
+        return True
+
+    def incident_edges(self, v: int) -> List[FrozenSet[int]]:
+        return [self.edges[i] for i in self._incident.get(v, [])]
+
+    def degree(self, v: int) -> int:
+        return len(self._incident.get(v, []))
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def is_proper(self, coloring: Dict[int, object]) -> bool:
+        """No edge has all members the same color (uncolored ≠ colored)."""
+        for edge in self.edges:
+            colors = {coloring.get(v) for v in edge}
+            if len(colors) == 1 and None not in colors:
+                return False
+        return True
+
+    def max_clique_lower_bound(self) -> int:
+        """A cheap lower bound on the colors needed (max binary degree+1).
+
+        Used only by diagnostics; exact cliques are not required anywhere.
+        """
+        best = 1 if self.vertices else 0
+        for v in self.vertices:
+            binary = sum(
+                1 for e in self.incident_edges(v) if len(e) == 2
+            )
+            best = max(best, min(binary + 1, self.num_vertices))
+        return best

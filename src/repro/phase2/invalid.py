@@ -1,0 +1,154 @@
+"""``solveInvalidTuples`` (Algorithm 4, line 16).
+
+Invalid tuples are view rows Phase I could not give B-values without
+perturbing some CC.  They are colored last, against the *full* key list of
+``R2̂``, with conflict edges restricted to those incident to an invalid
+vertex.  A row that still cannot be colored gets the B-combination that
+minimises the marginal CC error plus a fresh key (inserting a tuple into
+``R2̂``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.constraints.cc import CardinalityConstraint
+from repro.constraints.dc import DenialConstraint
+from repro.phase1.assignment import ViewAssignment
+from repro.phase1.combos import ComboCatalog
+from repro.phase2.edges import conflicting_pairs
+from repro.relational.relation import Relation
+
+__all__ = ["solve_invalid_tuples"]
+
+
+def _conflict_lists(
+    r1: Relation,
+    dcs: Sequence[DenialConstraint],
+    invalid_rows: List[int],
+    all_rows: np.ndarray,
+) -> Dict[int, Set[int]]:
+    """For each invalid row: the rows it conflicts with under some DC.
+
+    Only binary DCs contribute vectorised cross edges; higher-arity DCs
+    fall back to treating every unary-candidate co-member as a potential
+    conflict (conservative — may forbid more colors than strictly needed,
+    never fewer).
+    """
+    conflicts: Dict[int, Set[int]] = {row: set() for row in invalid_rows}
+    invalid_arr = np.asarray(sorted(invalid_rows), dtype=np.int64)
+    invalid_set = set(invalid_rows)
+    for dc in dcs:
+        if dc.arity == 2:
+            for u, v in conflicting_pairs(r1, dc, invalid_arr, all_rows):
+                if u in invalid_set:
+                    conflicts[u].add(v)
+                if v in invalid_set:
+                    conflicts[v].add(u)
+        else:
+            # Conservative fallback: any two rows that can play *some* role
+            # in this DC are treated as conflicting.
+            from repro.phase2.edges import _unary_mask
+
+            candidates: Set[int] = set()
+            for var in range(dc.arity):
+                mask = _unary_mask(r1, all_rows, dc.unary_atoms(var))
+                candidates.update(int(r) for r in all_rows[mask])
+            for row in invalid_rows:
+                if row in candidates:
+                    conflicts[row].update(candidates - {row})
+    return conflicts
+
+
+def solve_invalid_tuples(
+    r1: Relation,
+    dcs: Sequence[DenialConstraint],
+    ccs: Sequence[CardinalityConstraint],
+    assignment: ViewAssignment,
+    catalog: ComboCatalog,
+    coloring: Dict[int, object],
+    keys_by_combo: Dict[tuple, List[object]],
+    factory,
+    record_new_key: Callable[[object, tuple], None],
+) -> int:
+    """Color every invalid row; returns how many were handled."""
+    invalid_rows = sorted(assignment.invalid)
+    if not invalid_rows:
+        return 0
+    all_rows = np.arange(assignment.n, dtype=np.int64)
+    conflicts = _conflict_lists(r1, dcs, invalid_rows, all_rows)
+
+    combo_of_key = {
+        key: combo for combo, keys in keys_by_combo.items() for key in keys
+    }
+
+    # Current CC counts over the completed rows (invalid rows excluded) so
+    # fallback combos can chase under-target CCs first.
+    counts = [0] * len(ccs)
+    if ccs:
+        for row in range(assignment.n):
+            if row in assignment.invalid or not assignment.is_complete(row):
+                continue
+            merged = r1.row(row)
+            merged.update(assignment.values(row) or {})
+            for i, cc in enumerate(ccs):
+                if cc.matches_row(merged):
+                    counts[i] += 1
+
+    handled = 0
+    # Highest-conflict rows first (mirrors the largest-first heuristic).
+    for row in sorted(invalid_rows, key=lambda r: (-len(conflicts[r]), r)):
+        forbidden = {
+            coloring[u] for u in conflicts[row] if u in coloring
+        }
+        chosen_key = None
+        for key in sorted(combo_of_key.keys(), key=repr):
+            if key not in forbidden:
+                chosen_key = key
+                break
+        row_values = r1.row(row)
+        if chosen_key is not None:
+            combo = combo_of_key[chosen_key]
+        else:
+            combo = _min_error_combo(row_values, catalog, ccs, counts)
+            chosen_key = factory.mint()
+            record_new_key(chosen_key, combo)
+            combo_of_key[chosen_key] = combo
+        coloring[row] = chosen_key
+        assignment.assign(row, catalog.as_dict(combo))
+        assignment.invalid.discard(row)
+        if ccs:
+            merged = dict(row_values)
+            merged.update(catalog.as_dict(combo))
+            for i, cc in enumerate(ccs):
+                if cc.matches_row(merged):
+                    counts[i] += 1
+        handled += 1
+    return handled
+
+
+def _min_error_combo(
+    row_values: Mapping[str, object],
+    catalog: ComboCatalog,
+    ccs: Sequence[CardinalityConstraint],
+    counts: List[int],
+) -> tuple:
+    """The combo whose adoption changes CC error the least."""
+    if not catalog.combos:
+        raise ValueError("R2 has no value combinations at all")
+    best_combo = catalog.combos[0]
+    best_delta = None
+    for combo in catalog.combos:
+        merged = dict(row_values)
+        merged.update(catalog.as_dict(combo))
+        delta = 0
+        for i, cc in enumerate(ccs):
+            if cc.matches_row(merged):
+                # Moving toward an under-target CC reduces error.
+                delta += 1 if counts[i] >= cc.target else -1
+        if best_delta is None or delta < best_delta:
+            best_delta = delta
+            best_combo = combo
+    return best_combo

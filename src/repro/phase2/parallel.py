@@ -1,0 +1,83 @@
+"""Parallel partition coloring (Appendix A.3).
+
+The Section 5.2 optimization splits the conflict hypergraph into one
+independent component per B-combo, so partitions can be colored on
+separate workers.  This module provides a process-pool variant of the
+per-partition loop.  Each worker receives only the column data of its
+partition (relations do not cross the process boundary), colors it
+locally, and reports the coloring in partition-local candidate indices;
+the parent then maps indices back to concrete keys and mints fresh keys
+centrally, keeping key uniqueness a single-process concern.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.constraints.dc import DenialConstraint
+from repro.phase2.coloring import coloring_lf
+from repro.phase2.edges import build_conflict_graph
+from repro.relational.relation import Relation
+
+__all__ = ["color_partitions_parallel"]
+
+
+def _color_one(
+    payload: Tuple[dict, tuple, List[int], Sequence[DenialConstraint], int]
+) -> Tuple[tuple, Dict[int, int], List[int], int]:
+    """Worker: color one partition, reporting candidate *indices*.
+
+    Returns ``(combo, {row: candidate_index}, skipped_rows, num_edges)``;
+    skipped rows need centrally minted fresh keys.
+    """
+    columns, combo, rows, dcs, num_candidates = payload
+    relation = Relation.from_columns(columns)
+    local = {row: i for i, row in enumerate(rows)}
+    local_rows = np.arange(len(rows), dtype=np.int64)
+    graph = build_conflict_graph(relation, dcs, local_rows)
+    coloring, skipped = coloring_lf(graph, {}, list(range(num_candidates)))
+    back = {rows[v]: int(c) for v, c in coloring.items()}
+    skipped_rows = [rows[v] for v in skipped]
+    return combo, back, skipped_rows, graph.num_edges
+
+
+def color_partitions_parallel(
+    r1: Relation,
+    dcs: Sequence[DenialConstraint],
+    partitions: Dict[tuple, List[int]],
+    keys_by_combo: Dict[tuple, List[object]],
+    max_workers: int = 2,
+) -> Tuple[Dict[int, object], Dict[tuple, List[int]], int]:
+    """Color all partitions with a process pool.
+
+    Returns ``(coloring, skipped_by_combo, num_edges)``.  Skipped rows are
+    left for the caller to finish sequentially (fresh keys must be minted
+    by a single owner).
+    """
+    payloads = []
+    for combo in sorted(partitions.keys(), key=repr):
+        rows = partitions[combo]
+        columns = {
+            name: [r1.column(name)[row] for row in rows]
+            for name in r1.schema.names
+        }
+        candidates = sorted(keys_by_combo.get(combo, []), key=repr)
+        payloads.append((columns, combo, rows, list(dcs), len(candidates)))
+
+    coloring: Dict[int, object] = {}
+    skipped_by_combo: Dict[tuple, List[int]] = {}
+    total_edges = 0
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        for combo, back, skipped_rows, num_edges in pool.map(
+            _color_one, payloads
+        ):
+            candidates = sorted(keys_by_combo.get(combo, []), key=repr)
+            for row, candidate_index in back.items():
+                coloring[row] = candidates[candidate_index]
+            if skipped_rows:
+                skipped_by_combo[combo] = skipped_rows
+            total_edges += num_edges
+    return coloring, skipped_by_combo, total_edges

@@ -1,0 +1,39 @@
+"""Columnar relational substrate: relations, schemas, predicates, joins."""
+
+from repro.relational.database import Database, ForeignKey
+from repro.relational.join import fk_join, join_view_schema
+from repro.relational.predicate import (
+    TRUE_PREDICATE,
+    Condition,
+    Interval,
+    Predicate,
+    ValueSet,
+    condition_from_atom,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import ColumnSpec, Schema
+from repro.relational.types import CatDomain, Domain, Dtype, IntDomain, infer_dtype
+from repro.relational.csvio import read_csv, write_csv
+
+__all__ = [
+    "CatDomain",
+    "ColumnSpec",
+    "Condition",
+    "Database",
+    "Domain",
+    "Dtype",
+    "ForeignKey",
+    "IntDomain",
+    "Interval",
+    "Predicate",
+    "Relation",
+    "Schema",
+    "TRUE_PREDICATE",
+    "ValueSet",
+    "condition_from_atom",
+    "fk_join",
+    "infer_dtype",
+    "join_view_schema",
+    "read_csv",
+    "write_csv",
+]

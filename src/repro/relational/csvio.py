@@ -1,0 +1,122 @@
+"""CSV import/export for relations.
+
+Integer columns are parsed with :func:`int`; everything else is kept as a
+string.  The writer emits a plain header row followed by the data — enough
+to round-trip any relation the library produces.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.errors import SchemaError
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.types import Dtype
+
+__all__ = ["write_csv", "read_csv", "read_csv_infer"]
+
+
+def write_csv(relation: Relation, path: Union[str, Path]) -> None:
+    """Write a relation to ``path`` with a header row."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(relation.schema.names)
+        for row in relation.to_rows():
+            writer.writerow(row)
+
+
+def read_csv(
+    path: Union[str, Path],
+    schema: Schema,
+    key: Optional[str] = None,
+) -> Relation:
+    """Read a relation from ``path`` using ``schema`` for types.
+
+    The header must match the schema's column names exactly (order
+    included); ``key`` overrides the schema's key when given.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            raise SchemaError(f"{path} is empty")
+        if tuple(header) != schema.names:
+            raise SchemaError(
+                f"{path} header {tuple(header)} does not match schema "
+                f"{schema.names}"
+            )
+        rows = []
+        for line_no, raw in enumerate(reader, start=2):
+            if len(raw) != len(schema):
+                raise SchemaError(
+                    f"{path}:{line_no}: expected {len(schema)} fields, "
+                    f"got {len(raw)}"
+                )
+            row = []
+            for value, spec in zip(raw, schema):
+                if spec.dtype is Dtype.INT:
+                    try:
+                        row.append(int(value))
+                    except ValueError:
+                        raise SchemaError(
+                            f"{path}:{line_no}: column {spec.name!r} "
+                            f"expects an integer, got {value!r}"
+                        ) from None
+                else:
+                    row.append(value)
+            rows.append(tuple(row))
+    if key is not None:
+        schema = Schema(list(schema.columns), key=key)
+    return Relation.from_rows(schema, rows)
+
+
+def read_csv_infer(
+    path: Union[str, Path], key: Optional[str] = None
+) -> Relation:
+    """Read a CSV inferring column types from the data.
+
+    A column whose every value parses as an integer becomes
+    :attr:`Dtype.INT`; everything else stays a string.  Used by the CLI,
+    where no schema object exists up front.
+    """
+    from repro.relational.schema import ColumnSpec
+    from repro.relational.types import Dtype as _Dtype
+
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            raise SchemaError(f"{path} is empty")
+        raw_rows = [row for row in reader]
+
+    def parses_int(value: str) -> bool:
+        try:
+            int(value)
+            return True
+        except ValueError:
+            return False
+
+    dtypes = []
+    for col_index in range(len(header)):
+        values = [row[col_index] for row in raw_rows]
+        is_int = bool(values) and all(parses_int(v) for v in values)
+        dtypes.append(_Dtype.INT if is_int else _Dtype.STR)
+
+    schema = Schema(
+        [ColumnSpec(name, dtype) for name, dtype in zip(header, dtypes)],
+        key=key,
+    )
+    rows = [
+        tuple(
+            int(value) if dtype is _Dtype.INT else value
+            for value, dtype in zip(row, dtypes)
+        )
+        for row in raw_rows
+    ]
+    return Relation.from_rows(schema, rows)

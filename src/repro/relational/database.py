@@ -1,0 +1,98 @@
+"""Multi-relation databases with foreign-key edges.
+
+The snowflake-schema extension (Section 5.6) operates on a
+:class:`Database`: a set of named relations plus declared
+:class:`ForeignKey` edges.  The database validates that every edge points
+from an existing column to an existing key column and exposes the BFS
+traversal order the paper's extension uses (fact table outward).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import SchemaError
+from repro.relational.relation import Relation
+
+__all__ = ["ForeignKey", "Database"]
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """An FK edge: ``child.column`` references ``parent``'s primary key."""
+
+    child: str
+    column: str
+    parent: str
+
+    def __repr__(self) -> str:
+        return f"{self.child}.{self.column} -> {self.parent}"
+
+
+class Database:
+    """Named relations plus foreign-key edges."""
+
+    def __init__(self) -> None:
+        self._relations: Dict[str, Relation] = {}
+        self._foreign_keys: List[ForeignKey] = []
+
+    def add_relation(self, name: str, relation: Relation) -> None:
+        if name in self._relations:
+            raise SchemaError(f"relation {name!r} already exists")
+        self._relations[name] = relation
+
+    def replace_relation(self, name: str, relation: Relation) -> None:
+        if name not in self._relations:
+            raise SchemaError(f"relation {name!r} does not exist")
+        self._relations[name] = relation
+
+    def relation(self, name: str) -> Relation:
+        if name not in self._relations:
+            raise SchemaError(f"no relation named {name!r}")
+        return self._relations[name]
+
+    @property
+    def relation_names(self) -> Tuple[str, ...]:
+        return tuple(self._relations)
+
+    def add_foreign_key(self, child: str, column: str, parent: str) -> None:
+        """Declare ``child.column`` → ``parent``'s key.
+
+        The column may be absent from the child relation — that is exactly
+        the "missing FK column" state the synthesizer fills in.
+        """
+        self.relation(child)  # existence check
+        parent_rel = self.relation(parent)
+        if parent_rel.schema.key is None:
+            raise SchemaError(f"{parent!r} has no primary key")
+        self._foreign_keys.append(ForeignKey(child, column, parent))
+
+    @property
+    def foreign_keys(self) -> Tuple[ForeignKey, ...]:
+        return tuple(self._foreign_keys)
+
+    def outgoing(self, name: str) -> List[ForeignKey]:
+        return [fk for fk in self._foreign_keys if fk.child == name]
+
+    def bfs_edges(self, fact_table: str) -> List[ForeignKey]:
+        """FK edges in BFS order from the fact table outward.
+
+        This is the traversal order of the snowflake extension (Example
+        5.6): first the fact table's own FKs, then FKs of the dimensions
+        reached, and so on.
+        """
+        if fact_table not in self._relations:
+            raise SchemaError(f"no relation named {fact_table!r}")
+        order: List[ForeignKey] = []
+        seen = {fact_table}
+        queue = deque([fact_table])
+        while queue:
+            current = queue.popleft()
+            for fk in self.outgoing(current):
+                order.append(fk)
+                if fk.parent not in seen:
+                    seen.add(fk.parent)
+                    queue.append(fk.parent)
+        return order

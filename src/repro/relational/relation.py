@@ -1,0 +1,270 @@
+"""A small columnar relational engine.
+
+:class:`Relation` stores a table as one numpy array per column — ``int64``
+for integer columns and ``object`` for categorical columns.  It supports the
+operations the paper's algorithms need: vectorised selection, projection,
+group-by counting, distinct-row enumeration and appends.  The engine plays
+the role Pandas played in the authors' implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.relational.predicate import Predicate
+from repro.relational.schema import ColumnSpec, Schema
+from repro.relational.types import Dtype, infer_dtype
+
+__all__ = ["Relation"]
+
+
+def _storage_dtype(dtype: Dtype) -> object:
+    return np.int64 if dtype is Dtype.INT else object
+
+
+class Relation:
+    """An immutable-by-convention columnar table with a :class:`Schema`."""
+
+    def __init__(self, schema: Schema, columns: Mapping[str, np.ndarray]) -> None:
+        self.schema = schema
+        self._columns: Dict[str, np.ndarray] = {}
+        lengths = set()
+        for spec in schema:
+            if spec.name not in columns:
+                raise SchemaError(f"missing data for column {spec.name!r}")
+            arr = np.asarray(columns[spec.name], dtype=_storage_dtype(spec.dtype))
+            self._columns[spec.name] = arr
+            lengths.add(len(arr))
+        if len(lengths) > 1:
+            raise SchemaError(f"ragged columns: lengths {sorted(lengths)}")
+        self._n = lengths.pop() if lengths else 0
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls,
+        schema: Schema,
+        rows: Iterable[Sequence[object]],
+    ) -> "Relation":
+        """Build a relation from row tuples ordered like the schema."""
+        rows = list(rows)
+        names = schema.names
+        for index, row in enumerate(rows):
+            if len(row) != len(names):
+                raise SchemaError(
+                    f"row {index} has {len(row)} values for "
+                    f"{len(names)} columns"
+                )
+        columns = {
+            name: [row[i] for row in rows] for i, name in enumerate(names)
+        }
+        return cls(schema, {n: np.asarray(v, dtype=_storage_dtype(schema.dtype(n))) for n, v in columns.items()})
+
+    @classmethod
+    def from_dicts(
+        cls, schema: Schema, rows: Iterable[Mapping[str, object]]
+    ) -> "Relation":
+        """Build a relation from row dictionaries."""
+        rows = list(rows)
+        columns = {name: [row[name] for row in rows] for name in schema.names}
+        return cls(schema, {n: np.asarray(v, dtype=_storage_dtype(schema.dtype(n))) for n, v in columns.items()})
+
+    @classmethod
+    def from_columns(
+        cls,
+        columns: Mapping[str, Sequence[object]],
+        key: Optional[str] = None,
+    ) -> "Relation":
+        """Build a relation inferring dtypes from the data."""
+        specs = [
+            ColumnSpec(name, infer_dtype(list(values)))
+            for name, values in columns.items()
+        ]
+        return cls(Schema(specs, key=key), dict(columns))
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "Relation":
+        return cls(
+            schema,
+            {
+                spec.name: np.asarray([], dtype=_storage_dtype(spec.dtype))
+                for spec in schema
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._n
+
+    def column(self, name: str) -> np.ndarray:
+        if name not in self._columns:
+            raise SchemaError(f"no column named {name!r}")
+        return self._columns[name]
+
+    @property
+    def columns(self) -> Dict[str, np.ndarray]:
+        return dict(self._columns)
+
+    def row(self, i: int) -> dict:
+        return {name: self._columns[name][i] for name in self.schema.names}
+
+    def row_tuple(self, i: int, names: Optional[Sequence[str]] = None) -> tuple:
+        names = names if names is not None else self.schema.names
+        return tuple(self._columns[name][i] for name in names)
+
+    def iter_rows(self) -> Iterator[dict]:
+        names = self.schema.names
+        cols = [self._columns[name] for name in names]
+        for i in range(self._n):
+            yield {name: col[i] for name, col in zip(names, cols)}
+
+    def to_rows(self) -> List[tuple]:
+        names = self.schema.names
+        cols = [self._columns[name] for name in names]
+        return [tuple(col[i] for col in cols) for i in range(self._n)]
+
+    # ------------------------------------------------------------------
+    # Relational operations
+    # ------------------------------------------------------------------
+    def mask(self, predicate: Predicate) -> np.ndarray:
+        """Boolean selection mask for a predicate."""
+        self.schema.require(predicate.attributes)
+        return predicate.mask(self._columns, self._n)
+
+    def where_mask(self, mask: np.ndarray) -> "Relation":
+        return Relation(
+            self.schema,
+            {name: arr[mask] for name, arr in self._columns.items()},
+        )
+
+    def select(self, predicate: Predicate) -> "Relation":
+        return self.where_mask(self.mask(predicate))
+
+    def count(self, predicate: Predicate) -> int:
+        return int(self.mask(predicate).sum())
+
+    def take(self, indices: Sequence[int]) -> "Relation":
+        idx = np.asarray(indices, dtype=np.int64)
+        return Relation(
+            self.schema,
+            {name: arr[idx] for name, arr in self._columns.items()},
+        )
+
+    def project(self, names: Sequence[str]) -> "Relation":
+        sub = self.schema.project(names)
+        return Relation(sub, {n: self._columns[n] for n in names})
+
+    def distinct(self, names: Sequence[str]) -> List[tuple]:
+        """Distinct value combinations over the given columns."""
+        return sorted(self.group_counts(names).keys(), key=repr)
+
+    def group_counts(self, names: Sequence[str]) -> Dict[tuple, int]:
+        """Count rows per distinct combination of the given columns."""
+        self.schema.require(names)
+        counts: Dict[tuple, int] = {}
+        cols = [self._columns[name] for name in names]
+        for i in range(self._n):
+            key = tuple(col[i] for col in cols)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def group_indices(self, names: Sequence[str]) -> Dict[tuple, np.ndarray]:
+        """Row indices per distinct combination of the given columns."""
+        self.schema.require(names)
+        groups: Dict[tuple, list] = {}
+        cols = [self._columns[name] for name in names]
+        for i in range(self._n):
+            key = tuple(col[i] for col in cols)
+            groups.setdefault(key, []).append(i)
+        return {k: np.asarray(v, dtype=np.int64) for k, v in groups.items()}
+
+    def with_column(self, spec: ColumnSpec, values: Sequence[object]) -> "Relation":
+        """A copy of this relation with one extra column appended."""
+        if spec.name in self.schema:
+            raise SchemaError(f"column {spec.name!r} already exists")
+        if len(values) != self._n:
+            raise SchemaError(
+                f"column {spec.name!r} has {len(values)} values for "
+                f"{self._n} rows"
+            )
+        schema = self.schema.extend([spec])
+        columns = dict(self._columns)
+        columns[spec.name] = np.asarray(values, dtype=_storage_dtype(spec.dtype))
+        return Relation(schema, columns)
+
+    def drop_column(self, name: str) -> "Relation":
+        if name not in self.schema:
+            raise SchemaError(f"no column named {name!r}")
+        keep = [n for n in self.schema.names if n != name]
+        return self.project(keep)
+
+    def append_rows(self, rows: Iterable[Sequence[object]]) -> "Relation":
+        """A copy of this relation with extra row tuples appended."""
+        rows = list(rows)
+        if not rows:
+            return self
+        names = self.schema.names
+        columns = {}
+        for i, name in enumerate(names):
+            extra = np.asarray(
+                [row[i] for row in rows],
+                dtype=_storage_dtype(self.schema.dtype(name)),
+            )
+            columns[name] = np.concatenate([self._columns[name], extra])
+        return Relation(self.schema, columns)
+
+    def concat(self, other: "Relation") -> "Relation":
+        if other.schema.names != self.schema.names:
+            raise SchemaError("cannot concat relations with different schemas")
+        columns = {
+            name: np.concatenate([self._columns[name], other._columns[name]])
+            for name in self.schema.names
+        }
+        return Relation(self.schema, columns)
+
+    def copy(self) -> "Relation":
+        return Relation(
+            self.schema, {n: arr.copy() for n, arr in self._columns.items()}
+        )
+
+    # ------------------------------------------------------------------
+    # Key utilities
+    # ------------------------------------------------------------------
+    def key_index(self) -> Dict[object, int]:
+        """Map each key value to its row index (key column required)."""
+        if self.schema.key is None:
+            raise SchemaError("relation has no key column")
+        keys = self._columns[self.schema.key]
+        index: Dict[object, int] = {}
+        for i in range(self._n):
+            value = keys[i]
+            if value in index:
+                raise SchemaError(f"duplicate key value {value!r}")
+            index[value] = i
+        return index
+
+    def __repr__(self) -> str:
+        return f"Relation({self.schema!r}, n={self._n})"
+
+    def pretty(self, limit: int = 10) -> str:
+        """A small fixed-width rendering for examples and debugging."""
+        names = self.schema.names
+        rows = self.to_rows()[:limit]
+        widths = [
+            max(len(str(name)), *(len(str(r[i])) for r in rows)) if rows else len(str(name))
+            for i, name in enumerate(names)
+        ]
+        header = " | ".join(str(n).ljust(w) for n, w in zip(names, widths))
+        sep = "-+-".join("-" * w for w in widths)
+        body = [
+            " | ".join(str(v).ljust(w) for v, w in zip(row, widths)) for row in rows
+        ]
+        suffix = [] if self._n <= limit else [f"... ({self._n - limit} more rows)"]
+        return "\n".join([header, sep, *body, *suffix])

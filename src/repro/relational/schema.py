@@ -1,0 +1,113 @@
+"""Relation schemas: ordered, typed columns with an optional key.
+
+A :class:`Schema` pins down the column order, each column's
+:class:`~repro.relational.types.Dtype`, the primary-key column and (when
+known) per-column :class:`~repro.relational.types.Domain` objects.  Domains
+are optional everywhere except where the library genuinely needs them —
+converting open comparisons to closed intervals and enumerating unused
+combinations in Algorithm 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.errors import SchemaError
+from repro.relational.types import Domain, Dtype
+
+__all__ = ["ColumnSpec", "Schema"]
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One column: a name, a dtype and an optional domain."""
+
+    name: str
+    dtype: Dtype
+    domain: Optional[Domain] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("column name must be non-empty")
+        if self.domain is not None and self.domain.dtype is not self.dtype:
+            raise SchemaError(
+                f"column {self.name!r}: domain dtype {self.domain.dtype} "
+                f"does not match declared dtype {self.dtype}"
+            )
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of :class:`ColumnSpec` with an optional key."""
+
+    columns: tuple
+    key: Optional[str] = None
+
+    def __init__(
+        self, columns: Sequence[ColumnSpec], key: Optional[str] = None
+    ) -> None:
+        object.__setattr__(self, "columns", tuple(columns))
+        object.__setattr__(self, "key", key)
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in {names}")
+        if key is not None and key not in names:
+            raise SchemaError(f"key column {key!r} is not in the schema")
+
+    @property
+    def names(self) -> tuple:
+        return tuple(c.name for c in self.columns)
+
+    @property
+    def nonkey_names(self) -> tuple:
+        return tuple(c.name for c in self.columns if c.name != self.key)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.names
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def spec(self, name: str) -> ColumnSpec:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise SchemaError(f"no column named {name!r}")
+
+    def dtype(self, name: str) -> Dtype:
+        return self.spec(name).dtype
+
+    def domain(self, name: str) -> Optional[Domain]:
+        return self.spec(name).domain
+
+    def require(self, names: Iterable[str]) -> None:
+        missing = [n for n in names if n not in self]
+        if missing:
+            raise SchemaError(f"schema is missing columns {missing}")
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """A schema over a subset of columns (key kept if present)."""
+        self.require(names)
+        keep = [self.spec(n) for n in names]
+        key = self.key if self.key in names else None
+        return Schema(keep, key=key)
+
+    def extend(
+        self, columns: Sequence[ColumnSpec], key: Optional[str] = None
+    ) -> "Schema":
+        """A schema with extra columns appended."""
+        return Schema(tuple(self.columns) + tuple(columns), key=key or self.key)
+
+    def domains(self) -> Mapping[str, Optional[Domain]]:
+        return {c.name: c.domain for c in self.columns}
+
+    def __repr__(self) -> str:
+        cols = ", ".join(
+            f"{c.name}:{c.dtype.value}" + ("*" if c.name == self.key else "")
+            for c in self.columns
+        )
+        return f"Schema({cols})"

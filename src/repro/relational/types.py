@@ -1,0 +1,113 @@
+"""Column types and value domains for the columnar relational engine.
+
+The engine distinguishes two families of column types:
+
+* :attr:`Dtype.INT` — integer-valued columns (ages, counts, keys).  Selection
+  conditions on these columns are closed intervals.
+* :attr:`Dtype.STR` — categorical columns (relationship codes, area names).
+  Selection conditions on these columns are finite value sets.
+
+A :class:`Domain` records what values a column may take.  Domains matter in
+two places: converting comparison operators such as ``Age > 24`` into closed
+intervals, and enumerating "unused" value combinations for Algorithm 2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Sequence
+
+from repro.errors import SchemaError
+
+__all__ = ["Dtype", "Domain", "IntDomain", "CatDomain", "infer_dtype"]
+
+
+class Dtype(Enum):
+    """The storage type of a relation column."""
+
+    INT = "int"
+    STR = "str"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Dtype.{self.name}"
+
+
+@dataclass(frozen=True)
+class Domain:
+    """Base class for column domains."""
+
+    dtype: Dtype = field(init=False, default=Dtype.STR)
+
+    def contains(self, value: object) -> bool:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class IntDomain(Domain):
+    """An inclusive integer range ``[lo, hi]``.
+
+    ``lo``/``hi`` may be ``-inf``/``+inf`` for unbounded domains; concrete
+    census-style columns always use finite bounds (for instance age spans
+    ``[0, 114]`` in the paper's dataset).
+    """
+
+    lo: float = -math.inf
+    hi: float = math.inf
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dtype", Dtype.INT)
+        if self.lo > self.hi:
+            raise SchemaError(f"empty integer domain [{self.lo}, {self.hi}]")
+
+    def contains(self, value: object) -> bool:
+        if not isinstance(value, (int, float)):
+            return False
+        return self.lo <= value <= self.hi
+
+    @property
+    def is_finite(self) -> bool:
+        return math.isfinite(self.lo) and math.isfinite(self.hi)
+
+    def values(self) -> range:
+        """Enumerate the domain (finite domains only)."""
+        if not self.is_finite:
+            raise SchemaError("cannot enumerate an unbounded integer domain")
+        return range(int(self.lo), int(self.hi) + 1)
+
+
+@dataclass(frozen=True)
+class CatDomain(Domain):
+    """A finite set of categorical values."""
+
+    members: frozenset = frozenset()
+
+    def __init__(self, members: Iterable[object]) -> None:
+        object.__setattr__(self, "members", frozenset(members))
+        object.__setattr__(self, "dtype", Dtype.STR)
+        if not self.members:
+            raise SchemaError("empty categorical domain")
+
+    def contains(self, value: object) -> bool:
+        return value in self.members
+
+    def values(self) -> tuple:
+        return tuple(sorted(self.members, key=repr))
+
+
+def infer_dtype(values: Sequence[object]) -> Dtype:
+    """Infer the column dtype from sample values.
+
+    All-integer samples map to :attr:`Dtype.INT`; anything else is treated
+    as categorical.  Booleans are integers in Python, which conveniently
+    matches the paper's 0/1 ``Multi-ling`` flag.
+    """
+    import numpy as np
+
+    for value in values:
+        if isinstance(value, float):
+            return Dtype.STR
+        if not isinstance(value, (int, bool, np.integer)):
+            return Dtype.STR
+    return Dtype.INT

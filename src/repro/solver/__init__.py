@@ -1,0 +1,28 @@
+"""LP/ILP solving: model builder, native simplex + branch & bound, HiGHS."""
+
+from repro.solver.branch_bound import branch_and_bound
+from repro.solver.model import Constraint, Model, Variable
+from repro.solver.result import SolveResult, SolveStatus
+from repro.solver.scipy_backend import scipy_solve
+from repro.solver.simplex import simplex_solve
+
+__all__ = [
+    "Constraint",
+    "Model",
+    "SolveResult",
+    "SolveStatus",
+    "Variable",
+    "branch_and_bound",
+    "scipy_solve",
+    "simplex_solve",
+    "solve_model",
+]
+
+
+def solve_model(model: Model, backend: str = "scipy") -> SolveResult:
+    """Solve ``model`` with the chosen backend (``"scipy"`` or ``"native"``)."""
+    if backend == "scipy":
+        return scipy_solve(model)
+    if backend == "native":
+        return branch_and_bound(model)
+    raise ValueError(f"unknown solver backend {backend!r}")

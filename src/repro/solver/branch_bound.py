@@ -1,0 +1,104 @@
+"""Branch-and-bound integer solver on top of the native simplex.
+
+Depth-first branch and bound with best-objective pruning.  Branching picks
+the integer variable whose LP value is most fractional, then explores the
+``floor`` branch first (values in this library are counts; rounding down is
+usually feasible).  Intended for the test-scale problems; the scipy/HiGHS
+backend handles the benchmark-scale instances.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.solver.model import Model
+from repro.solver.result import SolveResult, SolveStatus
+from repro.solver.simplex import simplex_solve
+
+__all__ = ["branch_and_bound"]
+
+_INT_TOL = 1e-6
+
+
+def _most_fractional(
+    x: np.ndarray, integer_indices: Sequence[int]
+) -> Optional[int]:
+    best_index = None
+    best_score = _INT_TOL
+    for j in integer_indices:
+        frac = abs(x[j] - round(x[j]))
+        if frac > best_score:
+            best_score = frac
+            best_index = j
+    return best_index
+
+
+def branch_and_bound(
+    model: Model,
+    max_nodes: int = 20_000,
+    max_lp_iterations: int = 50_000,
+) -> SolveResult:
+    """Solve ``model`` to integer optimality with the native backend."""
+    a, b, senses, c, lower, upper = model.dense()
+    integer_indices = model.integer_indices
+
+    best: Optional[Tuple[float, np.ndarray]] = None
+    nodes = 0
+    total_iterations = 0
+
+    # Each stack entry carries per-variable bound overrides.
+    stack: List[Tuple[np.ndarray, np.ndarray]] = [(lower.copy(), upper.copy())]
+
+    while stack:
+        node_lower, node_upper = stack.pop()
+        nodes += 1
+        if nodes > max_nodes:
+            break
+        if np.any(node_lower > node_upper):
+            continue
+        relaxation = simplex_solve(
+            a, b, senses, c, node_lower, node_upper,
+            max_iterations=max_lp_iterations,
+        )
+        total_iterations += relaxation.iterations
+        if relaxation.status is SolveStatus.UNBOUNDED and not integer_indices:
+            return SolveResult(
+                SolveStatus.UNBOUNDED, iterations=total_iterations, nodes=nodes
+            )
+        if not relaxation.ok or relaxation.x is None:
+            continue
+        if best is not None and relaxation.objective >= best[0] - 1e-9:
+            continue  # bound: cannot improve the incumbent
+        branch_var = _most_fractional(relaxation.x, integer_indices)
+        if branch_var is None:
+            x = relaxation.x.copy()
+            for j in integer_indices:
+                x[j] = round(x[j])
+            objective = float(c @ x)
+            if best is None or objective < best[0]:
+                best = (objective, x)
+            continue
+        value = relaxation.x[branch_var]
+        down_upper = node_upper.copy()
+        down_upper[branch_var] = math.floor(value)
+        up_lower = node_lower.copy()
+        up_lower[branch_var] = math.ceil(value)
+        # LIFO: push the "up" branch first so "down" is explored first.
+        stack.append((up_lower, node_upper))
+        stack.append((node_lower, down_upper))
+
+    if best is None:
+        return SolveResult(
+            SolveStatus.INFEASIBLE, iterations=total_iterations, nodes=nodes
+        )
+    objective, x = best
+    return SolveResult(
+        SolveStatus.OPTIMAL,
+        x=x,
+        objective=objective,
+        iterations=total_iterations,
+        nodes=nodes,
+    )

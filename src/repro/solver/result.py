@@ -1,0 +1,44 @@
+"""Solver result types shared by all backends."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["SolveStatus", "SolveResult"]
+
+
+class SolveStatus(Enum):
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ITERATION_LIMIT = "iteration_limit"
+
+    @property
+    def ok(self) -> bool:
+        return self is SolveStatus.OPTIMAL
+
+
+@dataclass
+class SolveResult:
+    """The outcome of one LP/ILP solve."""
+
+    status: SolveStatus
+    x: Optional[np.ndarray] = None
+    objective: Optional[float] = None
+    iterations: int = 0
+    nodes: int = 0  # branch-and-bound nodes explored (ILP only)
+
+    @property
+    def ok(self) -> bool:
+        return self.status.ok
+
+    def __repr__(self) -> str:
+        obj = "None" if self.objective is None else f"{self.objective:.6g}"
+        return (
+            f"SolveResult({self.status.value}, objective={obj}, "
+            f"iterations={self.iterations}, nodes={self.nodes})"
+        )

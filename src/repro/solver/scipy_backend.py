@@ -1,0 +1,62 @@
+"""scipy/HiGHS backend for LPs and MILPs.
+
+The authors used PuLP's CBC; the closest widely available solver in this
+environment is HiGHS via :func:`scipy.optimize.milp`.  This module adapts a
+:class:`~repro.solver.model.Model` to that interface.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.solver.model import Model
+from repro.solver.result import SolveResult, SolveStatus
+
+__all__ = ["scipy_solve"]
+
+
+def scipy_solve(model: Model) -> SolveResult:
+    """Solve a model with :func:`scipy.optimize.milp` (HiGHS)."""
+    from scipy import optimize, sparse
+
+    a, b, senses, c, lower, upper = model.dense()
+    n = model.num_variables
+
+    constraints = []
+    if model.num_constraints:
+        lo = np.full(len(b), -np.inf)
+        hi = np.full(len(b), np.inf)
+        for i, sense in enumerate(senses):
+            if sense == "==":
+                lo[i] = hi[i] = b[i]
+            elif sense == "<=":
+                hi[i] = b[i]
+            else:
+                lo[i] = b[i]
+        constraints.append(
+            optimize.LinearConstraint(sparse.csr_matrix(a), lo, hi)
+        )
+
+    integrality = np.zeros(n)
+    for j in model.integer_indices:
+        integrality[j] = 1
+
+    result = optimize.milp(
+        c=c,
+        constraints=constraints,
+        integrality=integrality,
+        bounds=optimize.Bounds(lower, upper),
+    )
+
+    if result.status == 0 and result.x is not None:
+        x = np.asarray(result.x, dtype=np.float64)
+        for j in model.integer_indices:
+            x[j] = round(x[j])
+        return SolveResult(
+            SolveStatus.OPTIMAL, x=x, objective=float(c @ x), nodes=1
+        )
+    if result.status == 2:
+        return SolveResult(SolveStatus.INFEASIBLE)
+    if result.status == 3:
+        return SolveResult(SolveStatus.UNBOUNDED)
+    return SolveResult(SolveStatus.ITERATION_LIMIT)

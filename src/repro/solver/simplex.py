@@ -1,0 +1,208 @@
+"""A dense two-phase tableau simplex for linear programs.
+
+This is the LP engine behind the native branch-and-bound backend.  It
+solves ``min c·x`` subject to mixed ``<=``/``>=``/``==`` rows and variable
+bounds ``lower <= x <= upper``.
+
+Bounds handling: variables are shifted so lower bounds become zero; finite
+upper bounds become explicit ``<=`` rows.  That keeps the tableau logic a
+textbook two-phase simplex with Bland's anti-cycling rule.  It is O(m·n)
+per pivot on dense arrays — entirely adequate for the LP relaxations the
+library produces in native mode (tests and small Phase-I systems; larger
+instances use the scipy/HiGHS backend).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.solver.result import SolveResult, SolveStatus
+
+__all__ = ["simplex_solve"]
+
+_EPS = 1e-9
+
+
+def simplex_solve(
+    a: np.ndarray,
+    b: np.ndarray,
+    senses: Sequence[str],
+    c: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    max_iterations: int = 50_000,
+) -> SolveResult:
+    """Solve ``min c·x  s.t.  A x (senses) b,  lower <= x <= upper``."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    c = np.asarray(c, dtype=np.float64)
+    lower = np.asarray(lower, dtype=np.float64)
+    upper = np.asarray(upper, dtype=np.float64)
+    m, n = a.shape if a.size else (0, len(c))
+    if a.size == 0:
+        a = a.reshape(m, n)
+
+    if np.any(lower > upper + _EPS):
+        return SolveResult(SolveStatus.INFEASIBLE)
+
+    # Shift x = y + lower so y >= 0.
+    shift = np.where(np.isfinite(lower), lower, 0.0)
+    if np.any(~np.isfinite(lower)):
+        # Free variables are rare in this library; split them is overkill —
+        # shift by a large negative constant instead would be sloppy, so we
+        # simply reject them.
+        raise ValueError("simplex backend requires finite lower bounds")
+    b_shifted = b - a @ shift
+    upper_shifted = upper - shift
+
+    rows: List[np.ndarray] = [a[i].copy() for i in range(m)]
+    rhs: List[float] = list(b_shifted)
+    row_senses: List[str] = list(senses)
+
+    # Finite upper bounds become explicit rows.
+    for j in range(n):
+        if math.isfinite(upper_shifted[j]):
+            row = np.zeros(n)
+            row[j] = 1.0
+            rows.append(row)
+            rhs.append(upper_shifted[j])
+            row_senses.append("<=")
+
+    a_full = np.vstack(rows) if rows else np.zeros((0, n))
+    b_full = np.asarray(rhs, dtype=np.float64)
+    m_full = len(b_full)
+
+    # Normalise to b >= 0.
+    for i in range(m_full):
+        if b_full[i] < 0:
+            a_full[i] = -a_full[i]
+            b_full[i] = -b_full[i]
+            if row_senses[i] == "<=":
+                row_senses[i] = ">="
+            elif row_senses[i] == ">=":
+                row_senses[i] = "<="
+
+    # Standard form: slacks for <=, surplus+artificial for >=, artificial
+    # for ==.
+    slack_cols = sum(1 for s in row_senses if s == "<=")
+    surplus_cols = sum(1 for s in row_senses if s == ">=")
+    artificial_cols = sum(1 for s in row_senses if s in ("==", ">="))
+    total = n + slack_cols + surplus_cols + artificial_cols
+
+    tableau = np.zeros((m_full, total), dtype=np.float64)
+    tableau[:, :n] = a_full
+    basis = [-1] * m_full
+    artificial_indices: List[int] = []
+
+    slack_at = n
+    surplus_at = n + slack_cols
+    artificial_at = n + slack_cols + surplus_cols
+    for i, sense in enumerate(row_senses):
+        if sense == "<=":
+            tableau[i, slack_at] = 1.0
+            basis[i] = slack_at
+            slack_at += 1
+        elif sense == ">=":
+            tableau[i, surplus_at] = -1.0
+            surplus_at += 1
+            tableau[i, artificial_at] = 1.0
+            basis[i] = artificial_at
+            artificial_indices.append(artificial_at)
+            artificial_at += 1
+        else:  # ==
+            tableau[i, artificial_at] = 1.0
+            basis[i] = artificial_at
+            artificial_indices.append(artificial_at)
+            artificial_at += 1
+
+    rhs_col = b_full.copy()
+    iterations = 0
+
+    def pivot(tab: np.ndarray, rhs_vec: np.ndarray, row: int, col: int) -> None:
+        pivot_value = tab[row, col]
+        tab[row] /= pivot_value
+        rhs_vec[row] /= pivot_value
+        for r in range(len(rhs_vec)):
+            if r != row and abs(tab[r, col]) > _EPS:
+                factor = tab[r, col]
+                tab[r] -= factor * tab[row]
+                rhs_vec[r] -= factor * rhs_vec[row]
+        basis[row] = col
+
+    def run_phase(
+        cost: np.ndarray, allowed: int
+    ) -> Tuple[SolveStatus, float]:
+        """Minimise ``cost`` over the first ``allowed`` columns."""
+        nonlocal iterations
+        # Reduced-cost row relative to the current basis.
+        z = cost.copy()
+        obj = 0.0
+        for row, var in enumerate(basis):
+            if abs(cost[var]) > _EPS:
+                z -= cost[var] * tableau[row]
+                obj -= cost[var] * rhs_col[row]
+        while True:
+            iterations += 1
+            if iterations > max_iterations:
+                return SolveStatus.ITERATION_LIMIT, -obj
+            entering = -1
+            for j in range(allowed):  # Bland's rule: first negative
+                if z[j] < -_EPS:
+                    entering = j
+                    break
+            if entering < 0:
+                return SolveStatus.OPTIMAL, -obj
+            ratios = []
+            for i in range(m_full):
+                if tableau[i, entering] > _EPS:
+                    ratios.append((rhs_col[i] / tableau[i, entering], basis[i], i))
+            if not ratios:
+                return SolveStatus.UNBOUNDED, -obj
+            ratios.sort()  # smallest ratio; ties by basis index (Bland)
+            _, __, leaving_row = ratios[0]
+            factor = z[entering]
+            pivot(tableau, rhs_col, leaving_row, entering)
+            z -= factor * tableau[leaving_row]
+            obj -= factor * rhs_col[leaving_row]
+
+    # Phase 1: minimise the sum of artificial variables.
+    if artificial_indices:
+        phase1_cost = np.zeros(total)
+        for idx in artificial_indices:
+            phase1_cost[idx] = 1.0
+        status, value = run_phase(phase1_cost, total)
+        if status is not SolveStatus.OPTIMAL:
+            return SolveResult(status, iterations=iterations)
+        if value > 1e-7:
+            return SolveResult(SolveStatus.INFEASIBLE, iterations=iterations)
+        # Drive any artificial variable out of the basis when possible.
+        artificial_set = set(artificial_indices)
+        for row in range(m_full):
+            if basis[row] in artificial_set:
+                for j in range(n + slack_cols + surplus_cols):
+                    if abs(tableau[row, j]) > _EPS:
+                        pivot(tableau, rhs_col, row, j)
+                        break
+
+    # Phase 2: original objective over non-artificial columns.
+    phase2_cost = np.zeros(total)
+    phase2_cost[:n] = c
+    allowed = n + slack_cols + surplus_cols
+    artificial_set = set(artificial_indices)
+    # Rows still basic in an artificial variable are redundant; freeze them
+    # by leaving the artificial basic at value ~0 (phase 1 drove it to 0).
+    status, value = run_phase(phase2_cost, allowed)
+    if status is not SolveStatus.OPTIMAL:
+        return SolveResult(status, iterations=iterations)
+
+    y = np.zeros(total)
+    for row, var in enumerate(basis):
+        y[var] = rhs_col[row]
+    x = y[:n] + shift
+    objective = float(c @ x)
+    return SolveResult(
+        SolveStatus.OPTIMAL, x=x, objective=objective, iterations=iterations
+    )

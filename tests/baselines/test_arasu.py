@@ -1,0 +1,77 @@
+"""The Section-6 baselines."""
+
+import pytest
+
+from repro.baselines.arasu import baseline_solve
+
+
+class TestBaseline:
+    def test_completes_every_row(self, paper_r1, paper_r2, paper_ccs, paper_dcs):
+        result = baseline_solve(
+            paper_r1, paper_r2, fk_column="hid",
+            ccs=paper_ccs, dcs=paper_dcs,
+        )
+        assert len(result.r1_hat) == len(paper_r1)
+        assert set(result.r1_hat.column("hid")) <= set(paper_r2.column("hid"))
+
+    def test_never_adds_r2_tuples(self, paper_r1, paper_r2, paper_ccs):
+        result = baseline_solve(
+            paper_r1, paper_r2, fk_column="hid", ccs=paper_ccs
+        )
+        assert result.r2_hat is paper_r2
+
+    def test_marginals_variant_fills_all_rows_via_ilp(
+        self, paper_r1, paper_r2, paper_ccs
+    ):
+        result = baseline_solve(
+            paper_r1, paper_r2, fk_column="hid", ccs=paper_ccs,
+            with_marginals=True,
+        )
+        # the ILP with marginal rows accounts for every tuple
+        assert result.randomly_filled_rows == 0
+        assert result.errors.mean_cc_error == 0.0
+
+    def test_deterministic_under_seed(self, paper_r1, paper_r2, paper_ccs):
+        a = baseline_solve(
+            paper_r1, paper_r2, fk_column="hid", ccs=paper_ccs, seed=5
+        )
+        b = baseline_solve(
+            paper_r1, paper_r2, fk_column="hid", ccs=paper_ccs, seed=5
+        )
+        assert list(a.r1_hat.column("hid")) == list(b.r1_hat.column("hid"))
+
+    def test_errors_optional(self, paper_r1, paper_r2, paper_ccs):
+        result = baseline_solve(
+            paper_r1, paper_r2, fk_column="hid", ccs=paper_ccs,
+            compute_errors=False,
+        )
+        assert result.errors is None
+
+    def test_dc_error_appears_on_census(self, census_small, census_good_ccs):
+        """Random FK assignment violates DCs (the paper's key comparison)."""
+        from repro.datagen import all_dcs
+
+        result = baseline_solve(
+            census_small.persons_masked,
+            census_small.housing,
+            fk_column="hid",
+            ccs=census_good_ccs,
+            dcs=all_dcs(),
+        )
+        assert result.errors.dc_error > 0.0
+
+    def test_fk_column_in_input_tolerated(self, paper_r2, paper_ccs):
+        from repro.relational.relation import Relation
+
+        r1_with_fk = Relation.from_columns(
+            {
+                "pid": [1, 2],
+                "Age": [30, 40],
+                "Rel": ["Owner", "Owner"],
+                "Multi": [0, 1],
+                "hid": [9, 9],
+            },
+            key="pid",
+        )
+        result = baseline_solve(r1_with_fk, paper_r2, fk_column="hid")
+        assert set(result.r1_hat.column("hid")) <= set(paper_r2.column("hid"))

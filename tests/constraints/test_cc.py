@@ -1,0 +1,55 @@
+"""CardinalityConstraint basics."""
+
+import pytest
+
+from repro.constraints.cc import CardinalityConstraint, validate_cc_set
+from repro.errors import ConstraintError
+from repro.relational.predicate import Interval, Predicate, ValueSet
+
+
+@pytest.fixture
+def cc():
+    return CardinalityConstraint(
+        Predicate(
+            {
+                "Age": Interval(0, 24),
+                "Rel": ValueSet(["Owner"]),
+                "Area": ValueSet(["Chicago"]),
+            }
+        ),
+        target=4,
+        name="cc_test",
+    )
+
+
+class TestCardinalityConstraint:
+    def test_negative_target_rejected(self):
+        with pytest.raises(ConstraintError):
+            CardinalityConstraint(Predicate({}), -1)
+
+    def test_r1_r2_split(self, cc):
+        r1_attrs, r2_attrs = {"Age", "Rel"}, {"Area"}
+        assert cc.r1_part(r1_attrs).attributes == frozenset({"Age", "Rel"})
+        assert cc.r2_part(r2_attrs).attributes == frozenset({"Area"})
+
+    def test_validate_attrs(self, cc):
+        cc.validate_attrs({"Age", "Rel"}, {"Area"})
+        with pytest.raises(ConstraintError):
+            cc.validate_attrs({"Age"}, {"Area"})
+
+    def test_validate_cc_set(self, cc):
+        validate_cc_set([cc], {"Age", "Rel"}, {"Area"})
+        with pytest.raises(ConstraintError):
+            validate_cc_set([cc], {"Age"}, set())
+
+    def test_matches_row(self, cc):
+        assert cc.matches_row({"Age": 20, "Rel": "Owner", "Area": "Chicago"})
+        assert not cc.matches_row({"Age": 30, "Rel": "Owner", "Area": "Chicago"})
+
+    def test_with_target(self, cc):
+        assert cc.with_target(9).target == 9
+        assert cc.with_target(9).predicate == cc.predicate
+
+    def test_name_not_part_of_equality(self, cc):
+        clone = CardinalityConstraint(cc.predicate, cc.target, name="other")
+        assert clone == cc

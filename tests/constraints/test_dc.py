@@ -1,0 +1,122 @@
+"""Denial constraints: atoms, evaluation, violation counting."""
+
+import pytest
+
+from repro.constraints.dc import (
+    BinaryAtom,
+    DenialConstraint,
+    UnaryAtom,
+    count_violating_tuples,
+)
+from repro.errors import ConstraintError
+
+
+@pytest.fixture
+def dc_two_owners():
+    return DenialConstraint(
+        [UnaryAtom(0, "Rel", "==", "Owner"), UnaryAtom(1, "Rel", "==", "Owner")]
+    )
+
+
+@pytest.fixture
+def dc_spouse_age():
+    # ¬(t1=Owner ∧ t2=Spouse ∧ t2.Age < t1.Age - 50 ∧ same FK)
+    return DenialConstraint(
+        [
+            UnaryAtom(0, "Rel", "==", "Owner"),
+            UnaryAtom(1, "Rel", "==", "Spouse"),
+            BinaryAtom(1, "Age", "<", 0, "Age", -50),
+        ]
+    )
+
+
+class TestAtoms:
+    def test_unary_unknown_op_rejected(self):
+        with pytest.raises(ConstraintError):
+            UnaryAtom(0, "Age", "~~", 5)
+
+    def test_unary_in_operator(self):
+        atom = UnaryAtom(0, "Rel", "in", ["a", "b"])
+        assert atom.holds({"Rel": "a"})
+        assert not atom.holds({"Rel": "c"})
+
+    def test_binary_offset(self):
+        atom = BinaryAtom(1, "Age", "<", 0, "Age", -50)
+        assert atom.holds({"Age": 10}, {"Age": 75})  # 10 < 25
+        assert not atom.holds({"Age": 30}, {"Age": 75})
+
+    def test_negative_var_rejected(self):
+        with pytest.raises(ConstraintError):
+            UnaryAtom(-1, "Age", "==", 5)
+
+    def test_reprs_are_one_indexed(self, dc_spouse_age):
+        text = repr(dc_spouse_age)
+        assert "t1.Rel" in text and "t2.Age" in text and "t1.FK = t2.FK" in text
+
+
+class TestDenialConstraint:
+    def test_arity_inferred(self, dc_spouse_age):
+        assert dc_spouse_age.arity == 2
+
+    def test_arity_must_be_at_least_two(self):
+        with pytest.raises(ConstraintError):
+            DenialConstraint([UnaryAtom(0, "Age", "==", 5)])
+
+    def test_unknown_atom_type_rejected(self):
+        with pytest.raises(ConstraintError):
+            DenialConstraint(["not an atom", UnaryAtom(1, "A", "==", 1)])
+
+    def test_structure_accessors(self, dc_spouse_age):
+        assert len(dc_spouse_age.unary_atoms(0)) == 1
+        assert len(dc_spouse_age.unary_atoms(1)) == 1
+        assert len(dc_spouse_age.binary_atoms) == 1
+        assert dc_spouse_age.attributes == frozenset({"Rel", "Age"})
+
+    def test_violates_symmetric(self, dc_two_owners):
+        owners = [{"Rel": "Owner"}, {"Rel": "Owner"}]
+        assert dc_two_owners.violates(owners)
+        assert not dc_two_owners.violates([{"Rel": "Owner"}, {"Rel": "Child"}])
+
+    def test_violates_tries_both_orderings(self, dc_spouse_age):
+        owner, spouse = {"Rel": "Owner", "Age": 75}, {"Rel": "Spouse", "Age": 10}
+        # violation detected regardless of the order tuples are given in
+        assert dc_spouse_age.violates([owner, spouse])
+        assert dc_spouse_age.violates([spouse, owner])
+        ok_spouse = {"Rel": "Spouse", "Age": 30}
+        assert not dc_spouse_age.violates([owner, ok_spouse])
+
+    def test_wrong_tuple_count(self, dc_two_owners):
+        assert not dc_two_owners.violates([{"Rel": "Owner"}])
+
+    def test_satisfied_by_assignment_strict_arity(self, dc_two_owners):
+        with pytest.raises(ConstraintError):
+            dc_two_owners.satisfied_by_assignment([{"Rel": "Owner"}])
+
+    def test_ternary_dc(self):
+        dc = DenialConstraint(
+            [
+                BinaryAtom(0, "Cls", "==", 1, "Cls"),
+                BinaryAtom(1, "Cls", "==", 2, "Cls"),
+            ],
+            arity=3,
+        )
+        same = [{"Cls": "C1"}] * 3
+        mixed = [{"Cls": "C1"}, {"Cls": "C1"}, {"Cls": "C2"}]
+        assert dc.violates(same)
+        assert not dc.violates(mixed)
+
+
+class TestCountViolatingTuples:
+    def test_paper_example(self, dc_two_owners):
+        """Section 6.1: first two Persons tuples sharing hid=2 → error 2/9."""
+        rows = [{"Rel": "Owner"}] * 2 + [{"Rel": "Child"}] * 7
+        fks = [2, 2] + [i + 10 for i in range(7)]
+        assert count_violating_tuples(rows, fks, [dc_two_owners]) == 2
+
+    def test_no_violations(self, dc_two_owners):
+        rows = [{"Rel": "Owner"}, {"Rel": "Owner"}]
+        assert count_violating_tuples(rows, [1, 2], [dc_two_owners]) == 0
+
+    def test_triangle_counts_each_tuple_once(self, dc_two_owners):
+        rows = [{"Rel": "Owner"}] * 3
+        assert count_violating_tuples(rows, [5, 5, 5], [dc_two_owners]) == 3

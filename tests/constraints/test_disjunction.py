@@ -1,0 +1,141 @@
+"""Disjunctive CC conditions (the extension Section 2 hints at)."""
+
+import pytest
+
+from repro import CExtensionSolver, Relation
+from repro.constraints import (
+    CCRelationship,
+    CardinalityConstraint,
+    classify_pair,
+    parse_cc,
+    parse_dnf,
+)
+from repro.errors import ConstraintError
+from repro.relational.predicate import Interval, Predicate, ValueSet
+
+
+def _dnf_cc(target=5):
+    return parse_cc(
+        "|Age in [0, 10] & Area == 'X' or Age in [60, 99] & Area == 'Y'|"
+        f" = {target}"
+    )
+
+
+class TestConstruction:
+    def test_parse_dnf(self):
+        disjuncts = parse_dnf("Age in [0, 10] or Age in [60, 99]")
+        assert len(disjuncts) == 2
+        assert disjuncts[0].condition("Age") == Interval(0, 10)
+
+    def test_parse_cc_disjunctive(self):
+        cc = _dnf_cc()
+        assert not cc.is_conjunctive
+        assert len(cc.disjuncts) == 2
+        assert cc.target == 5
+
+    def test_single_disjunct_stays_conjunctive(self):
+        cc = parse_cc("|Age in [0, 10] & Area == 'X'| = 3")
+        assert cc.is_conjunctive
+        assert cc.predicate.attributes == frozenset({"Age", "Area"})
+
+    def test_predicate_accessor_guards_dnf(self):
+        with pytest.raises(ConstraintError):
+            _dnf_cc().predicate
+
+    def test_empty_disjunct_list_rejected(self):
+        with pytest.raises(ConstraintError):
+            CardinalityConstraint([], 1)
+
+    def test_attributes_union(self):
+        assert _dnf_cc().attributes == frozenset({"Age", "Area"})
+
+
+class TestEvaluation:
+    def test_matches_row_is_or(self):
+        cc = _dnf_cc()
+        assert cc.matches_row({"Age": 5, "Area": "X"})
+        assert cc.matches_row({"Age": 70, "Area": "Y"})
+        assert not cc.matches_row({"Age": 5, "Area": "Y"})
+        assert not cc.matches_row({"Age": 30, "Area": "X"})
+
+    def test_count_in(self):
+        view = Relation.from_columns(
+            {"Age": [5, 70, 30, 8], "Area": ["X", "Y", "X", "Y"]}
+        )
+        assert _dnf_cc().count_in(view) == 2
+
+    def test_split_disjuncts(self):
+        cc = _dnf_cc()
+        splits = cc.split_disjuncts({"Age"}, {"Area"})
+        assert len(splits) == 2
+        for r1_part, r2_part in splits:
+            assert r1_part.attributes == frozenset({"Age"})
+            assert r2_part.attributes == frozenset({"Area"})
+
+
+class TestClassification:
+    def test_dnf_pairs_default_to_intersecting(self):
+        a = _dnf_cc()
+        b = parse_cc("|Age in [0, 10] & Area == 'X'| = 2")
+        rel = classify_pair(a, b, {"Age"}, {"Area"})
+        assert rel is CCRelationship.INTERSECTING
+
+    def test_dnf_disjoint_detected(self):
+        a = _dnf_cc()
+        b = parse_cc("|Age in [20, 40] & Area == 'X'| = 2")
+        rel = classify_pair(a, b, {"Age"}, {"Area"})
+        assert rel is CCRelationship.DISJOINT
+
+    def test_equal_dnf(self):
+        assert classify_pair(
+            _dnf_cc(), _dnf_cc(), {"Age"}, {"Area"}
+        ) is CCRelationship.EQUAL
+
+
+class TestEndToEnd:
+    @pytest.fixture
+    def instance(self):
+        r1 = Relation.from_columns(
+            {
+                "pid": list(range(12)),
+                "Age": [5, 6, 7, 8, 40, 41, 42, 43, 70, 71, 72, 73],
+            },
+            key="pid",
+        )
+        r2 = Relation.from_columns(
+            {"hid": [1, 2, 3, 4], "Area": ["X", "X", "Y", "Y"]}, key="hid"
+        )
+        return r1, r2
+
+    def test_dnf_cc_satisfied_exactly(self, instance):
+        r1, r2 = instance
+        cc = _dnf_cc(6)
+        result = CExtensionSolver().solve(r1, r2, fk_column="hid", ccs=[cc])
+        assert result.report.errors.per_cc == [0.0]
+
+    def test_dnf_routed_to_ilp(self, instance):
+        r1, r2 = instance
+        cc = _dnf_cc(6)
+        result = CExtensionSolver().solve(r1, r2, fk_column="hid", ccs=[cc])
+        assert result.phase1.s2_indices == [0]
+        assert result.phase1.s1_indices == []
+
+    def test_mix_of_dnf_and_conjunctive(self, instance):
+        r1, r2 = instance
+        ccs = [
+            _dnf_cc(6),
+            parse_cc("|Age in [40, 43] & Area == 'X'| = 2"),
+        ]
+        result = CExtensionSolver().solve(r1, r2, fk_column="hid", ccs=ccs)
+        assert result.report.errors.per_cc == [0.0, 0.0]
+
+    def test_dnf_with_dcs(self, instance):
+        from repro.constraints import parse_dc
+        from repro.core.metrics import dc_error
+
+        r1, r2 = instance
+        dcs = [parse_dc("not(t1.Age < 10 & t2.Age < 10)")]
+        result = CExtensionSolver().solve(
+            r1, r2, fk_column="hid", ccs=[_dnf_cc(6)], dcs=dcs
+        )
+        assert dc_error(result.r1_hat, "hid", dcs) == 0.0

@@ -1,0 +1,99 @@
+"""Hasse diagram construction over CC containment (Figure 6)."""
+
+import pytest
+
+from repro.constraints.hasse import HasseForest
+from repro.constraints.parser import parse_cc
+from repro.constraints.relationships import RelationshipTable
+from repro.errors import ConstraintError
+
+R1_ATTRS = {"Age", "Rel", "Multi"}
+R2_ATTRS = {"Area", "Tenure"}
+
+
+def _forest(texts):
+    ccs = [parse_cc(t) for t in texts]
+    table = RelationshipTable.build(ccs, R1_ATTRS, R2_ATTRS)
+    return HasseForest.build(table, range(len(ccs)))
+
+
+class TestFigure6:
+    """CC1, CC2 singletons; CC3 ⊇ CC4 — three diagrams, one edge."""
+
+    def setup_method(self):
+        self.forest = _forest(
+            [
+                "|Age in [10, 14] & Area == 'Chicago'| = 20",
+                "|Age in [50, 60] & Multi == 0 & Area == 'NYC'| = 25",
+                "|Age in [13, 64] & Area == 'Chicago'| = 100",
+                "|Age in [18, 24] & Multi == 0 & Area == 'Chicago'| = 16",
+            ]
+        )
+
+    def test_three_diagrams(self):
+        assert len(self.forest.diagrams) == 3
+        assert self.forest.node_count == 4
+        assert self.forest.edge_count == 1
+
+    def test_edge_direction(self):
+        diagram = next(d for d in self.forest.diagrams if len(d.nodes) == 2)
+        assert diagram.edges == [(2, 3)]  # CC3 covers CC4
+        assert diagram.maximal_element() == 2
+
+    def test_subdiagram(self):
+        diagram = next(d for d in self.forest.diagrams if len(d.nodes) == 2)
+        sub = diagram.subdiagram(3)
+        assert sub.nodes == [3]
+        assert sub.maximal_element() == 3
+
+
+class TestCoveringRelation:
+    def test_transitive_edge_removed(self):
+        """A ⊇ B ⊇ C must not create a direct A→C edge."""
+        forest = _forest(
+            [
+                "|Age in [0, 50] & Area == 'Chicago'| = 50",
+                "|Age in [10, 30] & Area == 'Chicago'| = 20",
+                "|Age in [12, 20] & Area == 'Chicago'| = 5",
+            ]
+        )
+        (diagram,) = forest.diagrams
+        assert sorted(diagram.edges) == [(0, 1), (1, 2)]
+        assert diagram.maximal_element() == 0
+
+    def test_two_children_one_parent(self):
+        forest = _forest(
+            [
+                "|Age in [0, 50] & Area == 'Chicago'| = 50",
+                "|Age in [0, 10] & Area == 'Chicago'| = 20",
+                "|Age in [20, 30] & Area == 'Chicago'| = 5",
+            ]
+        )
+        (diagram,) = forest.diagrams
+        assert sorted(diagram.edges) == [(0, 1), (0, 2)]
+
+    def test_all_disjoint_gives_singletons(self):
+        forest = _forest(
+            [
+                "|Age in [0, 9] & Area == 'Chicago'| = 1",
+                "|Age in [10, 19] & Area == 'Chicago'| = 2",
+                "|Age in [20, 29] & Area == 'Chicago'| = 3",
+            ]
+        )
+        assert len(forest.diagrams) == 3
+        assert forest.edge_count == 0
+
+    def test_multiple_maximal_elements_raise(self):
+        forest = _forest(
+            [
+                "|Age in [0, 9] & Area == 'Chicago'| = 1",
+                "|Age in [10, 19] & Area == 'Chicago'| = 2",
+            ]
+        )
+        diagram = forest.diagrams[0]
+        assert diagram.maximal_element() in (0, 1)
+        merged = type(diagram)(
+            nodes=[0, 1], children={0: [], 1: []}, parents={0: [], 1: []}
+        )
+        with pytest.raises(ConstraintError):
+            merged.maximal_element()

@@ -1,0 +1,93 @@
+"""Property-based tests on Hasse forest structure."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints.cc import CardinalityConstraint
+from repro.constraints.hasse import HasseForest
+from repro.constraints.relationships import CCRelationship, RelationshipTable
+from repro.relational.predicate import Interval, Predicate, ValueSet
+
+R1_ATTRS = {"Age"}
+R2_ATTRS = {"Area"}
+
+
+@st.composite
+def _nested_ccs(draw):
+    """Random interval CCs over one area — only containment/disjoint/
+    intersecting relationships arise; the forest is built on the
+    non-intersecting subset, as the hybrid does."""
+    n = draw(st.integers(1, 8))
+    ccs = []
+    for k in range(n):
+        lo = draw(st.integers(0, 60))
+        hi = draw(st.integers(lo, 99))
+        ccs.append(
+            CardinalityConstraint(
+                Predicate(
+                    {"Age": Interval(lo, hi), "Area": ValueSet(["X"])}
+                ),
+                target=k,  # distinct targets keep equal predicates apart
+            )
+        )
+    return ccs
+
+
+def _non_intersecting_subset(table):
+    return [
+        i
+        for i in range(len(table.ccs))
+        if i not in table.intersecting_indices
+    ]
+
+
+class TestForestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(ccs=_nested_ccs())
+    def test_nodes_partition_into_diagrams(self, ccs):
+        table = RelationshipTable.build(ccs, R1_ATTRS, R2_ATTRS)
+        indices = _non_intersecting_subset(table)
+        forest = HasseForest.build(table, indices)
+        seen = [n for d in forest.diagrams for n in d.nodes]
+        assert sorted(seen) == sorted(indices)
+
+    @settings(max_examples=50, deadline=None)
+    @given(ccs=_nested_ccs())
+    def test_edges_respect_containment(self, ccs):
+        table = RelationshipTable.build(ccs, R1_ATTRS, R2_ATTRS)
+        indices = _non_intersecting_subset(table)
+        forest = HasseForest.build(table, indices)
+        for diagram in forest.diagrams:
+            for parent, child in diagram.edges:
+                assert (
+                    table.relationship(child, parent)
+                    is CCRelationship.CONTAINED_IN
+                )
+
+    @settings(max_examples=50, deadline=None)
+    @given(ccs=_nested_ccs())
+    def test_covering_relation_has_no_shortcuts(self, ccs):
+        """No edge may skip over an intermediate element."""
+        table = RelationshipTable.build(ccs, R1_ATTRS, R2_ATTRS)
+        indices = _non_intersecting_subset(table)
+        forest = HasseForest.build(table, indices)
+        for diagram in forest.diagrams:
+            for parent, child in diagram.edges:
+                for k in diagram.nodes:
+                    if k in (parent, child):
+                        continue
+                    between = (
+                        table.relationship(child, k)
+                        is CCRelationship.CONTAINED_IN
+                        and table.relationship(k, parent)
+                        is CCRelationship.CONTAINED_IN
+                    )
+                    assert not between, (parent, k, child)
+
+    @settings(max_examples=50, deadline=None)
+    @given(ccs=_nested_ccs())
+    def test_each_diagram_has_a_maximal_element(self, ccs):
+        table = RelationshipTable.build(ccs, R1_ATTRS, R2_ATTRS)
+        indices = _non_intersecting_subset(table)
+        forest = HasseForest.build(table, indices)
+        for diagram in forest.diagrams:
+            assert diagram.maximal_elements()

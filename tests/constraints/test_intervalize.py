@@ -1,0 +1,115 @@
+"""Intervalization and binning (Section 4.1, Example 4.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.constraints.intervalize import build_binning
+from repro.constraints.parser import parse_cc, parse_predicate
+from repro.relational.predicate import Interval
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def example_4_1():
+    """Figure 1's relation and CC3's Age <= 24 cut."""
+    r1 = Relation.from_columns(
+        {
+            "pid": [1, 2, 3, 4, 5, 6, 7, 8, 9],
+            "Age": [75, 75, 25, 25, 24, 10, 10, 30, 30],
+            "Rel": ["Owner"] * 4 + ["Spouse", "Child", "Child", "Owner", "Owner"],
+            "Multi": [0, 1, 0, 1, 0, 1, 1, 0, 1],
+        },
+        key="pid",
+    )
+    ccs = [
+        parse_cc("|Rel == 'Owner' & Area == 'Chicago'| = 4"),
+        parse_cc("|Age <= 24 & Area == 'Chicago'| = 3"),
+    ]
+    return r1, ccs
+
+
+class TestBuildBinning:
+    def test_age_split_at_25(self, example_4_1):
+        """Example 4.1: Age splits into [., 24] and [25, .]."""
+        r1, ccs = example_4_1
+        binning = build_binning(r1, ["Age", "Rel", "Multi"], ccs)
+        intervals = binning.intervals("Age")
+        assert len(intervals) == 2
+        assert intervals[0].hi == 24
+        assert intervals[1].lo == 25
+
+    def test_categorical_attrs_not_intervalized(self, example_4_1):
+        r1, ccs = example_4_1
+        binning = build_binning(r1, ["Age", "Rel", "Multi"], ccs)
+        assert not binning.is_numeric("Rel")
+        assert binning.is_numeric("Age")
+        # No CC cuts Multi-ling, so it stays at raw-value granularity
+        # (Example 4.1 lists Multi-ling 0 and 1 as separate tuple types).
+        assert not binning.is_numeric("Multi")
+
+    def test_bin_counts_partition_r1(self, example_4_1):
+        r1, ccs = example_4_1
+        binning = build_binning(r1, ["Age", "Rel", "Multi"], ccs)
+        counts = binning.bin_counts(r1)
+        assert sum(counts.values()) == len(r1)
+
+    def test_example_4_1_bin_count(self, example_4_1):
+        """Example 4.1 tracks exactly the distinct binned tuple types."""
+        r1, ccs = example_4_1
+        binning = build_binning(r1, ["Age", "Rel", "Multi"], ccs)
+        counts = binning.bin_counts(r1)
+        # (25-114, Owner, 0) x2+... Example 4.1 lists 4 types but Multi-ling
+        # binning keeps 0/1 separate for spouse/child rows too.
+        predicate = parse_predicate("Age >= 25 & Rel == 'Owner' & Multi == 0")
+        matching = [
+            key for key in counts if binning.bin_matches(key, predicate)
+        ]
+        assert len(matching) == 1
+        assert counts[matching[0]] == 3  # pids 1, 3 and 8 (ages 75, 25, 30)
+
+    def test_bin_members_track_indices(self, example_4_1):
+        r1, ccs = example_4_1
+        binning = build_binning(r1, ["Age", "Rel", "Multi"], ccs)
+        members = binning.bin_members(r1)
+        total = sorted(i for rows in members.values() for i in rows)
+        assert total == list(range(9))
+
+    def test_bin_members_with_subset(self, example_4_1):
+        r1, ccs = example_4_1
+        binning = build_binning(r1, ["Age", "Rel", "Multi"], ccs)
+        members = binning.bin_members(r1, np.asarray([0, 1, 2]))
+        assert sorted(i for rows in members.values() for i in rows) == [0, 1, 2]
+
+    def test_bin_predicate_round_trip(self, example_4_1):
+        r1, ccs = example_4_1
+        binning = build_binning(r1, ["Age", "Rel", "Multi"], ccs)
+        members = binning.bin_members(r1)
+        for key, rows in members.items():
+            predicate = binning.bin_predicate(key)
+            for row_index in rows:
+                assert predicate.matches_row(r1.row(row_index))
+
+
+class TestBinMatchesExactness:
+    @given(
+        ages=st.lists(st.integers(0, 99), min_size=1, max_size=30),
+        lo=st.integers(0, 99),
+        width=st.integers(0, 40),
+    )
+    def test_bins_never_straddle_cc_endpoints(self, ages, lo, width):
+        """Every bin is wholly inside or outside each CC interval."""
+        hi = min(99, lo + width)
+        r1 = Relation.from_columns(
+            {"pid": list(range(len(ages))), "Age": ages}, key="pid"
+        )
+        cc = parse_cc(f"|Age in [{lo}, {hi}] & Area == 'x'| = 0")
+        binning = build_binning(r1, ["Age"], [cc])
+        members = binning.bin_members(r1)
+        condition = Interval(lo, hi)
+        for key, rows in members.items():
+            inside = [condition.matches(ages[i]) for i in rows]
+            assert all(inside) or not any(inside)
+            # And bin_matches agrees with the row-level evaluation.
+            predicate = cc.r1_part({"Age"})
+            assert binning.bin_matches(key, predicate) == all(inside)

@@ -1,0 +1,54 @@
+"""Marginal augmentation helpers."""
+
+from repro.constraints.intervalize import build_binning
+from repro.constraints.marginals import marginal_constraints, relevant_bins
+from repro.constraints.parser import parse_cc
+from repro.relational.relation import Relation
+
+
+def _setup():
+    r1 = Relation.from_columns(
+        {
+            "pid": [1, 2, 3, 4],
+            "Age": [10, 20, 30, 40],
+            "Rel": ["Owner", "Owner", "Child", "Child"],
+        },
+        key="pid",
+    )
+    ccs = [parse_cc("|Age in [0, 19] & Rel == 'Owner' & Area == 'x'| = 1")]
+    binning = build_binning(r1, ["Age", "Rel"], ccs)
+    return r1, ccs, binning
+
+
+def test_marginal_constraints_cover_all_rows():
+    r1, ccs, binning = _setup()
+    counts = binning.bin_counts(r1)
+    marginals = marginal_constraints(binning, counts)
+    assert sum(m.target for m in marginals) == len(r1)
+    # Each marginal predicate matches exactly its bin's rows.
+    for marginal in marginals:
+        assert r1.count(marginal.predicate.restrict(["Age", "Rel"])) == marginal.target
+
+
+def test_marginal_names_are_stable():
+    r1, ccs, binning = _setup()
+    counts = binning.bin_counts(r1)
+    names = [m.name for m in marginal_constraints(binning, counts)]
+    assert all(n.startswith("marginal:") for n in names)
+    assert names == sorted(names, key=str)
+
+
+def test_relevant_bins_limits_scope():
+    r1, ccs, binning = _setup()
+    counts = binning.bin_counts(r1)
+    relevant = relevant_bins(binning, counts.keys(), ccs, {"Age", "Rel"})
+    # only the (Age<=19, Owner) bin can contribute to the CC
+    assert len(relevant) == 1
+    for key in relevant:
+        assert binning.bin_matches(key, ccs[0].r1_part({"Age", "Rel"}))
+
+
+def test_relevant_bins_empty_for_no_ccs():
+    r1, ccs, binning = _setup()
+    counts = binning.bin_counts(r1)
+    assert relevant_bins(binning, counts.keys(), [], {"Age", "Rel"}) == set()

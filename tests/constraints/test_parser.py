@@ -1,0 +1,135 @@
+"""The constraint DSL parser."""
+
+import pytest
+
+from repro.constraints.dc import BinaryAtom, UnaryAtom
+from repro.constraints.parser import parse_cc, parse_dc, parse_predicate
+from repro.errors import ParseError
+from repro.relational.predicate import Interval, ValueSet
+from repro.relational.types import CatDomain, IntDomain
+
+
+class TestParsePredicate:
+    def test_simple_equality(self):
+        p = parse_predicate("Rel == 'Owner'")
+        assert p.condition("Rel") == ValueSet(["Owner"])
+
+    def test_bareword_value(self):
+        p = parse_predicate("Rel == Owner")
+        assert p.condition("Rel") == ValueSet(["Owner"])
+
+    def test_multiword_bareword_value(self):
+        p = parse_predicate("Rel == Biological child")
+        assert p.condition("Rel") == ValueSet(["Biological child"])
+
+    def test_interval_syntax(self):
+        p = parse_predicate("Age in [10, 14]")
+        assert p.condition("Age") == Interval(10, 14)
+
+    def test_comparison_with_domain(self):
+        p = parse_predicate("Age > 24", domains={"Age": IntDomain(0, 114)})
+        assert p.condition("Age") == Interval(25, 114)
+
+    def test_conjunction(self):
+        p = parse_predicate("Age <= 24 & Rel == 'Owner' & Multi == 1")
+        assert p.attributes == frozenset({"Age", "Rel", "Multi"})
+
+    def test_repeated_attribute_intersects(self):
+        p = parse_predicate("Age >= 10 & Age <= 20")
+        assert p.condition("Age") == Interval(10, 20)
+
+    def test_contradiction_rejected(self):
+        with pytest.raises(ParseError):
+            parse_predicate("Age <= 10 & Age >= 20")
+
+    def test_not_equal_with_domain(self):
+        p = parse_predicate(
+            "Rel != 'Owner'", domains={"Rel": CatDomain(["Owner", "Child"])}
+        )
+        assert p.condition("Rel") == ValueSet(["Child"])
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_predicate("&& ==")
+
+    def test_missing_value_rejected(self):
+        with pytest.raises(ParseError):
+            parse_predicate("Age ==")
+
+
+class TestParseCc:
+    def test_basic(self):
+        cc = parse_cc("|Rel == 'Owner' & Area == 'Chicago'| = 4")
+        assert cc.target == 4
+        assert cc.predicate.attributes == frozenset({"Rel", "Area"})
+
+    def test_double_equals_accepted(self):
+        assert parse_cc("|Age in [0, 5]| == 7").target == 7
+
+    def test_name_attached(self):
+        assert parse_cc("|Age in [0, 5]| = 7", name="cc9").name == "cc9"
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ParseError):
+            parse_cc("Rel == 'Owner' = 4")
+        with pytest.raises(ParseError):
+            parse_cc("|Rel == 'Owner'| = many")
+
+
+class TestParseDc:
+    def test_unary_atoms(self):
+        dc = parse_dc("not(t1.Rel == 'Owner' & t2.Rel == 'Owner')")
+        assert dc.arity == 2
+        assert all(isinstance(a, UnaryAtom) for a in dc.atoms)
+
+    def test_binary_atom_with_offset(self):
+        dc = parse_dc(
+            "not(t1.Rel == 'Owner' & t2.Rel == 'Spouse' & t2.Age < t1.Age - 50)"
+        )
+        binary = dc.binary_atoms[0]
+        assert isinstance(binary, BinaryAtom)
+        assert binary.left_var == 1 and binary.right_var == 0
+        assert binary.offset == -50
+
+    def test_positive_offset(self):
+        dc = parse_dc("not(t1.Rel == 'Owner' & t2.Age > t1.Age + 50)")
+        assert dc.binary_atoms[0].offset == 50
+
+    def test_explicit_fk_atom_dropped(self):
+        dc = parse_dc(
+            "not(t1.Rel == 'Owner' & t2.Rel == 'Owner' & t1.hid == t2.hid)",
+            fk_column="hid",
+        )
+        assert len(dc.atoms) == 2
+
+    def test_integer_value(self):
+        dc = parse_dc("not(t1.Multi == 1 & t2.Multi == 1)")
+        assert dc.atoms[0].value == 1
+
+    def test_arity_three(self):
+        dc = parse_dc("not(t1.Cls == t2.Cls & t2.Cls == t3.Cls)")
+        assert dc.arity == 3
+
+    def test_name(self):
+        dc = parse_dc("not(t1.A == 1 & t2.A == 1)", name="mydc")
+        assert dc.name == "mydc"
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ParseError):
+            parse_dc("t1.Rel == 'Owner'")
+        with pytest.raises(ParseError):
+            parse_dc("not(Rel == 'Owner' & t2.Rel == 'Owner')")
+        with pytest.raises(ParseError):
+            parse_dc("not(t1.Rel)")
+        with pytest.raises(ParseError):
+            parse_dc("not(t1.hid == t2.hid)", fk_column="hid")
+
+    def test_round_trip_against_semantics(self):
+        dc = parse_dc(
+            "not(t1.Rel == 'Owner' & t2.Rel == 'Spouse' & t2.Age < t1.Age - 50)"
+        )
+        owner = {"Rel": "Owner", "Age": 75}
+        young = {"Rel": "Spouse", "Age": 20}
+        old = {"Rel": "Spouse", "Age": 30}
+        assert dc.violates([owner, young])
+        assert not dc.violates([owner, old])

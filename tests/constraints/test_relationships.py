@@ -1,0 +1,131 @@
+"""Definitions 4.2-4.4: disjoint / contained / intersecting CC pairs."""
+
+import pytest
+
+from repro.constraints.cc import CardinalityConstraint
+from repro.constraints.parser import parse_cc
+from repro.constraints.relationships import (
+    CCRelationship,
+    RelationshipTable,
+    classify_pair,
+)
+
+R1_ATTRS = {"Age", "Rel", "Multi"}
+R2_ATTRS = {"Area", "Tenure"}
+
+
+def _cc(text: str, target: int = 1) -> CardinalityConstraint:
+    return parse_cc(f"|{text}| = {target}")
+
+
+def classify(a: str, b: str) -> CCRelationship:
+    return classify_pair(_cc(a), _cc(b), R1_ATTRS, R2_ATTRS)
+
+
+class TestClassifyPair:
+    def test_disjoint_r1_parts(self):
+        """Figure 6: CC1 ∩ CC2 = ∅ (disjoint ages)."""
+        rel = classify(
+            "Age in [10, 14] & Area == 'Chicago'",
+            "Age in [50, 60] & Multi == 0 & Area == 'NYC'",
+        )
+        assert rel is CCRelationship.DISJOINT
+
+    def test_disjoint_same_r1_different_r2(self):
+        """Identical R1 parts with disjoint R2 parts are disjoint."""
+        rel = classify(
+            "Rel == 'Owner' & Area == 'Chicago'",
+            "Rel == 'Owner' & Area == 'NYC'",
+        )
+        assert rel is CCRelationship.DISJOINT
+
+    def test_containment_figure_6(self):
+        """Figure 6: CC4 ⊆ CC3."""
+        rel = classify(
+            "Age in [18, 24] & Multi == 0 & Area == 'Chicago'",
+            "Age in [13, 64] & Area == 'Chicago'",
+        )
+        assert rel is CCRelationship.CONTAINED_IN
+
+    def test_contains_is_the_mirror(self):
+        rel = classify(
+            "Age in [13, 64] & Area == 'Chicago'",
+            "Age in [18, 24] & Multi == 0 & Area == 'Chicago'",
+        )
+        assert rel is CCRelationship.CONTAINS
+
+    def test_example_4_5_is_intersecting(self):
+        """Overlapping ages with different areas (Example 4.5)."""
+        rel = classify(
+            "Age in [10, 49] & Area == 'Chicago'",
+            "Age in [30, 70] & Area == 'NYC'",
+        )
+        assert rel is CCRelationship.INTERSECTING
+
+    def test_overlapping_ages_same_area_intersect(self):
+        rel = classify(
+            "Age in [10, 49] & Area == 'Chicago'",
+            "Age in [30, 70] & Area == 'Chicago'",
+        )
+        assert rel is CCRelationship.INTERSECTING
+
+    def test_different_r1_attributes_intersect(self):
+        """Rel=Owner vs Age<=24 (the running example's CC1 vs CC3)."""
+        rel = classify(
+            "Rel == 'Owner' & Area == 'Chicago'",
+            "Age <= 24 & Area == 'Chicago'",
+        )
+        assert rel is CCRelationship.INTERSECTING
+
+    def test_equal_predicates(self):
+        rel = classify(
+            "Rel == 'Owner' & Area == 'Chicago'",
+            "Rel == 'Owner' & Area == 'Chicago'",
+        )
+        assert rel is CCRelationship.EQUAL
+
+    def test_tenure_area_contained_in_area_only(self):
+        rel = classify(
+            "Rel == 'Owner' & Tenure == 'Owned' & Area == 'Chicago'",
+            "Rel == 'Owner' & Area == 'Chicago'",
+        )
+        assert rel is CCRelationship.CONTAINED_IN
+
+
+class TestRelationshipTable:
+    def test_table_symmetry(self):
+        ccs = [
+            _cc("Age in [13, 64] & Area == 'Chicago'"),
+            _cc("Age in [18, 24] & Multi == 0 & Area == 'Chicago'"),
+        ]
+        table = RelationshipTable.build(ccs, R1_ATTRS, R2_ATTRS)
+        assert table.relationship(1, 0) is CCRelationship.CONTAINED_IN
+        assert table.relationship(0, 1) is CCRelationship.CONTAINS
+        assert table.relationship(0, 0) is CCRelationship.EQUAL
+
+    def test_intersecting_indices(self):
+        ccs = [
+            _cc("Age in [10, 49] & Area == 'Chicago'"),
+            _cc("Age in [30, 70] & Area == 'NYC'"),
+            _cc("Rel == 'Owner' & Area == 'Chicago'"),
+        ]
+        table = RelationshipTable.build(ccs, R1_ATTRS, R2_ATTRS)
+        assert table.intersecting_indices >= {0, 1}
+        assert table.has_intersections()
+
+    def test_equal_predicates_different_targets_intersect(self):
+        ccs = [
+            _cc("Rel == 'Owner' & Area == 'Chicago'", target=4),
+            _cc("Rel == 'Owner' & Area == 'Chicago'", target=7),
+        ]
+        table = RelationshipTable.build(ccs, R1_ATTRS, R2_ATTRS)
+        assert table.intersecting_indices == {0, 1}
+
+    def test_contained_in_listing(self):
+        ccs = [
+            _cc("Age in [13, 64] & Area == 'Chicago'"),
+            _cc("Age in [18, 24] & Multi == 0 & Area == 'Chicago'"),
+        ]
+        table = RelationshipTable.build(ccs, R1_ATTRS, R2_ATTRS)
+        assert table.contained_in(1) == [0]
+        assert table.contained_in(0) == []

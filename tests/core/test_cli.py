@@ -1,0 +1,116 @@
+"""The repro-synth command-line interface."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import dump_constraints, load_constraints, main
+from repro.constraints.parser import parse_cc, parse_dc
+from repro.errors import ParseError
+
+
+class TestConstraintsFile:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "constraints.txt"
+        ccs = [
+            parse_cc("|Rel == 'Owner' & Area == 'X'| = 4"),
+            parse_cc("|Age in [0, 10] & Area == 'X' "
+                     "or Age in [60, 99] & Area == 'Y'| = 5"),
+        ]
+        dcs = [
+            parse_dc("not(t1.Rel == 'Owner' & t2.Rel == 'Owner')"),
+            parse_dc("not(t1.Rel == 'Owner' & t2.Age < t1.Age - 50)"),
+        ]
+        written = dump_constraints(path, ccs, dcs)
+        assert written == 2
+        loaded_ccs, loaded_dcs = load_constraints(path)
+        assert len(loaded_ccs) == 2 and len(loaded_dcs) == 2
+        assert loaded_ccs[0].target == 4
+        assert not loaded_ccs[1].is_conjunctive
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text("# comment\n\ncc: |Age in [0, 5] & Area == 'X'| = 1\n")
+        ccs, dcs = load_constraints(path)
+        assert len(ccs) == 1 and not dcs
+
+    def test_bad_prefix_rejected(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text("constraint: whatever\n")
+        with pytest.raises(ParseError):
+            load_constraints(path)
+
+    def test_parse_error_carries_location(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text("cc: not a cc\n")
+        with pytest.raises(ParseError) as excinfo:
+            load_constraints(path)
+        assert ":1:" in str(excinfo.value)
+
+
+class TestPipelineCommands:
+    def test_generate_solve_evaluate(self, tmp_path, capsys):
+        data_dir = tmp_path / "data"
+        out_dir = tmp_path / "out"
+
+        assert main([
+            "generate", "--out", str(data_dir),
+            "--households", "60", "--areas", "4",
+            "--num-ccs", "20", "--seed", "3",
+        ]) == 0
+        assert (data_dir / "persons.csv").exists()
+        assert (data_dir / "housing.csv").exists()
+        assert (data_dir / "constraints.txt").exists()
+
+        assert main([
+            "solve",
+            "--r1", str(data_dir / "persons.csv"),
+            "--r2", str(data_dir / "housing.csv"),
+            "--fk", "hid",
+            "--r1-key", "pid", "--r2-key", "hid",
+            "--constraints", str(data_dir / "constraints.txt"),
+            "--out", str(out_dir),
+        ]) == 0
+        assert (out_dir / "r1_hat.csv").exists()
+        assert (out_dir / "r2_hat.csv").exists()
+        solve_output = capsys.readouterr().out
+        assert "DC error 0.0000" in solve_output
+
+        assert main([
+            "evaluate",
+            "--r1", str(out_dir / "r1_hat.csv"),
+            "--r2", str(out_dir / "r2_hat.csv"),
+            "--fk", "hid",
+            "--r1-key", "pid", "--r2-key", "hid",
+            "--constraints", str(data_dir / "constraints.txt"),
+        ]) == 0
+        eval_output = capsys.readouterr().out
+        assert "dc_error: 0.0000" in eval_output
+
+    def test_missing_file_reports_error(self, tmp_path, capsys):
+        code = main([
+            "solve",
+            "--r1", str(tmp_path / "absent.csv"),
+            "--r2", str(tmp_path / "absent2.csv"),
+            "--fk", "hid",
+            "--r2-key", "hid",
+            "--constraints", str(tmp_path / "absent3.txt"),
+            "--out", str(tmp_path / "out"),
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCsvInference:
+    def test_read_csv_infer(self, tmp_path):
+        from repro.relational.csvio import read_csv_infer
+        from repro.relational.types import Dtype
+
+        path = tmp_path / "t.csv"
+        path.write_text("id,name,score\n1,alice,10\n2,bob,-3\n")
+        relation = read_csv_infer(path, key="id")
+        assert relation.schema.dtype("id") is Dtype.INT
+        assert relation.schema.dtype("name") is Dtype.STR
+        assert relation.schema.dtype("score") is Dtype.INT
+        assert relation.schema.key == "id"
+        assert relation.row(1) == {"id": 2, "name": "bob", "score": -3}

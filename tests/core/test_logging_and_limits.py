@@ -1,0 +1,87 @@
+"""Logging instrumentation and solver resource limits."""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro import CExtensionSolver
+from repro.solver.branch_bound import branch_and_bound
+from repro.solver.model import Model
+from repro.solver.result import SolveStatus
+from repro.solver.simplex import simplex_solve
+
+
+class TestLogging:
+    def test_solver_logs_phase_progress(
+        self, caplog, paper_r1, paper_r2, paper_ccs, paper_dcs
+    ):
+        with caplog.at_level(logging.INFO, logger="repro.core.synthesizer"):
+            CExtensionSolver().solve(
+                paper_r1, paper_r2, fk_column="hid",
+                ccs=paper_ccs, dcs=paper_dcs,
+            )
+        messages = " ".join(record.message for record in caplog.records)
+        assert "solving C-Extension" in messages
+        assert "phase I done" in messages
+        assert "phase II done" in messages
+
+
+class TestSolverLimits:
+    def test_simplex_iteration_limit(self):
+        # A feasible LP with the iteration budget strangled.
+        a = np.asarray([[1.0, 1.0], [1.0, 0.0]])
+        b = np.asarray([4.0, 1.0])
+        result = simplex_solve(
+            a, b, [">=", ">="], np.asarray([2.0, 3.0]),
+            np.zeros(2), np.full(2, np.inf), max_iterations=1,
+        )
+        assert result.status is SolveStatus.ITERATION_LIMIT
+
+    def test_branch_and_bound_node_limit(self):
+        model = Model()
+        xs = [
+            model.add_variable(f"x{i}", upper=1.0, integer=True, objective=-1)
+            for i in range(6)
+        ]
+        model.add_constraint(
+            {x.index: 2.0 for x in xs}, "<=", 5.0
+        )
+        # One node is not enough to certify the incumbent.
+        result = branch_and_bound(model, max_nodes=1)
+        assert result.status in (SolveStatus.OPTIMAL, SolveStatus.INFEASIBLE)
+
+
+class TestCsvErrorPaths:
+    def test_non_integer_value_reported_with_location(self, tmp_path):
+        from repro.errors import SchemaError
+        from repro.relational.csvio import read_csv
+        from repro.relational.relation import Relation
+
+        reference = Relation.from_columns({"a": [1]}, key="a")
+        path = tmp_path / "bad.csv"
+        path.write_text("a\nnot_a_number\n")
+        with pytest.raises(SchemaError) as excinfo:
+            read_csv(path, reference.schema)
+        assert ":2:" in str(excinfo.value)
+
+    def test_ragged_row_reported(self, tmp_path):
+        from repro.errors import SchemaError
+        from repro.relational.csvio import read_csv
+        from repro.relational.relation import Relation
+
+        reference = Relation.from_columns({"a": [1], "b": [2]})
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1\n")
+        with pytest.raises(SchemaError):
+            read_csv(path, reference.schema)
+
+    def test_from_rows_arity_validated(self):
+        from repro.errors import SchemaError
+        from repro.relational.relation import Relation
+        from repro.relational.schema import ColumnSpec, Schema
+        from repro.relational.types import Dtype
+
+        schema = Schema([ColumnSpec("a", Dtype.INT), ColumnSpec("b", Dtype.INT)])
+        with pytest.raises(SchemaError):
+            Relation.from_rows(schema, [(1,)])

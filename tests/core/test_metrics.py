@@ -1,0 +1,86 @@
+"""Error measures (Section 6.1)."""
+
+import pytest
+
+from repro.constraints.parser import parse_cc, parse_dc
+from repro.core.metrics import ErrorReport, cc_errors, dc_error, evaluate
+from repro.relational.join import fk_join
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def completed():
+    r1 = Relation.from_columns(
+        {
+            "pid": [1, 2, 3],
+            "Rel": ["Owner", "Owner", "Spouse"],
+            "hid": [1, 1, 2],
+        },
+        key="pid",
+    )
+    r2 = Relation.from_columns(
+        {"hid": [1, 2], "Area": ["Chicago", "NYC"]}, key="hid"
+    )
+    return r1, r2
+
+
+class TestCcErrors:
+    def test_relative_error_thresholded_at_10(self, completed):
+        r1, r2 = completed
+        view = fk_join(r1, r2, "hid")
+        ccs = [
+            parse_cc("|Rel == 'Owner' & Area == 'Chicago'| = 2"),  # exact
+            parse_cc("|Rel == 'Owner' & Area == 'NYC'| = 1"),  # off by 1
+            parse_cc("|Rel == 'Spouse' & Area == 'NYC'| = 50"),  # off by 49
+        ]
+        errors = cc_errors(view, ccs)
+        assert errors[0] == 0.0
+        assert errors[1] == pytest.approx(1 / 10)  # max(10, 1) = 10
+        assert errors[2] == pytest.approx(49 / 50)
+
+    def test_zero_target_uses_threshold(self, completed):
+        r1, r2 = completed
+        view = fk_join(r1, r2, "hid")
+        cc = parse_cc("|Rel == 'Owner' & Area == 'Chicago'| = 0")
+        assert cc_errors(view, [cc]) == [pytest.approx(2 / 10)]
+
+
+class TestDcError:
+    def test_paper_example_fraction(self, completed):
+        r1, _ = completed
+        dc = parse_dc("not(t1.Rel == 'Owner' & t2.Rel == 'Owner')")
+        assert dc_error(r1, "hid", [dc]) == pytest.approx(2 / 3)
+
+    def test_no_violations(self, completed):
+        r1, _ = completed
+        dc = parse_dc("not(t1.Rel == 'Spouse' & t2.Rel == 'Spouse')")
+        assert dc_error(r1, "hid", [dc]) == 0.0
+
+    def test_empty_relation(self):
+        empty = Relation.from_columns({"pid": [], "Rel": [], "hid": []}, key="pid")
+        assert dc_error(empty, "hid", []) == 0.0
+
+
+class TestErrorReport:
+    def test_summary_statistics(self):
+        report = ErrorReport(per_cc=[0.0, 0.0, 0.5, 1.0], dc_error=0.25)
+        assert report.median_cc_error == 0.25
+        assert report.mean_cc_error == pytest.approx(0.375)
+        assert report.max_cc_error == 1.0
+        assert report.num_exact_ccs == 2
+        assert report.summary()["dc_error"] == 0.25
+
+    def test_empty_report(self):
+        report = ErrorReport()
+        assert report.median_cc_error == 0.0
+        assert report.mean_cc_error == 0.0
+
+
+class TestEvaluate:
+    def test_full_evaluation(self, completed):
+        r1, r2 = completed
+        ccs = [parse_cc("|Rel == 'Owner' & Area == 'Chicago'| = 2")]
+        dcs = [parse_dc("not(t1.Rel == 'Owner' & t2.Rel == 'Owner')")]
+        report = evaluate(r1, r2, "hid", ccs, dcs)
+        assert report.per_cc == [0.0]
+        assert report.dc_error == pytest.approx(2 / 3)

@@ -1,0 +1,75 @@
+"""The C-Extension problem object and the brute-force oracle."""
+
+import pytest
+
+from repro.constraints.parser import parse_cc, parse_dc
+from repro.core.problem import CExtensionProblem, brute_force_decision
+from repro.errors import ConstraintError
+from repro.relational.relation import Relation
+
+
+def _problem(ccs=(), dcs=(), ages=(30, 40)):
+    r1 = Relation.from_columns(
+        {
+            "pid": list(range(len(ages))),
+            "Age": list(ages),
+            "Rel": ["Owner"] * len(ages),
+        },
+        key="pid",
+    )
+    r2 = Relation.from_columns(
+        {"hid": [1, 2], "Area": ["Chicago", "NYC"]}, key="hid"
+    )
+    return CExtensionProblem(r1=r1, r2=r2, fk_column="hid", ccs=ccs, dcs=dcs)
+
+
+class TestCheck:
+    def test_valid_assignment(self):
+        problem = _problem(
+            ccs=(parse_cc("|Rel == 'Owner' & Area == 'Chicago'| = 1"),),
+            dcs=(parse_dc("not(t1.Rel == 'Owner' & t2.Rel == 'Owner')"),),
+        )
+        assert problem.check([1, 2])
+
+    def test_cc_violation_detected(self):
+        problem = _problem(
+            ccs=(parse_cc("|Rel == 'Owner' & Area == 'Chicago'| = 1"),)
+        )
+        assert not problem.check([1, 1])  # two owners in Chicago
+
+    def test_dc_violation_detected(self):
+        problem = _problem(
+            dcs=(parse_dc("not(t1.Rel == 'Owner' & t2.Rel == 'Owner')"),)
+        )
+        assert not problem.check([1, 1])
+        assert problem.check([1, 2])
+
+    def test_r2_without_key_rejected(self):
+        r1 = Relation.from_columns({"pid": [0]}, key="pid")
+        r2 = Relation.from_columns({"hid": [1]})
+        with pytest.raises(ConstraintError):
+            CExtensionProblem(r1=r1, r2=r2, fk_column="hid")
+
+
+class TestBruteForce:
+    def test_finds_witness(self):
+        problem = _problem(
+            ccs=(parse_cc("|Rel == 'Owner' & Area == 'Chicago'| = 1"),),
+            dcs=(parse_dc("not(t1.Rel == 'Owner' & t2.Rel == 'Owner')"),),
+        )
+        witness = brute_force_decision(problem)
+        assert witness is not None
+        assert problem.check(witness)
+
+    def test_detects_unsatisfiable(self):
+        # Three pairwise-conflicting owners, two houses.
+        problem = _problem(
+            dcs=(parse_dc("not(t1.Rel == 'Owner' & t2.Rel == 'Owner')"),),
+            ages=(30, 40, 50),
+        )
+        assert brute_force_decision(problem) is None
+
+    def test_space_limit_enforced(self):
+        problem = _problem(ages=tuple(range(40)))
+        with pytest.raises(ConstraintError):
+            brute_force_decision(problem, limit=100)

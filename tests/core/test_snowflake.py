@@ -1,0 +1,117 @@
+"""The snowflake-schema extension (Example 5.6)."""
+
+import pytest
+
+from repro.constraints.parser import parse_cc, parse_dc
+from repro.core.snowflake import EdgeConstraints, SnowflakeSynthesizer
+from repro.errors import SchemaError
+from repro.relational.database import Database
+from repro.relational.join import fk_join
+from repro.relational.relation import Relation
+
+
+def _university() -> Database:
+    """Example 5.6's Students → {Majors, Courses}, Majors → Departments."""
+    db = Database()
+    db.add_relation(
+        "Students",
+        Relation.from_columns(
+            {
+                "sid": list(range(1, 13)),
+                "Year": [1, 2, 3, 4] * 3,
+            },
+            key="sid",
+        ),
+    )
+    db.add_relation(
+        "Majors",
+        Relation.from_columns(
+            {"mid": [1, 2, 3], "MName": ["CS", "Math", "Bio"]}, key="mid"
+        ),
+    )
+    db.add_relation(
+        "Courses",
+        Relation.from_columns(
+            {"cid": [1, 2], "Credits": [3, 4]}, key="cid"
+        ),
+    )
+    db.add_relation(
+        "Departments",
+        Relation.from_columns(
+            {"did": [1, 2], "DName": ["Engineering", "Science"]}, key="did"
+        ),
+    )
+    db.add_foreign_key("Students", "major_id", "Majors")
+    db.add_foreign_key("Students", "course_id", "Courses")
+    db.add_foreign_key("Majors", "dept_id", "Departments")
+    return db
+
+
+class TestSnowflake:
+    def test_all_fks_completed(self):
+        db = _university()
+        result = SnowflakeSynthesizer().solve(db, "Students", {})
+        students = db.relation("Students")
+        assert "major_id" in students.schema
+        assert "course_id" in students.schema
+        assert "dept_id" in db.relation("Majors").schema
+        assert len(result.steps) == 3
+
+    def test_fk_values_are_valid_references(self):
+        db = _university()
+        SnowflakeSynthesizer().solve(db, "Students", {})
+        # joining must not raise
+        fk_join(db.relation("Students"), db.relation("Majors"), "major_id")
+        fk_join(db.relation("Majors"), db.relation("Departments"), "dept_id")
+
+    def test_edge_constraints_applied(self):
+        db = _university()
+        constraints = {
+            ("Students", "major_id"): EdgeConstraints(
+                ccs=[parse_cc("|Year == 1 & MName == 'CS'| = 3")]
+            ),
+        }
+        result = SnowflakeSynthesizer().solve(db, "Students", constraints)
+        view = fk_join(db.relation("Students"), db.relation("Majors"), "major_id")
+        assert view.count(constraints[("Students", "major_id")].ccs[0].predicate) == 3
+
+    def test_multi_hop_cc_uses_accumulated_join(self):
+        """Step-2 CCs may reference Majors attributes (paper's example)."""
+        db = _university()
+        constraints = {
+            ("Students", "major_id"): EdgeConstraints(
+                ccs=[parse_cc("|Year == 1 & MName == 'CS'| = 3")]
+            ),
+            ("Students", "course_id"): EdgeConstraints(
+                ccs=[parse_cc("|MName == 'CS' & Credits == 4| = 2")]
+            ),
+        }
+        SnowflakeSynthesizer().solve(db, "Students", constraints)
+        view = fk_join(db.relation("Students"), db.relation("Majors"), "major_id")
+        view = fk_join(view, db.relation("Courses"), "course_id")
+        assert view.count(
+            constraints[("Students", "course_id")].ccs[0].predicate
+        ) == 2
+
+    def test_dim_edge_dcs_respected(self):
+        db = _university()
+        constraints = {
+            ("Majors", "dept_id"): EdgeConstraints(
+                dcs=[parse_dc("not(t1.MName == 'CS' & t2.MName == 'Math')")]
+            ),
+        }
+        SnowflakeSynthesizer().solve(db, "Majors", constraints)
+        majors = db.relation("Majors")
+        by_dept = {}
+        for i in range(len(majors)):
+            row = majors.row(i)
+            by_dept.setdefault(row["dept_id"], set()).add(row["MName"])
+        for names in by_dept.values():
+            assert not ({"CS", "Math"} <= names)
+
+    def test_unknown_edge_constraint_rejected(self):
+        db = _university()
+        with pytest.raises(SchemaError):
+            SnowflakeSynthesizer().solve(
+                db, "Students", {("Students", "nope"): EdgeConstraints()}
+            )

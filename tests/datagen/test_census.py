@@ -1,0 +1,91 @@
+"""The synthetic census generator."""
+
+import pytest
+
+from repro.core.metrics import dc_error
+from repro.datagen import CensusConfig, all_dcs, generate_census
+from repro.errors import ReproError
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate_census(CensusConfig(n_households=50, seed=4))
+        b = generate_census(CensusConfig(n_households=50, seed=4))
+        assert a.persons.to_rows() == b.persons.to_rows()
+        assert a.housing.to_rows() == b.housing.to_rows()
+
+    def test_different_seeds_differ(self):
+        a = generate_census(CensusConfig(n_households=50, seed=1))
+        b = generate_census(CensusConfig(n_households=50, seed=2))
+        assert a.persons.to_rows() != b.persons.to_rows()
+
+    def test_ground_truth_satisfies_all_dcs(self, census_small):
+        assert dc_error(census_small.persons, "hid", all_dcs()) == 0.0
+
+    def test_each_household_has_exactly_one_owner(self, census_small):
+        owners = census_small.persons.select(
+            __import__("repro").parse_predicate("Rel == 'Owner'")
+        )
+        assert len(set(owners.column("hid"))) == len(owners)
+        assert len(owners) == census_small.config.n_households
+
+    def test_persons_housing_ratio_close_to_paper(self):
+        data = generate_census(CensusConfig(n_households=2000, seed=0))
+        ratio = len(data.persons) / len(data.housing)
+        assert 2.0 < ratio < 3.1  # paper: 25099 / 9820 ≈ 2.56
+
+    def test_masked_view_drops_fk(self, census_small):
+        assert "hid" not in census_small.persons_masked.schema
+        assert "hid" in census_small.persons.schema
+
+    def test_ground_truth_join_has_person_rows(self, census_small):
+        join = census_small.ground_truth_join()
+        assert len(join) == len(census_small.persons)
+        assert "Area" in join.schema
+
+    def test_ages_within_domain(self, census_small):
+        ages = census_small.persons.column("Age")
+        assert ages.min() >= 0 and ages.max() <= 114
+
+
+class TestHousingLadder:
+    @pytest.mark.parametrize(
+        "n_cols,expected",
+        [
+            (2, ("hid", "Tenure", "Area")),
+            (4, ("hid", "Tenure", "County", "Area", "St")),
+            (6, ("hid", "Tenure", "County", "Area", "St", "Div", "Reg")),
+        ],
+    )
+    def test_figure_12_column_ladder(self, n_cols, expected):
+        data = generate_census(
+            CensusConfig(n_households=30, n_housing_columns=n_cols)
+        )
+        assert data.housing.schema.names == expected
+
+    def test_ten_columns(self):
+        data = generate_census(
+            CensusConfig(n_households=30, n_housing_columns=10)
+        )
+        assert len(data.housing.schema.names) == 11  # hid + 10
+
+    def test_div_reg_functionally_determined_by_st(self):
+        data = generate_census(
+            CensusConfig(n_households=200, n_housing_columns=6)
+        )
+        mapping = {}
+        for i in range(len(data.housing)):
+            row = data.housing.row(i)
+            key = row["St"]
+            value = (row["Div"], row["Reg"])
+            assert mapping.setdefault(key, value) == value
+
+    def test_invalid_column_count_rejected(self):
+        with pytest.raises(ReproError):
+            CensusConfig(n_housing_columns=5)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ReproError):
+            CensusConfig(n_households=0)
+        with pytest.raises(ReproError):
+            CensusConfig(n_tenures=99)

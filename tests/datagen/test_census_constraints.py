@@ -1,0 +1,128 @@
+"""Table 4 DCs and Table 5 CC families."""
+
+import pytest
+
+from repro.constraints.relationships import RelationshipTable
+from repro.datagen import all_dcs, cc_family, good_dcs
+from repro.datagen.constraints_census import (
+    BAD_EXTRA_TEMPLATES,
+    FLAT_TEMPLATES,
+    GOOD_CHAINS,
+)
+
+
+class TestTable4:
+    def test_good_is_prefix_of_all(self):
+        good_names = [dc.name for dc in good_dcs()]
+        all_names = [dc.name for dc in all_dcs()]
+        assert all_names[: len(good_names)] == good_names
+
+    def test_row_coverage(self):
+        """All 12 Table 4 rows are represented."""
+        rows = {dc.name.split("_")[0] for dc in all_dcs()}
+        assert rows == {f"dc{i}" for i in range(1, 13)}
+
+    def test_good_rows_are_1_to_8(self):
+        rows = {dc.name.split("_")[0] for dc in good_dcs()}
+        assert rows == {f"dc{i}" for i in range(1, 9)}
+
+    def test_range_rows_have_low_and_up(self):
+        names = {dc.name for dc in good_dcs()}
+        assert "dc3_partner_low" in names and "dc3_partner_up" in names
+
+    def test_dc9_catches_two_owners(self):
+        dc9 = next(dc for dc in all_dcs() if dc.name == "dc9_two_owners")
+        assert dc9.violates([{"Rel": "Owner"}, {"Rel": "Owner"}])
+        assert not dc9.violates([{"Rel": "Owner"}, {"Rel": "Spouse"}])
+
+    def test_dc1_age_window(self):
+        low = next(dc for dc in all_dcs() if dc.name == "dc1_mono_child_low")
+        up = next(dc for dc in all_dcs() if dc.name == "dc1_mono_child_up")
+        owner = {"Rel": "Owner", "Age": 80, "Multi-ling": 0}
+        too_old_child = {"Rel": "Biological child", "Age": 75}
+        too_young_child = {"Rel": "Biological child", "Age": 5}
+        fine_child = {"Rel": "Biological child", "Age": 30}
+        assert up.violates([owner, too_old_child])
+        assert low.violates([owner, too_young_child])
+        assert not any(
+            dc.violates([owner, fine_child]) for dc in (low, up)
+        )
+
+    def test_dc10_guards_young_owners(self):
+        dc10 = next(dc for dc in all_dcs() if dc.name == "dc10_young_owner")
+        young = {"Rel": "Owner", "Age": 25}
+        old = {"Rel": "Owner", "Age": 45}
+        grandchild = {"Rel": "Grandchild", "Age": 1}
+        assert dc10.violates([young, grandchild])
+        assert not dc10.violates([old, grandchild])
+
+
+class TestTable5Families:
+    def test_good_family_has_no_intersections(self, census_small):
+        ccs = cc_family(census_small, "good", 120)
+        r1_attrs = {"Rel", "Age", "Multi-ling"}
+        r2_attrs = {"Tenure", "Area"}
+        table = RelationshipTable.build(ccs, r1_attrs, r2_attrs)
+        assert not table.has_intersections()
+
+    def test_bad_family_has_intersections(self, census_small):
+        ccs = cc_family(census_small, "bad", 120)
+        r1_attrs = {"Rel", "Age", "Multi-ling"}
+        r2_attrs = {"Tenure", "Area"}
+        table = RelationshipTable.build(ccs, r1_attrs, r2_attrs)
+        assert table.has_intersections()
+
+    def test_targets_are_true_counts(self, census_small):
+        ccs = cc_family(census_small, "good", 40)
+        truth = census_small.ground_truth_join()
+        for cc in ccs:
+            assert truth.count(cc.predicate) == cc.target
+
+    def test_requested_size_respected(self, census_small):
+        assert len(cc_family(census_small, "good", 33)) == 33
+        assert len(cc_family(census_small, "bad", 47)) == 47
+
+    def test_unique_predicates(self, census_small):
+        ccs = cc_family(census_small, "good", 150)
+        predicates = [cc.predicate for cc in ccs]
+        assert len(set(predicates)) == len(predicates)
+
+    def test_unknown_kind_rejected(self, census_small):
+        with pytest.raises(ValueError):
+            cc_family(census_small, "ugly", 10)
+
+    def test_flat_templates_pairwise_safe(self):
+        """Flat templates must be disjoint or identical on R1."""
+        for i, a in enumerate(FLAT_TEMPLATES):
+            for b in FLAT_TEMPLATES[i + 1:]:
+                pa, pb = a.predicate(), b.predicate()
+                assert pa.is_disjoint_from(pb), (a, b)
+
+    def test_chains_are_nested(self):
+        for chain in GOOD_CHAINS:
+            head = chain[0].predicate()
+            for template in chain[1:]:
+                assert template.predicate().is_subset_of(head)
+
+    def test_chains_disjoint_from_flats(self):
+        for chain in GOOD_CHAINS:
+            for template in chain:
+                for flat in FLAT_TEMPLATES:
+                    assert template.predicate().is_disjoint_from(
+                        flat.predicate()
+                    ), (template, flat)
+
+    def test_bad_extras_overlap_something(self):
+        """Each bad template overlaps some flat/chain template without
+        being contained-or-disjoint — the source of intersections."""
+        all_good = list(FLAT_TEMPLATES) + [
+            t for chain in GOOD_CHAINS for t in chain
+        ]
+        for bad in BAD_EXTRA_TEMPLATES:
+            pb = bad.predicate()
+            overlapping = [
+                g
+                for g in all_good
+                if not pb.is_disjoint_from(g.predicate())
+            ]
+            assert overlapping, bad

@@ -1,0 +1,117 @@
+"""The retail snowflake workload and its end-to-end synthesis."""
+
+import pytest
+
+from repro.core.metrics import dc_error
+from repro.core.snowflake import SnowflakeSynthesizer
+from repro.datagen.retail import (
+    RetailConfig,
+    generate_retail,
+    retail_constraints,
+)
+from repro.errors import ReproError
+from repro.relational.join import fk_join
+
+
+@pytest.fixture(scope="module")
+def retail():
+    return generate_retail(RetailConfig(
+        n_orders=150, n_customers=30, n_products=20, n_suppliers=5, seed=5
+    ))
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate_retail(RetailConfig(seed=1, n_orders=40))
+        b = generate_retail(RetailConfig(seed=1, n_orders=40))
+        assert a.truth_customer == b.truth_customer
+        assert a.database.relation("Orders").to_rows() == \
+            b.database.relation("Orders").to_rows()
+
+    def test_schema_shape(self, retail):
+        db = retail.database
+        assert set(db.relation_names) == {
+            "Orders", "Customers", "Products", "Suppliers",
+        }
+        order = [(fk.child, fk.parent) for fk in db.bfs_edges("Orders")]
+        assert order == [
+            ("Orders", "Customers"),
+            ("Orders", "Products"),
+            ("Products", "Suppliers"),
+        ]
+
+    def test_fks_masked(self, retail):
+        assert "customer_id" not in retail.database.relation("Orders").schema
+        assert "supplier_id" not in retail.database.relation("Products").schema
+
+    def test_ground_truth_view(self, retail):
+        view = retail.ground_truth_fact_view()
+        assert len(view) == retail.config.n_orders
+        assert "Region" in view.schema and "Category" in view.schema
+
+    def test_invalid_config(self):
+        with pytest.raises(ReproError):
+            RetailConfig(n_orders=0)
+
+
+class TestConstraints:
+    def test_targets_are_true_counts(self, retail):
+        constraints = retail_constraints(retail)
+        truth = retail.ground_truth_fact_view()
+        for edge_constraints in constraints.values():
+            for cc in edge_constraints.ccs:
+                assert truth.count(cc.predicate) == cc.target
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def solved(self):
+        data = generate_retail(RetailConfig(
+            n_orders=150, n_customers=30, n_products=20, n_suppliers=5,
+            seed=5,
+        ))
+        constraints = retail_constraints(data)
+        result = SnowflakeSynthesizer().solve(
+            data.database, "Orders", constraints
+        )
+        return data, constraints, result
+
+    def test_all_three_edges_completed(self, solved):
+        data, _, result = solved
+        assert len(result.steps) == 3
+        assert "customer_id" in data.database.relation("Orders").schema
+        assert "supplier_id" in data.database.relation("Products").schema
+
+    def test_fact_edge_ccs_exact(self, solved):
+        data, constraints, _ = solved
+        db = data.database
+        view = fk_join(db.relation("Orders"), db.relation("Customers"),
+                       "customer_id")
+        for cc in constraints[("Orders", "customer_id")].ccs:
+            assert view.count(cc.predicate) == cc.target
+
+    def test_multi_hop_ccs_exact(self, solved):
+        data, constraints, _ = solved
+        db = data.database
+        view = fk_join(db.relation("Orders"), db.relation("Customers"),
+                       "customer_id")
+        view = fk_join(
+            view,
+            db.relation("Products").drop_column("supplier_id"),
+            "product_id",
+        )
+        for cc in constraints[("Orders", "product_id")].ccs:
+            assert view.count(cc.predicate) == cc.target
+
+    def test_supplier_dcs_hold(self, solved):
+        data, constraints, _ = solved
+        products = data.database.relation("Products")
+        dcs = list(constraints[("Products", "supplier_id")].dcs)
+        assert dc_error(products, "supplier_id", dcs) == 0.0
+
+    def test_joins_are_well_formed(self, solved):
+        data, _, result = solved
+        db = data.database
+        fk_join(db.relation("Orders"), db.relation("Customers"), "customer_id")
+        fk_join(db.relation("Products"), db.relation("Suppliers"),
+                "supplier_id")

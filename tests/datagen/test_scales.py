@@ -1,0 +1,45 @@
+"""Table 1 scale ladder."""
+
+import pytest
+
+from repro.datagen.scales import (
+    MINI_DIVISOR,
+    PAPER_SCALES,
+    generate_scaled,
+    paper_row_counts,
+    scaled_config,
+)
+
+
+class TestPaperScales:
+    def test_table1_row_counts(self):
+        assert paper_row_counts(1) == (25_099, 9_820)
+        assert paper_row_counts(160) == (4_097_471, 1_571_200)
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(KeyError):
+            paper_row_counts(3)
+
+    def test_housing_counts_scale_linearly(self):
+        for scale, (_, housing) in PAPER_SCALES.items():
+            assert housing == 9_820 * scale
+
+
+class TestMiniLadder:
+    def test_config_household_scaling(self):
+        c1 = scaled_config(1)
+        c2 = scaled_config(2)
+        assert c2.n_households == pytest.approx(2 * c1.n_households, rel=0.02)
+
+    def test_generated_sizes_track_scale(self):
+        d1 = generate_scaled(1, mini_divisor=400)
+        d2 = generate_scaled(2, mini_divisor=400)
+        assert len(d2.housing) == pytest.approx(2 * len(d1.housing), rel=0.05)
+        assert len(d2.persons) > len(d1.persons)
+
+    def test_minimum_household_floor(self):
+        config = scaled_config(1, mini_divisor=10**9)
+        assert config.n_households >= 20
+
+    def test_divisor_default(self):
+        assert scaled_config(1).n_households == 9_820 // MINI_DIVISOR

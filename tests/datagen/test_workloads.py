@@ -1,0 +1,62 @@
+"""Table 2 dataset registry."""
+
+import pytest
+
+from repro.datagen.workloads import DATASETS, materialize
+
+
+class TestRegistry:
+    def test_all_34_rows_present(self):
+        assert sorted(DATASETS) == list(range(1, 35))
+
+    def test_rows_1_to_5_shape(self):
+        for number, scale in zip(range(1, 6), (1, 2, 5, 10, 40)):
+            spec = DATASETS[number]
+            assert spec.scale == scale
+            assert spec.dc_kind == "all" and spec.cc_kind == "good"
+
+    def test_rows_6_to_10_are_bad_cc(self):
+        assert all(DATASETS[n].cc_kind == "bad" for n in range(6, 11))
+
+    def test_rows_11_12_good_dcs(self):
+        assert DATASETS[11].dc_kind == "good"
+        assert DATASETS[12].dc_kind == "good"
+        assert DATASETS[12].cc_kind == "bad"
+
+    def test_cc_count_ladder_13_to_22(self):
+        for base in (13, 18):
+            counts = [DATASETS[base + i].num_ccs for i in range(5)]
+            assert counts == [500, 600, 700, 800, 900]
+
+    def test_large_scale_rows_23_to_30(self):
+        assert [DATASETS[n].scale for n in range(23, 27)] == [40, 80, 120, 160]
+        assert [DATASETS[n].scale for n in range(27, 31)] == [40, 80, 120, 160]
+
+    def test_housing_column_rows_31_to_34(self):
+        assert [DATASETS[n].n_housing_columns for n in range(31, 35)] == [
+            4, 6, 8, 10,
+        ]
+
+    def test_dcs_family_sizes(self):
+        assert len({dc.name.split("_")[0] for dc in DATASETS[1].dcs()}) == 12
+        assert len({dc.name.split("_")[0] for dc in DATASETS[11].dcs()}) == 8
+
+
+class TestMaterialize:
+    def test_small_materialization(self):
+        spec = DATASETS[11]
+        data, ccs, dcs = materialize(
+            spec, num_ccs=25, mini_divisor=400, n_areas=4
+        )
+        assert len(ccs) == 25
+        assert len(data.persons) > 0
+        assert {dc.name.split("_")[0] for dc in dcs} == {
+            f"dc{i}" for i in range(1, 9)
+        }
+
+    def test_housing_columns_follow_spec(self):
+        data, _, _ = materialize(
+            DATASETS[31], num_ccs=5, mini_divisor=400, n_areas=4
+        )
+        assert "County" in data.housing.schema
+        assert "St" in data.housing.schema

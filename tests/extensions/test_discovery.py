@@ -1,0 +1,117 @@
+"""FK DC discovery from completed data."""
+
+import pytest
+
+from repro.core.metrics import dc_error
+from repro.errors import ReproError
+from repro.extensions.discovery import (
+    DiscoveryConfig,
+    discover_fk_dcs,
+    discovered_windows,
+)
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def completed():
+    """Two households with an owner, spouse and child each."""
+    return Relation.from_columns(
+        {
+            "pid": list(range(6)),
+            "Rel": ["Owner", "Spouse", "Child", "Owner", "Spouse", "Child"],
+            "Age": [50, 45, 20, 60, 62, 30],
+            "hid": [1, 1, 1, 2, 2, 2],
+        },
+        key="pid",
+    )
+
+
+class TestDiscoveredWindows:
+    def test_windows_are_observed_gaps(self, completed):
+        windows = discovered_windows(
+            completed, "hid", DiscoveryConfig(min_support=1)
+        )
+        assert windows["Spouse"] == (-5, 2, 2)
+        assert windows["Child"] == (-30, -30, 2)
+
+    def test_groups_without_single_anchor_skipped(self):
+        no_owner = Relation.from_columns(
+            {
+                "pid": [0, 1],
+                "Rel": ["Spouse", "Child"],
+                "Age": [40, 10],
+                "hid": [1, 1],
+            },
+            key="pid",
+        )
+        assert discovered_windows(no_owner, "hid") == {}
+
+
+class TestDiscoverFkDcs:
+    def test_exclusivity_mined(self, completed):
+        dcs = discover_fk_dcs(
+            completed, "hid", DiscoveryConfig(min_support=1)
+        )
+        names = {dc.name for dc in dcs}
+        assert "discovered_exclusive_Owner" in names
+        assert "discovered_exclusive_Spouse" in names
+
+    def test_window_dcs_mined(self, completed):
+        dcs = discover_fk_dcs(
+            completed, "hid", DiscoveryConfig(min_support=1)
+        )
+        names = {dc.name for dc in dcs}
+        assert {"discovered_Spouse_low", "discovered_Spouse_up"} <= names
+
+    def test_mined_dcs_hold_on_training_data(self, completed):
+        dcs = discover_fk_dcs(
+            completed, "hid", DiscoveryConfig(min_support=1)
+        )
+        assert dc_error(completed, "hid", dcs) == 0.0
+
+    def test_min_support_filters(self, completed):
+        dcs = discover_fk_dcs(
+            completed, "hid", DiscoveryConfig(min_support=5)
+        )
+        assert not any("low" in dc.name for dc in dcs)
+
+    def test_slack_widens_windows(self, completed):
+        tight = discover_fk_dcs(
+            completed, "hid", DiscoveryConfig(min_support=1, slack=0)
+        )
+        loose = discover_fk_dcs(
+            completed, "hid", DiscoveryConfig(min_support=1, slack=10)
+        )
+        tight_low = next(d for d in tight if d.name == "discovered_Spouse_low")
+        loose_low = next(d for d in loose if d.name == "discovered_Spouse_low")
+        assert loose_low.binary_atoms[0].offset < tight_low.binary_atoms[0].offset
+
+    def test_missing_columns_rejected(self, completed):
+        with pytest.raises(ReproError):
+            discover_fk_dcs(completed.drop_column("Age"), "hid")
+
+
+class TestOnCensusGroundTruth:
+    def test_recovered_windows_inside_table4(self, census_small):
+        """Mined windows must sit inside the generating Table 4 ranges."""
+        config = DiscoveryConfig(
+            rel_attr="Rel", age_attr="Age", anchor_rel="Owner", min_support=3
+        )
+        windows = discovered_windows(census_small.persons, "hid", config)
+        table4 = {
+            "Spouse": (-50, 50),
+            "Unmarried partner": (-50, 50),
+            "Biological child": (-50, -12),
+            "Sibling": (-35, 35),
+            "Father/Mother": (12, 115),
+            "Grandchild": (-115, -30),
+        }
+        for rel, (true_lo, true_hi) in table4.items():
+            if rel not in windows:
+                continue  # low support at this size
+            lo, hi, _ = windows[rel]
+            assert true_lo <= lo and hi <= true_hi, rel
+
+    def test_mined_dcs_hold_on_census(self, census_small):
+        dcs = discover_fk_dcs(census_small.persons, "hid")
+        assert dc_error(census_small.persons, "hid", dcs) == 0.0

@@ -1,0 +1,134 @@
+"""End-to-end invariants on census-scale instances.
+
+The two theorems the pipeline must uphold regardless of input:
+
+* Proposition 5.5 — every DC holds exactly in ``R1̂`` and
+  ``R1̂ ⋈ R2̂ = V_join``;
+* Proposition 4.7 — intersection-free CC sets are satisfied exactly.
+"""
+
+import pytest
+
+from repro import CExtensionSolver, SolverConfig
+from repro.core.metrics import evaluate
+from repro.datagen import all_dcs, cc_family, good_dcs
+
+
+@pytest.fixture(scope="module")
+def solved_good(census_small, census_good_ccs):
+    solver = CExtensionSolver()
+    return solver.solve(
+        census_small.persons_masked,
+        census_small.housing,
+        fk_column="hid",
+        ccs=census_good_ccs,
+        dcs=all_dcs(),
+    )
+
+
+@pytest.fixture(scope="module")
+def solved_bad(census_small, census_bad_ccs):
+    solver = CExtensionSolver()
+    return solver.solve(
+        census_small.persons_masked,
+        census_small.housing,
+        fk_column="hid",
+        ccs=census_bad_ccs,
+        dcs=all_dcs(),
+    )
+
+
+class TestGoodCcs:
+    def test_all_dcs_satisfied(self, solved_good):
+        assert solved_good.report.errors.dc_error == 0.0
+
+    def test_all_ccs_exact(self, solved_good):
+        """Proposition 4.7: no intersections → zero CC error."""
+        assert solved_good.report.errors.max_cc_error == 0.0
+
+    def test_everything_routed_to_hasse(self, solved_good):
+        assert solved_good.phase1.s2_indices == []
+
+    def test_join_view_row_count(self, solved_good, census_small):
+        view = solved_good.join_view()
+        assert len(view) == len(census_small.persons)
+
+
+class TestBadCcs:
+    def test_all_dcs_satisfied(self, solved_bad):
+        assert solved_bad.report.errors.dc_error == 0.0
+
+    def test_low_cc_error(self, solved_bad):
+        """Paper: median 0, small mean error for the bad family."""
+        errors = solved_bad.report.errors
+        assert errors.median_cc_error == 0.0
+        assert errors.mean_cc_error < 0.15
+
+    def test_both_algorithms_used(self, solved_bad):
+        assert solved_bad.phase1.s1_indices
+        assert solved_bad.phase1.s2_indices
+
+
+class TestGoodDcsVariant:
+    def test_good_dcs_also_exact(self, census_small, census_good_ccs):
+        result = CExtensionSolver().solve(
+            census_small.persons_masked,
+            census_small.housing,
+            fk_column="hid",
+            ccs=census_good_ccs,
+            dcs=good_dcs(),
+        )
+        errors = result.report.errors
+        assert errors.dc_error == 0.0
+        assert errors.max_cc_error == 0.0
+
+
+class TestDeterminism:
+    def test_same_input_same_output(self, census_small, census_good_ccs):
+        solver = CExtensionSolver()
+        a = solver.solve(
+            census_small.persons_masked, census_small.housing,
+            fk_column="hid", ccs=census_good_ccs, dcs=good_dcs(),
+        )
+        b = solver.solve(
+            census_small.persons_masked, census_small.housing,
+            fk_column="hid", ccs=census_good_ccs, dcs=good_dcs(),
+        )
+        assert list(a.r1_hat.column("hid")) == list(b.r1_hat.column("hid"))
+        assert len(a.r2_hat) == len(b.r2_hat)
+
+
+class TestProposition55JoinEquality:
+    def test_join_recovers_view(self, solved_good):
+        """R1̂ ⋈ R2̂ must reproduce the Phase-I assignment exactly."""
+        view = solved_good.join_view()
+        assignment = solved_good.phase1.assignment
+        attrs = assignment.r2_attrs
+        for i in range(len(view)):
+            expected = assignment.values(i)
+            row = view.row(i)
+            for attr in attrs:
+                assert row[attr] == expected[attr]
+
+
+class TestBaselineComparison:
+    def test_figure8_ordering(self, census_small, census_bad_ccs, solved_bad):
+        """Hybrid dominates both baselines on the combined error."""
+        from repro.baselines import baseline_solve
+
+        base = baseline_solve(
+            census_small.persons_masked, census_small.housing,
+            fk_column="hid", ccs=census_bad_ccs, dcs=all_dcs(),
+        )
+        marg = baseline_solve(
+            census_small.persons_masked, census_small.housing,
+            fk_column="hid", ccs=census_bad_ccs, dcs=all_dcs(),
+            with_marginals=True,
+        )
+        hybrid_errors = solved_bad.report.errors
+        # DCs: hybrid exact, baselines violate.
+        assert hybrid_errors.dc_error == 0.0
+        assert base.errors.dc_error > 0.0
+        assert marg.errors.dc_error > 0.0
+        # CCs: marginals repair the baseline's CC error.
+        assert marg.errors.mean_cc_error <= base.errors.mean_cc_error

@@ -1,0 +1,164 @@
+"""Property-based end-to-end tests on random tiny instances."""
+
+import itertools
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import CExtensionSolver, SolverConfig
+from repro.constraints.cc import CardinalityConstraint
+from repro.constraints.dc import DenialConstraint, UnaryAtom
+from repro.core.metrics import dc_error, evaluate
+from repro.relational.predicate import Interval, Predicate, ValueSet
+from repro.relational.relation import Relation
+
+_RELS = ["Owner", "Spouse", "Child"]
+_AREAS = ["A", "B"]
+
+
+def _instance(ages, rels, areas):
+    r1 = Relation.from_columns(
+        {"pid": list(range(len(ages))), "Age": ages, "Rel": rels}, key="pid"
+    )
+    r2 = Relation.from_columns(
+        {"hid": list(range(len(areas))), "Area": areas}, key="hid"
+    )
+    return r1, r2
+
+
+@st.composite
+def _instances(draw):
+    n = draw(st.integers(2, 10))
+    ages = draw(st.lists(st.integers(0, 99), min_size=n, max_size=n))
+    rels = draw(
+        st.lists(st.sampled_from(_RELS), min_size=n, max_size=n)
+    )
+    m = draw(st.integers(1, 5))
+    areas = draw(
+        st.lists(st.sampled_from(_AREAS), min_size=m, max_size=m)
+    )
+    return ages, rels, areas
+
+
+@st.composite
+def _dcs(draw):
+    out = []
+    for _ in range(draw(st.integers(0, 2))):
+        rel_a = draw(st.sampled_from(_RELS))
+        rel_b = draw(st.sampled_from(_RELS))
+        out.append(
+            DenialConstraint(
+                [
+                    UnaryAtom(0, "Rel", "==", rel_a),
+                    UnaryAtom(1, "Rel", "==", rel_b),
+                ]
+            )
+        )
+    return out
+
+
+class TestPipelineInvariants:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(instance=_instances(), dcs=_dcs(), data=st.data())
+    def test_dcs_always_satisfied_and_join_consistent(
+        self, instance, dcs, data
+    ):
+        """DC error is zero and R1̂ ⋈ R2̂ is well-formed on any input."""
+        ages, rels, areas = instance
+        r1, r2 = _instance(ages, rels, areas)
+
+        # A random CC over the instance (target sampled within range).
+        ccs = []
+        if data.draw(st.booleans()):
+            lo = data.draw(st.integers(0, 99))
+            hi = data.draw(st.integers(lo, 99))
+            area = data.draw(st.sampled_from(_AREAS))
+            target = data.draw(st.integers(0, len(ages)))
+            ccs.append(
+                CardinalityConstraint(
+                    Predicate(
+                        {"Age": Interval(lo, hi), "Area": ValueSet([area])}
+                    ),
+                    target,
+                )
+            )
+
+        result = CExtensionSolver().solve(
+            r1, r2, fk_column="hid", ccs=ccs, dcs=dcs
+        )
+        # 1. Every DC satisfied, always.
+        assert dc_error(result.r1_hat, "hid", dcs) == 0.0
+        # 2. Output shapes.
+        assert len(result.r1_hat) == len(r1)
+        assert len(result.r2_hat) >= len(r2)
+        # 3. All FK values resolve against R2̂.
+        keys = set(result.r2_hat.column("hid"))
+        assert set(result.r1_hat.column("hid")) <= keys
+        # 4. Original R2 rows are preserved verbatim.
+        assert result.r2_hat.to_rows()[: len(r2)] == r2.to_rows()
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(instance=_instances())
+    def test_achievable_single_cc_is_exact(self, instance):
+        """A CC whose target equals an achievable count ends up exact."""
+        ages, rels, areas = instance
+        r1, r2 = _instance(ages, rels, areas)
+        area = areas[0]
+        in_range = sum(1 for a in ages if 20 <= a <= 60)
+        cc = CardinalityConstraint(
+            Predicate({"Age": Interval(20, 60), "Area": ValueSet([area])}),
+            in_range,
+        )
+        result = CExtensionSolver().solve(
+            r1, r2, fk_column="hid", ccs=[cc], dcs=[]
+        )
+        assert result.report.errors.per_cc[0] == 0.0
+
+
+class TestAgainstBruteForce:
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        ages=st.lists(st.integers(20, 60), min_size=2, max_size=5),
+        data=st.data(),
+    )
+    def test_no_new_tuples_when_brute_force_succeeds(self, ages, data):
+        """If a completion exists within R2's keys and the pipeline adds
+        no fresh tuples, its output is itself a valid completion."""
+        from repro.core.problem import CExtensionProblem
+
+        rels = data.draw(
+            st.lists(
+                st.sampled_from(_RELS),
+                min_size=len(ages),
+                max_size=len(ages),
+            )
+        )
+        r1, r2 = _instance(ages, rels, ["A", "A", "B"])
+        dcs = [
+            DenialConstraint(
+                [
+                    UnaryAtom(0, "Rel", "==", "Owner"),
+                    UnaryAtom(1, "Rel", "==", "Owner"),
+                ]
+            )
+        ]
+        result = CExtensionSolver().solve(
+            r1, r2, fk_column="hid", ccs=[], dcs=dcs
+        )
+        if result.phase2.stats.num_new_r2_tuples == 0:
+            problem = CExtensionProblem(
+                r1=r1, r2=r2, fk_column="hid", ccs=(), dcs=tuple(dcs)
+            )
+            assert problem.check(list(result.r1_hat.column("hid")))

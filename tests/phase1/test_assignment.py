@@ -1,0 +1,73 @@
+"""ViewAssignment bookkeeping."""
+
+import pytest
+
+from repro.errors import CompletionError
+from repro.phase1.assignment import ViewAssignment
+
+
+@pytest.fixture
+def assignment():
+    return ViewAssignment(n=4, r2_attrs=("Tenure", "Area"))
+
+
+class TestAssign:
+    def test_partial_then_complete(self, assignment):
+        assignment.assign(0, {"Area": "Chicago"})
+        assert assignment.is_touched(0)
+        assert not assignment.is_complete(0)
+        assignment.assign(0, {"Tenure": "Owned"})
+        assert assignment.is_complete(0)
+        assert assignment.combo(0) == ("Owned", "Chicago")
+
+    def test_conflicting_assignment_rejected(self, assignment):
+        assignment.assign(0, {"Area": "Chicago"})
+        with pytest.raises(CompletionError):
+            assignment.assign(0, {"Area": "NYC"})
+
+    def test_idempotent_reassignment_ok(self, assignment):
+        assignment.assign(0, {"Area": "Chicago"})
+        assignment.assign(0, {"Area": "Chicago"})
+
+    def test_unknown_attr_rejected(self, assignment):
+        with pytest.raises(CompletionError):
+            assignment.assign(0, {"Rel": "Owner"})
+
+    def test_intended_cc_sticks_to_first(self, assignment):
+        assignment.assign(0, {"Area": "Chicago"}, cc_index=3)
+        assignment.assign(0, {"Tenure": "Owned"}, cc_index=7)
+        assert assignment.intended_cc[0] == 3
+
+
+class TestQueries:
+    def test_combo_requires_completion(self, assignment):
+        assignment.assign(0, {"Area": "Chicago"})
+        with pytest.raises(CompletionError):
+            assignment.combo(0)
+
+    def test_index_partitions(self, assignment):
+        assignment.assign(0, {"Area": "Chicago", "Tenure": "Owned"})
+        assignment.assign(1, {"Area": "NYC"})
+        assert list(assignment.untouched_indices()) == [2, 3]
+        assert assignment.incomplete_indices() == [1]
+        assert assignment.complete_indices() == [0]
+
+    def test_completion_fraction(self, assignment):
+        assert assignment.completion_fraction() == 0.0
+        for i in range(4):
+            assignment.assign(i, {"Area": "x", "Tenure": "y"})
+        assert assignment.completion_fraction() == 1.0
+
+    def test_empty_assignment(self):
+        empty = ViewAssignment(n=0, r2_attrs=("A",))
+        assert empty.completion_fraction() == 1.0
+        assert len(empty.untouched_indices()) == 0
+
+    def test_untouched_mask(self, assignment):
+        assignment.assign(2, {"Area": "x"})
+        mask = assignment.untouched_mask()
+        assert mask.tolist() == [True, True, False, True]
+
+    def test_mark_invalid(self, assignment):
+        assignment.mark_invalid(3)
+        assert 3 in assignment.invalid

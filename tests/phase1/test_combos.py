@@ -1,0 +1,75 @@
+"""The R2 combo catalog and combo_unused logic."""
+
+import pytest
+
+from repro.constraints.parser import parse_cc
+from repro.phase1.combos import ComboCatalog
+from repro.relational.predicate import Predicate, ValueSet
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def catalog():
+    r2 = Relation.from_columns(
+        {
+            "hid": [1, 2, 3, 4, 5],
+            "Tenure": ["Owned", "Owned", "Rented", "Rented", "Owned"],
+            "Area": ["Chicago", "Chicago", "Chicago", "NYC", "NYC"],
+        },
+        key="hid",
+    )
+    return ComboCatalog.from_relation(r2)
+
+
+class TestCatalog:
+    def test_distinct_combos(self, catalog):
+        assert len(catalog.combos) == 4
+        assert catalog.attrs == ("Tenure", "Area")
+
+    def test_keys_by_combo(self, catalog):
+        assert sorted(catalog.keys_by_combo[("Owned", "Chicago")]) == [1, 2]
+        assert catalog.keys_by_combo[("Rented", "NYC")] == [4]
+
+    def test_matching_predicate(self, catalog):
+        chicago = Predicate({"Area": ValueSet(["Chicago"])})
+        assert len(catalog.matching(chicago)) == 2
+
+    def test_consistent_with_partial(self, catalog):
+        assert catalog.consistent({"Area": "NYC"}) == [
+            ("Owned", "NYC"),
+            ("Rented", "NYC"),
+        ]
+        assert catalog.consistent({}) == catalog.combos
+
+
+class TestComboUnused:
+    def test_globally_unused(self, catalog):
+        ccs = [
+            parse_cc("|Rel == 'Owner' & Area == 'Chicago'| = 1"),
+            parse_cc("|Rel == 'Owner' & Tenure == 'Owned' & Area == 'NYC'| = 1"),
+        ]
+        unused = catalog.globally_unused(ccs)
+        assert unused == [("Rented", "NYC")]
+
+    def test_r2_trivial_cc_cannot_be_avoided(self, catalog):
+        ccs = [parse_cc("|Rel == 'Owner'| = 1")]  # no R2 condition at all
+        assert catalog.globally_unused(ccs) == catalog.combos
+
+    def test_unused_for_row_depends_on_r1_values(self, catalog):
+        ccs = [parse_cc("|Rel == 'Owner' & Area == 'Chicago'| = 1")]
+        # An Owner row cannot take any Chicago combo without hitting the CC…
+        owner_unused = catalog.unused_for_row({"Rel": "Owner"}, ccs)
+        assert all(combo[1] != "Chicago" for combo in owner_unused)
+        # …but a Child row can.
+        child_unused = catalog.unused_for_row({"Rel": "Child"}, ccs)
+        assert child_unused == catalog.combos
+
+    def test_satisfied_ccs(self, catalog):
+        ccs = [
+            parse_cc("|Rel == 'Owner' & Area == 'Chicago'| = 1"),
+            parse_cc("|Rel == 'Owner' & Area == 'NYC'| = 1"),
+        ]
+        hit = catalog.satisfied_ccs(
+            {"Rel": "Owner"}, ("Owned", "Chicago"), ccs
+        )
+        assert hit == [0]

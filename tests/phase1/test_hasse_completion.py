@@ -1,0 +1,156 @@
+"""Algorithm 2 — exact completion over the Hasse forest (Example 4.6)."""
+
+import pytest
+
+from repro.constraints.hasse import HasseForest
+from repro.constraints.parser import parse_cc
+from repro.constraints.relationships import RelationshipTable
+from repro.phase1.assignment import ViewAssignment
+from repro.phase1.combos import ComboCatalog
+from repro.phase1.hasse_completion import complete_with_hasse
+from repro.relational.relation import Relation
+
+R1_ATTRS = ["Age", "Multi"]
+
+
+def _instance(num_rows=200, seed=1):
+    import random
+
+    rng = random.Random(seed)
+    ages = [rng.randint(0, 80) for _ in range(num_rows)]
+    multi = [rng.randint(0, 1) for _ in range(num_rows)]
+    r1 = Relation.from_columns(
+        {"pid": list(range(num_rows)), "Age": ages, "Multi": multi},
+        key="pid",
+    )
+    r2 = Relation.from_columns(
+        {
+            "hid": list(range(60)),
+            "Area": ["Chicago"] * 20 + ["NYC"] * 20 + ["LA"] * 20,
+        },
+        key="hid",
+    )
+    return r1, r2
+
+
+def _run(r1, r2, cc_texts):
+    ccs = [parse_cc(t) for t in cc_texts]
+    catalog = ComboCatalog.from_relation(r2)
+    table = RelationshipTable.build(ccs, set(R1_ATTRS), {"Area"})
+    forest = HasseForest.build(table, range(len(ccs)))
+    assignment = ViewAssignment(n=len(r1), r2_attrs=catalog.attrs)
+    stats = complete_with_hasse(r1, R1_ATTRS, catalog, ccs, forest, assignment)
+    return ccs, assignment, stats
+
+
+def _count(r1, assignment, cc):
+    total = 0
+    for i in range(len(r1)):
+        merged = r1.row(i)
+        values = assignment.values(i)
+        if values:
+            merged.update(values)
+        if cc.predicate.matches_row(merged):
+            total += 1
+    return total
+
+
+class TestDisjointBaseCase:
+    def test_disjoint_ccs_filled_exactly(self):
+        r1, r2 = _instance()
+        ccs, assignment, stats = _run(
+            r1, r2,
+            [
+                "|Age in [0, 9] & Area == 'Chicago'| = 5",
+                "|Age in [10, 19] & Area == 'NYC'| = 4",
+            ],
+        )
+        for cc in ccs:
+            assert _count(r1, assignment, cc) == cc.target
+        assert not stats.shortfalls
+        assert stats.assigned_rows == 9
+
+
+class TestNestedDiagrams:
+    def test_example_4_6_recursion(self):
+        """Child CCs complete first; parent takes the remainder."""
+        r1, r2 = _instance()
+        in_child = sum(1 for a in r1.column("Age") if 18 <= a <= 24)
+        child_target = min(6, in_child)
+        in_parent = sum(1 for a in r1.column("Age") if 13 <= a <= 64)
+        parent_target = min(in_parent, child_target + 20)
+        ccs, assignment, stats = _run(
+            r1, r2,
+            [
+                f"|Age in [13, 64] & Area == 'Chicago'| = {parent_target}",
+                f"|Age in [18, 24] & Multi == 0 & Area == 'Chicago'| = {child_target}",
+            ],
+        )
+        assert not stats.shortfalls
+        for cc in ccs:
+            assert _count(r1, assignment, cc) == cc.target
+
+    def test_three_level_chain(self):
+        r1, r2 = _instance(num_rows=400, seed=2)
+        ccs, assignment, stats = _run(
+            r1, r2,
+            [
+                "|Age in [0, 60] & Area == 'Chicago'| = 40",
+                "|Age in [10, 40] & Area == 'Chicago'| = 20",
+                "|Age in [20, 30] & Area == 'Chicago'| = 8",
+            ],
+        )
+        assert not stats.shortfalls
+        for cc in ccs:
+            assert _count(r1, assignment, cc) == cc.target
+
+
+class TestEdgeBehaviour:
+    def test_shortfall_recorded_when_data_runs_out(self):
+        r1, r2 = _instance(num_rows=20)
+        ccs, assignment, stats = _run(
+            r1, r2, ["|Age in [0, 80] & Area == 'Chicago'| = 1000"]
+        )
+        assert stats.shortfalls.get(0, 0) > 0
+
+    def test_oversubscribed_parent_recorded(self):
+        """Children targets exceeding the parent's are flagged."""
+        r1, r2 = _instance(num_rows=300, seed=3)
+        ccs, assignment, stats = _run(
+            r1, r2,
+            [
+                "|Age in [0, 60] & Area == 'Chicago'| = 5",
+                "|Age in [10, 40] & Area == 'Chicago'| = 9",
+            ],
+        )
+        assert stats.shortfalls.get(0, 0) < 0  # overshoot marker
+
+    def test_unsatisfiable_r2_condition_leaves_rows_free(self):
+        r1, r2 = _instance()
+        ccs, assignment, stats = _run(
+            r1, r2, ["|Age in [0, 80] & Area == 'Paris'| = 5"]
+        )
+        assert stats.assigned_rows == 0
+        assert stats.shortfalls.get(0) == 5
+
+    def test_partial_assignment_for_area_only_cc(self):
+        """An Area-only condition pins Area but leaves Tenure open."""
+        r1 = Relation.from_columns(
+            {"pid": [0, 1], "Age": [5, 6], "Multi": [0, 1]}, key="pid"
+        )
+        r2 = Relation.from_columns(
+            {
+                "hid": [0, 1],
+                "Tenure": ["Owned", "Rented"],
+                "Area": ["Chicago", "Chicago"],
+            },
+            key="hid",
+        )
+        ccs = [parse_cc("|Age in [0, 10] & Area == 'Chicago'| = 2")]
+        catalog = ComboCatalog.from_relation(r2)
+        table = RelationshipTable.build(ccs, {"Age", "Multi"}, {"Tenure", "Area"})
+        forest = HasseForest.build(table, [0])
+        assignment = ViewAssignment(n=2, r2_attrs=catalog.attrs)
+        complete_with_hasse(r1, ["Age", "Multi"], catalog, ccs, forest, assignment)
+        assert assignment.is_touched(0) and not assignment.is_complete(0)
+        assert assignment.values(0) == {"Area": "Chicago"}

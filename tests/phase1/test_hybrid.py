@@ -1,0 +1,134 @@
+"""The hybrid Phase-I pipeline (Section 4.3)."""
+
+import pytest
+
+from repro.constraints.parser import parse_cc
+from repro.phase1.hybrid import run_phase1
+from repro.relational.relation import Relation
+
+
+def _count(r1, assignment, cc):
+    total = 0
+    for i in range(len(r1)):
+        merged = r1.row(i)
+        values = assignment.values(i)
+        if values:
+            merged.update(values)
+        if cc.predicate.matches_row(merged):
+            total += 1
+    return total
+
+
+class TestRunningExample:
+    def test_intersecting_ccs_routed_to_ilp(self, paper_r1, paper_r2, paper_ccs):
+        result = run_phase1(paper_r1, paper_r2, paper_ccs)
+        assert result.s1_indices == []
+        assert result.s2_indices == [0, 1, 2, 3]
+        assert result.stats.num_s2 == 4
+
+    def test_all_targets_met(self, paper_r1, paper_r2, paper_ccs):
+        result = run_phase1(paper_r1, paper_r2, paper_ccs)
+        for cc in paper_ccs:
+            assert _count(paper_r1, result.assignment, cc) == cc.target
+        assert result.assignment.completion_fraction() == 1.0
+        assert not result.assignment.invalid
+
+
+class TestRouting:
+    def test_split_between_algorithms(self):
+        import random
+
+        rng = random.Random(0)
+        r1 = Relation.from_columns(
+            {
+                "pid": list(range(300)),
+                "Age": [rng.randint(0, 80) for _ in range(300)],
+                "Multi": [rng.randint(0, 1) for _ in range(300)],
+            },
+            key="pid",
+        )
+        r2 = Relation.from_columns(
+            {"hid": list(range(80)), "Area": ["Chicago"] * 40 + ["NYC"] * 40},
+            key="hid",
+        )
+        ccs = [
+            parse_cc("|Age in [10, 14] & Area == 'Chicago'| = 5"),   # clean
+            parse_cc("|Age in [20, 40] & Area == 'Chicago'| = 10"),  # ↘ intersect
+            parse_cc("|Age in [30, 50] & Area == 'NYC'| = 10"),      # ↗ intersect
+        ]
+        result = run_phase1(r1, r2, ccs)
+        assert result.s1_indices == [0]
+        assert sorted(result.s2_indices) == [1, 2]
+        assert result.stats.hasse is not None
+        assert result.stats.ilp is not None
+
+    def test_force_ilp_routes_everything(self, paper_r1, paper_r2):
+        ccs = [parse_cc("|Rel == 'Owner' & Area == 'NYC'| = 2")]
+        result = run_phase1(paper_r1, paper_r2, ccs, force_ilp=True)
+        assert result.s1_indices == []
+        assert result.s2_indices == [0]
+
+    def test_duplicate_ccs_deduped(self, paper_r1, paper_r2):
+        cc = parse_cc("|Rel == 'Owner' & Area == 'NYC'| = 2")
+        result = run_phase1(paper_r1, paper_r2, [cc, cc, cc])
+        assert result.stats.num_duplicates == 2
+
+    def test_no_ccs_fills_everything_arbitrarily(self, paper_r1, paper_r2):
+        result = run_phase1(paper_r1, paper_r2, [])
+        assert result.assignment.completion_fraction() == 1.0
+        assert not result.assignment.invalid
+
+
+class TestLeftoverCompletion:
+    def test_unconstrained_rows_add_no_cc_contribution(self):
+        """Leftover completion never perturbs the CC counts."""
+        r1 = Relation.from_columns(
+            {"pid": [0, 1, 2, 3, 4], "Age": [5, 5, 8, 70, 70]}, key="pid"
+        )
+        r2 = Relation.from_columns(
+            {"hid": [0, 1], "Area": ["Chicago", "NYC"]}, key="hid"
+        )
+        ccs = [parse_cc("|Age in [0, 10] & Area == 'Chicago'| = 2")]
+        result = run_phase1(r1, r2, ccs)
+        # The third young row (whichever it is) must avoid Chicago…
+        young_chicago = sum(
+            1
+            for row in (0, 1, 2)
+            if result.assignment.values(row) == {"Area": "Chicago"}
+        )
+        assert young_chicago == 2
+        # …and the exact count is preserved overall.
+        assert _count(r1, result.assignment, ccs[0]) == 2
+        assert result.assignment.completion_fraction() == 1.0
+
+    def test_invalid_tuples_when_no_safe_combo(self):
+        """If every combo is CC-relevant, leftovers become invalid."""
+        r1 = Relation.from_columns(
+            {"pid": [0, 1, 2], "Age": [5, 5, 5]}, key="pid"
+        )
+        r2 = Relation.from_columns({"hid": [0], "Area": ["Chicago"]}, key="hid")
+        ccs = [parse_cc("|Age in [0, 10] & Area == 'Chicago'| = 1")]
+        result = run_phase1(r1, r2, ccs)
+        # one row satisfies the CC; the other two cannot take Chicago
+        # without breaking it and there is no other combo.
+        assert len(result.assignment.invalid) == 2
+        assert result.stats.invalid_rows == 2
+
+    def test_partial_rows_completed_consistently(self):
+        """Area-only CC rows get a Tenure that keeps combos real."""
+        r1 = Relation.from_columns(
+            {"pid": [0, 1], "Age": [5, 6]}, key="pid"
+        )
+        r2 = Relation.from_columns(
+            {
+                "hid": [0, 1],
+                "Tenure": ["Owned", "Rented"],
+                "Area": ["Chicago", "Chicago"],
+            },
+            key="hid",
+        )
+        ccs = [parse_cc("|Age in [0, 10] & Area == 'Chicago'| = 2")]
+        result = run_phase1(r1, r2, ccs)
+        for row in (0, 1):
+            combo = result.assignment.combo(row)
+            assert combo in result.catalog.combos

@@ -1,0 +1,67 @@
+"""Conflict hypergraph structure."""
+
+from repro.phase2.hypergraph import ConflictHypergraph
+
+
+class TestConstruction:
+    def test_over_vertices(self):
+        graph = ConflictHypergraph.over([1, 2, 3])
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 0
+
+    def test_add_edge_creates_vertices(self):
+        graph = ConflictHypergraph()
+        assert graph.add_edge([1, 2])
+        assert graph.num_vertices == 2
+
+    def test_duplicate_edge_ignored(self):
+        graph = ConflictHypergraph()
+        assert graph.add_edge([1, 2])
+        assert not graph.add_edge([2, 1])
+        assert graph.num_edges == 1
+
+    def test_degenerate_edge_rejected(self):
+        graph = ConflictHypergraph()
+        assert not graph.add_edge([1])
+        assert not graph.add_edge([1, 1])
+
+    def test_hyperedge(self):
+        graph = ConflictHypergraph()
+        assert graph.add_edge([1, 2, 3])
+        assert graph.degree(1) == 1
+
+
+class TestQueries:
+    def test_degree_and_incidence(self):
+        graph = ConflictHypergraph()
+        graph.add_edge([1, 2])
+        graph.add_edge([1, 3])
+        graph.add_edge([2, 3])
+        assert graph.degree(1) == 2
+        assert len(graph.incident_edges(1)) == 2
+        assert graph.degree(99) == 0
+
+    def test_is_proper_binary(self):
+        graph = ConflictHypergraph()
+        graph.add_edge([1, 2])
+        assert graph.is_proper({1: "a", 2: "b"})
+        assert not graph.is_proper({1: "a", 2: "a"})
+
+    def test_is_proper_hyperedge_needs_two_colors(self):
+        graph = ConflictHypergraph()
+        graph.add_edge([1, 2, 3])
+        assert graph.is_proper({1: "a", 2: "a", 3: "b"})
+        assert not graph.is_proper({1: "a", 2: "a", 3: "a"})
+
+    def test_uncolored_vertices_do_not_violate(self):
+        graph = ConflictHypergraph()
+        graph.add_edge([1, 2])
+        assert graph.is_proper({1: "a"})
+
+    def test_clique_lower_bound(self):
+        graph = ConflictHypergraph()
+        for a in (1, 2, 3):
+            for b in (1, 2, 3):
+                if a < b:
+                    graph.add_edge([a, b])
+        assert graph.max_clique_lower_bound() == 3

@@ -1,0 +1,75 @@
+"""solveInvalidTuples (Algorithm 4, line 16)."""
+
+import pytest
+
+from repro.constraints.parser import parse_cc, parse_dc
+from repro.core.metrics import dc_error, evaluate
+from repro.phase1.hybrid import run_phase1
+from repro.phase2.fk_assignment import run_phase2
+from repro.relational.relation import Relation
+
+
+def _invalid_instance():
+    """Three same-age rows, one Chicago-only combo, CC permits one row."""
+    r1 = Relation.from_columns(
+        {"pid": [0, 1, 2], "Age": [5, 5, 5], "Rel": ["Child"] * 3}, key="pid"
+    )
+    r2 = Relation.from_columns({"hid": [1], "Area": ["Chicago"]}, key="hid")
+    ccs = [parse_cc("|Age in [0, 10] & Area == 'Chicago'| = 1")]
+    return r1, r2, ccs
+
+
+class TestInvalidHandling:
+    def test_invalid_rows_eventually_colored(self):
+        r1, r2, ccs = _invalid_instance()
+        phase1 = run_phase1(r1, r2, ccs)
+        assert len(phase1.assignment.invalid) == 2
+        phase2 = run_phase2(
+            r1, r2, [], phase1.assignment, phase1.catalog, "hid", ccs=ccs
+        )
+        assert phase2.stats.num_invalid_handled == 2
+        assert len(phase2.coloring) == 3
+        assert not phase1.assignment.invalid  # drained
+
+    def test_invalid_rows_respect_dcs(self):
+        r1, r2, ccs = _invalid_instance()
+        dcs = [parse_dc("not(t1.Rel == 'Child' & t2.Rel == 'Child')")]
+        phase1 = run_phase1(r1, r2, ccs)
+        phase2 = run_phase2(
+            r1, r2, dcs, phase1.assignment, phase1.catalog, "hid", ccs=ccs
+        )
+        assert dc_error(phase2.r1_hat, "hid", dcs) == 0.0
+        # pairwise conflicting children → three distinct households
+        assert len(set(phase2.r1_hat.column("hid"))) == 3
+
+    def test_join_view_still_consistent(self):
+        r1, r2, ccs = _invalid_instance()
+        phase1 = run_phase1(r1, r2, ccs)
+        phase2 = run_phase2(
+            r1, r2, [], phase1.assignment, phase1.catalog, "hid", ccs=ccs
+        )
+        report = evaluate(phase2.r1_hat, phase2.r2_hat, "hid", ccs, [])
+        # Invalid rows took the only existing key (no DCs forbid it), so
+        # the CC gains two extra rows: error = 2 / max(10, 1).
+        assert report.per_cc[0] == pytest.approx(0.2)
+
+    def test_min_error_combo_prefers_under_target(self):
+        """A fresh-key invalid row chases the under-target CC."""
+        r1 = Relation.from_columns(
+            {"pid": [0, 1], "Age": [5, 5], "Rel": ["Child", "Child"]},
+            key="pid",
+        )
+        r2 = Relation.from_columns(
+            {"hid": [1, 2], "Area": ["Chicago", "NYC"]}, key="hid"
+        )
+        # Both CCs cover all combos → leftovers cannot be placed safely.
+        ccs = [
+            parse_cc("|Age in [0, 10] & Area == 'Chicago'| = 1"),
+            parse_cc("|Age in [0, 10] & Area == 'NYC'| = 1"),
+        ]
+        phase1 = run_phase1(r1, r2, ccs)
+        phase2 = run_phase2(
+            r1, r2, [], phase1.assignment, phase1.catalog, "hid", ccs=ccs
+        )
+        report = evaluate(phase2.r1_hat, phase2.r2_hat, "hid", ccs, [])
+        assert report.mean_cc_error == 0.0

@@ -1,0 +1,48 @@
+"""CSV round-tripping."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.csvio import read_csv, write_csv
+from repro.relational.relation import Relation
+from repro.relational.schema import ColumnSpec, Schema
+from repro.relational.types import Dtype
+
+
+@pytest.fixture
+def relation():
+    return Relation.from_columns(
+        {"pid": [1, 2], "Age": [30, 40], "Rel": ["Owner", "Spouse"]},
+        key="pid",
+    )
+
+
+def test_round_trip(tmp_path, relation):
+    path = tmp_path / "persons.csv"
+    write_csv(relation, path)
+    loaded = read_csv(path, relation.schema)
+    assert loaded.to_rows() == relation.to_rows()
+    assert loaded.schema.dtype("Age") is Dtype.INT
+
+
+def test_key_override(tmp_path, relation):
+    path = tmp_path / "persons.csv"
+    write_csv(relation, path)
+    schema = Schema(list(relation.schema.columns))  # keyless copy
+    loaded = read_csv(path, schema, key="pid")
+    assert loaded.schema.key == "pid"
+
+
+def test_header_mismatch_rejected(tmp_path, relation):
+    path = tmp_path / "persons.csv"
+    write_csv(relation, path)
+    wrong = Schema([ColumnSpec("x", Dtype.INT)])
+    with pytest.raises(SchemaError):
+        read_csv(path, wrong)
+
+
+def test_empty_file_rejected(tmp_path, relation):
+    path = tmp_path / "empty.csv"
+    path.write_text("")
+    with pytest.raises(SchemaError):
+        read_csv(path, relation.schema)

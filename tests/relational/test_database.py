@@ -1,0 +1,75 @@
+"""Databases with FK edges and BFS traversal (Example 5.6's shape)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+def _university() -> Database:
+    db = Database()
+    db.add_relation(
+        "Students",
+        Relation.from_columns({"sid": [1, 2], "Year": [1, 2]}, key="sid"),
+    )
+    db.add_relation(
+        "Majors",
+        Relation.from_columns({"mid": [1], "Name": ["CS"]}, key="mid"),
+    )
+    db.add_relation(
+        "Courses",
+        Relation.from_columns({"cid": [1], "Title": ["DB"]}, key="cid"),
+    )
+    db.add_relation(
+        "Departments",
+        Relation.from_columns({"did": [1], "Dept": ["Engineering"]}, key="did"),
+    )
+    db.add_foreign_key("Students", "major_id", "Majors")
+    db.add_foreign_key("Students", "course_id", "Courses")
+    db.add_foreign_key("Majors", "dept_id", "Departments")
+    return db
+
+
+class TestDatabase:
+    def test_duplicate_relation_rejected(self):
+        db = Database()
+        db.add_relation("r", Relation.from_columns({"k": [1]}, key="k"))
+        with pytest.raises(SchemaError):
+            db.add_relation("r", Relation.from_columns({"k": [1]}, key="k"))
+
+    def test_unknown_relation_rejected(self):
+        with pytest.raises(SchemaError):
+            Database().relation("missing")
+
+    def test_replace_requires_existing(self):
+        db = Database()
+        with pytest.raises(SchemaError):
+            db.replace_relation("r", Relation.from_columns({"k": [1]}))
+
+    def test_fk_to_keyless_parent_rejected(self):
+        db = Database()
+        db.add_relation("a", Relation.from_columns({"x": [1]}, key="x"))
+        db.add_relation("b", Relation.from_columns({"y": [1]}))
+        with pytest.raises(SchemaError):
+            db.add_foreign_key("a", "fk", "b")
+
+    def test_fk_column_may_be_missing(self):
+        """The to-be-imputed FK column need not exist yet."""
+        db = _university()
+        assert "major_id" not in db.relation("Students").schema
+
+
+class TestBfs:
+    def test_bfs_order_matches_example_5_6(self):
+        db = _university()
+        order = [(fk.child, fk.parent) for fk in db.bfs_edges("Students")]
+        assert order == [
+            ("Students", "Majors"),
+            ("Students", "Courses"),
+            ("Majors", "Departments"),
+        ]
+
+    def test_bfs_unknown_fact_table(self):
+        with pytest.raises(SchemaError):
+            _university().bfs_edges("missing")

@@ -1,0 +1,68 @@
+"""Foreign-key joins and the join-view schema."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.join import fk_join, join_view_schema
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def r1():
+    return Relation.from_columns(
+        {"pid": [1, 2, 3], "Age": [30, 40, 50], "hid": [10, 10, 20]},
+        key="pid",
+    )
+
+
+@pytest.fixture
+def r2():
+    return Relation.from_columns(
+        {"hid": [10, 20], "Area": ["Chicago", "NYC"]}, key="hid"
+    )
+
+
+class TestJoinViewSchema:
+    def test_schema_without_fk(self, r1, r2):
+        schema = join_view_schema(r1, r2, "hid")
+        assert schema.names == ("pid", "Age", "Area")
+        assert schema.key == "pid"
+
+    def test_schema_with_fk(self, r1, r2):
+        schema = join_view_schema(r1, r2, "hid", include_fk=True)
+        assert schema.names == ("pid", "Age", "hid", "Area")
+
+    def test_requires_r2_key(self, r1):
+        keyless = Relation.from_columns({"hid": [1], "Area": ["x"]})
+        with pytest.raises(SchemaError):
+            join_view_schema(r1, keyless, "hid")
+
+    def test_column_collision_rejected(self, r1):
+        clashing = Relation.from_columns(
+            {"hid": [10], "Age": [99]}, key="hid"
+        )
+        with pytest.raises(SchemaError):
+            join_view_schema(r1, clashing, "hid")
+
+
+class TestFkJoin:
+    def test_one_row_per_r1_row(self, r1, r2):
+        joined = fk_join(r1, r2, "hid")
+        assert len(joined) == len(r1)
+        assert list(joined.column("Area")) == ["Chicago", "Chicago", "NYC"]
+
+    def test_projection(self, r1, r2):
+        joined = fk_join(r1, r2, "hid", output_columns=["pid", "Area"])
+        assert joined.schema.names == ("pid", "Area")
+
+    def test_dangling_fk_rejected(self, r2):
+        bad = Relation.from_columns(
+            {"pid": [1], "Age": [30], "hid": [99]}, key="pid"
+        )
+        with pytest.raises(SchemaError):
+            fk_join(bad, r2, "hid")
+
+    def test_missing_fk_column_rejected(self, r2):
+        no_fk = Relation.from_columns({"pid": [1], "Age": [30]}, key="pid")
+        with pytest.raises(SchemaError):
+            fk_join(no_fk, r2, "hid")

@@ -1,0 +1,192 @@
+"""Conditions and conjunctive predicates, including hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PredicateError
+from repro.relational.predicate import (
+    Interval,
+    Predicate,
+    TRUE_PREDICATE,
+    ValueSet,
+    condition_from_atom,
+)
+from repro.relational.types import CatDomain, IntDomain
+
+
+class TestInterval:
+    def test_matches_inclusive(self):
+        interval = Interval(10, 20)
+        assert interval.matches(10) and interval.matches(20)
+        assert not interval.matches(9) and not interval.matches(21)
+
+    def test_matches_numpy_scalar(self):
+        assert Interval(0, 24).matches(np.int64(24))
+
+    def test_non_numeric_never_matches(self):
+        assert not Interval(0, 10).matches("Owner")
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(PredicateError):
+            Interval(5, 4)
+
+    def test_mask(self):
+        values = np.asarray([1, 15, 30])
+        assert Interval(10, 20).mask(values).tolist() == [False, True, False]
+
+    def test_subset(self):
+        assert Interval(12, 15).is_subset_of(Interval(10, 20))
+        assert not Interval(5, 15).is_subset_of(Interval(10, 20))
+
+    def test_disjoint(self):
+        assert Interval(0, 9).is_disjoint_from(Interval(10, 20))
+        assert not Interval(0, 10).is_disjoint_from(Interval(10, 20))
+
+    def test_intersect(self):
+        assert Interval(0, 15).intersect(Interval(10, 20)) == Interval(10, 15)
+        assert Interval(0, 5).intersect(Interval(10, 20)) is None
+
+    def test_cross_type_relations(self):
+        interval, values = Interval(0, 5), ValueSet(["a"])
+        assert interval.is_disjoint_from(values)
+        assert not interval.is_subset_of(values)
+        assert interval.intersect(values) is None
+
+
+class TestValueSet:
+    def test_matches(self):
+        vs = ValueSet(["Owner", "Spouse"])
+        assert vs.matches("Owner")
+        assert not vs.matches("Child")
+
+    def test_empty_rejected(self):
+        with pytest.raises(PredicateError):
+            ValueSet([])
+
+    def test_mask_singleton_and_multi(self):
+        values = np.asarray(["a", "b", "c"], dtype=object)
+        assert ValueSet(["b"]).mask(values).tolist() == [False, True, False]
+        assert ValueSet(["a", "c"]).mask(values).tolist() == [True, False, True]
+
+    def test_subset_disjoint_intersect(self):
+        small, big = ValueSet(["a"]), ValueSet(["a", "b"])
+        assert small.is_subset_of(big)
+        assert not big.is_subset_of(small)
+        assert big.intersect(ValueSet(["b", "c"])) == ValueSet(["b"])
+        assert ValueSet(["x"]).is_disjoint_from(ValueSet(["y"]))
+
+
+class TestConditionFromAtom:
+    def test_equality_int(self):
+        assert condition_from_atom("==", 5) == Interval(5, 5)
+
+    def test_open_comparisons_close_up(self):
+        assert condition_from_atom(">", 24, IntDomain(0, 114)) == Interval(25, 114)
+        assert condition_from_atom("<", 24, IntDomain(0, 114)) == Interval(0, 23)
+        assert condition_from_atom(">=", 24, IntDomain(0, 114)) == Interval(24, 114)
+        assert condition_from_atom("<=", 24, IntDomain(0, 114)) == Interval(0, 24)
+
+    def test_string_equality(self):
+        assert condition_from_atom("==", "Owner") == ValueSet(["Owner"])
+
+    def test_string_not_equal_needs_domain(self):
+        with pytest.raises(PredicateError):
+            condition_from_atom("!=", "Owner")
+        domain = CatDomain(["Owner", "Spouse", "Child"])
+        assert condition_from_atom("!=", "Owner", domain) == ValueSet(
+            ["Spouse", "Child"]
+        )
+
+    def test_int_not_equal_unsupported(self):
+        with pytest.raises(PredicateError):
+            condition_from_atom("!=", 5)
+
+    def test_unknown_operator(self):
+        with pytest.raises(PredicateError):
+            condition_from_atom("~", 5)
+
+
+class TestPredicate:
+    def test_matches_row(self):
+        p = Predicate({"Age": Interval(0, 24), "Rel": ValueSet(["Owner"])})
+        assert p.matches_row({"Age": 20, "Rel": "Owner"})
+        assert not p.matches_row({"Age": 30, "Rel": "Owner"})
+
+    def test_trivial_predicate(self):
+        assert TRUE_PREDICATE.is_trivial
+        assert TRUE_PREDICATE.matches_row({"anything": 1})
+
+    def test_mask_conjunction(self):
+        columns = {
+            "Age": np.asarray([10, 30, 20]),
+            "Rel": np.asarray(["Owner", "Owner", "Child"], dtype=object),
+        }
+        p = Predicate({"Age": Interval(0, 24), "Rel": ValueSet(["Owner"])})
+        assert p.mask(columns, 3).tolist() == [True, False, False]
+
+    def test_restrict_and_drop(self):
+        p = Predicate({"Age": Interval(0, 24), "Rel": ValueSet(["Owner"])})
+        assert p.restrict(["Age"]).attributes == frozenset({"Age"})
+        assert p.drop(["Age"]).attributes == frozenset({"Rel"})
+
+    def test_conjoin_merges_and_detects_contradiction(self):
+        a = Predicate({"Age": Interval(0, 24)})
+        b = Predicate({"Age": Interval(20, 40), "Rel": ValueSet(["Owner"])})
+        merged = a.conjoin(b)
+        assert merged.condition("Age") == Interval(20, 24)
+        assert merged.condition("Rel") == ValueSet(["Owner"])
+        assert a.conjoin(Predicate({"Age": Interval(30, 40)})) is None
+
+    def test_subset_definition_4_3(self):
+        broad = Predicate({"Age": Interval(13, 64)})
+        narrow = Predicate({"Age": Interval(18, 24), "Multi": Interval(0, 0)})
+        assert narrow.is_subset_of(broad)
+        assert not broad.is_subset_of(narrow)
+
+    def test_everything_is_subset_of_true(self):
+        p = Predicate({"Age": Interval(0, 1)})
+        assert p.is_subset_of(TRUE_PREDICATE)
+
+    def test_disjoint(self):
+        a = Predicate({"Age": Interval(0, 9)})
+        b = Predicate({"Age": Interval(10, 20)})
+        assert a.is_disjoint_from(b)
+        c = Predicate({"Rel": ValueSet(["Owner"])})
+        assert not a.is_disjoint_from(c)  # different attributes overlap
+
+    def test_equality_is_order_insensitive(self):
+        a = Predicate({"X": Interval(0, 1), "Y": ValueSet(["v"])})
+        b = Predicate({"Y": ValueSet(["v"]), "X": Interval(0, 1)})
+        assert a == b and hash(a) == hash(b)
+
+
+_intervals = st.tuples(
+    st.integers(0, 100), st.integers(0, 100)
+).map(lambda p: Interval(min(p), max(p)))
+
+
+class TestIntervalProperties:
+    @given(_intervals, _intervals)
+    def test_subset_implies_membership_inheritance(self, a, b):
+        if a.is_subset_of(b):
+            for point in (a.lo, a.hi, (a.lo + a.hi) // 2):
+                assert b.matches(point)
+
+    @given(_intervals, _intervals)
+    def test_disjoint_means_no_common_point(self, a, b):
+        common = a.intersect(b)
+        assert a.is_disjoint_from(b) == (common is None)
+        if common is not None:
+            assert a.matches(common.lo) and b.matches(common.lo)
+
+    @given(_intervals, _intervals, st.integers(0, 100))
+    def test_intersection_is_conjunction(self, a, b, x):
+        common = a.intersect(b)
+        both = a.matches(x) and b.matches(x)
+        assert both == (common is not None and common.matches(x))
+
+    @given(_intervals, _intervals)
+    def test_relations_are_mutually_consistent(self, a, b):
+        # subset and disjoint cannot hold together (intervals are nonempty)
+        assert not (a.is_subset_of(b) and a.is_disjoint_from(b))

@@ -1,0 +1,159 @@
+"""The columnar Relation engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.predicate import Interval, Predicate, ValueSet
+from repro.relational.relation import Relation
+from repro.relational.schema import ColumnSpec, Schema
+from repro.relational.types import Dtype
+
+
+@pytest.fixture
+def persons():
+    return Relation.from_columns(
+        {
+            "pid": [1, 2, 3, 4],
+            "Age": [75, 25, 24, 10],
+            "Rel": ["Owner", "Owner", "Spouse", "Child"],
+        },
+        key="pid",
+    )
+
+
+class TestConstruction:
+    def test_from_columns_infers_dtypes(self, persons):
+        assert persons.schema.dtype("Age") is Dtype.INT
+        assert persons.schema.dtype("Rel") is Dtype.STR
+        assert len(persons) == 4
+
+    def test_from_rows(self):
+        schema = Schema(
+            [ColumnSpec("a", Dtype.INT), ColumnSpec("b", Dtype.STR)]
+        )
+        relation = Relation.from_rows(schema, [(1, "x"), (2, "y")])
+        assert relation.to_rows() == [(1, "x"), (2, "y")]
+
+    def test_from_dicts(self):
+        schema = Schema([ColumnSpec("a", Dtype.INT)])
+        relation = Relation.from_dicts(schema, [{"a": 3}, {"a": 4}])
+        assert list(relation.column("a")) == [3, 4]
+
+    def test_empty(self):
+        schema = Schema([ColumnSpec("a", Dtype.INT)])
+        assert len(Relation.empty(schema)) == 0
+
+    def test_ragged_columns_rejected(self):
+        schema = Schema([ColumnSpec("a", Dtype.INT), ColumnSpec("b", Dtype.INT)])
+        with pytest.raises(SchemaError):
+            Relation(schema, {"a": np.asarray([1]), "b": np.asarray([1, 2])})
+
+    def test_missing_column_rejected(self):
+        schema = Schema([ColumnSpec("a", Dtype.INT)])
+        with pytest.raises(SchemaError):
+            Relation(schema, {})
+
+
+class TestAccess:
+    def test_row_and_row_tuple(self, persons):
+        assert persons.row(0) == {"pid": 1, "Age": 75, "Rel": "Owner"}
+        assert persons.row_tuple(1, ["Rel", "Age"]) == ("Owner", 25)
+
+    def test_iter_rows(self, persons):
+        rows = list(persons.iter_rows())
+        assert len(rows) == 4 and rows[3]["Rel"] == "Child"
+
+    def test_unknown_column(self, persons):
+        with pytest.raises(SchemaError):
+            persons.column("missing")
+
+
+class TestSelection:
+    def test_select_and_count(self, persons):
+        owners = Predicate({"Rel": ValueSet(["Owner"])})
+        assert persons.count(owners) == 2
+        assert len(persons.select(owners)) == 2
+
+    def test_mask_requires_known_attrs(self, persons):
+        with pytest.raises(SchemaError):
+            persons.mask(Predicate({"missing": Interval(0, 1)}))
+
+    def test_take(self, persons):
+        taken = persons.take([2, 0])
+        assert list(taken.column("pid")) == [3, 1]
+
+
+class TestRelationalOps:
+    def test_project(self, persons):
+        projected = persons.project(["Age", "Rel"])
+        assert projected.schema.names == ("Age", "Rel")
+        assert projected.schema.key is None
+
+    def test_group_counts_and_indices(self, persons):
+        counts = persons.group_counts(["Rel"])
+        assert counts[("Owner",)] == 2
+        indices = persons.group_indices(["Rel"])
+        assert sorted(indices[("Owner",)].tolist()) == [0, 1]
+
+    def test_distinct(self, persons):
+        assert (
+            ("Child",) in persons.distinct(["Rel"])
+            and len(persons.distinct(["Rel"])) == 3
+        )
+
+    def test_with_column(self, persons):
+        extended = persons.with_column(
+            ColumnSpec("hid", Dtype.INT), [1, 2, 3, 4]
+        )
+        assert "hid" in extended.schema
+        with pytest.raises(SchemaError):
+            extended.with_column(ColumnSpec("hid", Dtype.INT), [0] * 4)
+        with pytest.raises(SchemaError):
+            persons.with_column(ColumnSpec("x", Dtype.INT), [1])
+
+    def test_drop_column(self, persons):
+        dropped = persons.drop_column("Age")
+        assert "Age" not in dropped.schema
+        with pytest.raises(SchemaError):
+            persons.drop_column("missing")
+
+    def test_append_rows(self, persons):
+        appended = persons.append_rows([(5, 40, "Sibling")])
+        assert len(appended) == 5
+        assert appended.row(4)["Rel"] == "Sibling"
+        assert len(persons) == 4  # original untouched
+
+    def test_append_nothing(self, persons):
+        assert persons.append_rows([]) is persons
+
+    def test_concat(self, persons):
+        doubled = persons.concat(persons)
+        assert len(doubled) == 8
+
+    def test_concat_schema_mismatch(self, persons):
+        other = persons.project(["Age", "Rel"])
+        with pytest.raises(SchemaError):
+            persons.concat(other)
+
+
+class TestKeys:
+    def test_key_index(self, persons):
+        index = persons.key_index()
+        assert index[2] == 1
+
+    def test_duplicate_keys_rejected(self):
+        relation = Relation.from_columns({"k": [1, 1]}, key="k")
+        with pytest.raises(SchemaError):
+            relation.key_index()
+
+    def test_no_key_rejected(self):
+        relation = Relation.from_columns({"a": [1]})
+        with pytest.raises(SchemaError):
+            relation.key_index()
+
+
+class TestPretty:
+    def test_pretty_renders_and_truncates(self, persons):
+        text = persons.pretty(limit=2)
+        assert "pid" in text and "more rows" in text

@@ -1,0 +1,77 @@
+"""Schema validation and manipulation."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.schema import ColumnSpec, Schema
+from repro.relational.types import CatDomain, Dtype, IntDomain
+
+
+def _schema():
+    return Schema(
+        [
+            ColumnSpec("pid", Dtype.INT),
+            ColumnSpec("Age", Dtype.INT, IntDomain(0, 114)),
+            ColumnSpec("Rel", Dtype.STR),
+        ],
+        key="pid",
+    )
+
+
+class TestColumnSpec:
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            ColumnSpec("", Dtype.INT)
+
+    def test_domain_dtype_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            ColumnSpec("Age", Dtype.STR, IntDomain(0, 10))
+        with pytest.raises(SchemaError):
+            ColumnSpec("Rel", Dtype.INT, CatDomain(["a"]))
+
+
+class TestSchema:
+    def test_names_and_key(self):
+        schema = _schema()
+        assert schema.names == ("pid", "Age", "Rel")
+        assert schema.key == "pid"
+        assert schema.nonkey_names == ("Age", "Rel")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([ColumnSpec("a", Dtype.INT), ColumnSpec("a", Dtype.STR)])
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([ColumnSpec("a", Dtype.INT)], key="b")
+
+    def test_spec_lookup(self):
+        schema = _schema()
+        assert schema.spec("Age").dtype is Dtype.INT
+        assert schema.domain("Age") == IntDomain(0, 114)
+        with pytest.raises(SchemaError):
+            schema.spec("missing")
+
+    def test_contains_and_iteration(self):
+        schema = _schema()
+        assert "Age" in schema and "missing" not in schema
+        assert len(schema) == 3
+        assert [c.name for c in schema] == ["pid", "Age", "Rel"]
+
+    def test_require(self):
+        schema = _schema()
+        schema.require(["Age", "Rel"])  # no raise
+        with pytest.raises(SchemaError):
+            schema.require(["Age", "missing"])
+
+    def test_project_keeps_key_when_present(self):
+        schema = _schema()
+        projected = schema.project(["pid", "Age"])
+        assert projected.key == "pid"
+        dropped = schema.project(["Age"])
+        assert dropped.key is None
+
+    def test_extend(self):
+        schema = _schema().extend([ColumnSpec("hid", Dtype.INT)])
+        assert schema.names[-1] == "hid"
+        assert schema.key == "pid"

@@ -1,0 +1,74 @@
+"""Column types and domains."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.types import CatDomain, Dtype, IntDomain, infer_dtype
+
+
+class TestIntDomain:
+    def test_contains_bounds_inclusive(self):
+        domain = IntDomain(0, 114)
+        assert domain.contains(0)
+        assert domain.contains(114)
+        assert not domain.contains(-1)
+        assert not domain.contains(115)
+
+    def test_rejects_non_numeric(self):
+        assert not IntDomain(0, 10).contains("five")
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(SchemaError):
+            IntDomain(5, 4)
+
+    def test_values_enumeration(self):
+        assert list(IntDomain(3, 6).values()) == [3, 4, 5, 6]
+
+    def test_unbounded_domain_cannot_enumerate(self):
+        domain = IntDomain()
+        assert not domain.is_finite
+        with pytest.raises(SchemaError):
+            domain.values()
+
+    def test_dtype_is_int(self):
+        assert IntDomain(0, 1).dtype is Dtype.INT
+
+
+class TestCatDomain:
+    def test_contains(self):
+        domain = CatDomain(["Owner", "Spouse"])
+        assert domain.contains("Owner")
+        assert not domain.contains("Child")
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            CatDomain([])
+
+    def test_values_sorted_deterministically(self):
+        domain = CatDomain(["b", "a", "c"])
+        assert domain.values() == ("a", "b", "c")
+
+    def test_dtype_is_str(self):
+        assert CatDomain(["x"]).dtype is Dtype.STR
+
+
+class TestInferDtype:
+    def test_integers(self):
+        assert infer_dtype([1, 2, 3]) is Dtype.INT
+
+    def test_strings(self):
+        assert infer_dtype(["a", "b"]) is Dtype.STR
+
+    def test_floats_are_categorical(self):
+        assert infer_dtype([1.5]) is Dtype.STR
+
+    def test_mixed_is_categorical(self):
+        assert infer_dtype([1, "a"]) is Dtype.STR
+
+    def test_bools_are_integers(self):
+        assert infer_dtype([True, False]) is Dtype.INT
+
+    def test_numpy_integers(self):
+        import numpy as np
+
+        assert infer_dtype(list(np.asarray([1, 2]))) is Dtype.INT

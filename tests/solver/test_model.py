@@ -1,0 +1,62 @@
+"""The LP/ILP model builder."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.solver.model import Model
+
+
+class TestModel:
+    def test_add_variable_defaults(self):
+        model = Model()
+        var = model.add_variable("x")
+        assert var.lower == 0.0 and math.isinf(var.upper)
+        assert not var.integer
+
+    def test_variable_names_default(self):
+        model = Model()
+        assert model.add_variable().name == "x0"
+        assert model.add_variable().name == "x1"
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(SolverError):
+            Model().add_variable("x", lower=5, upper=4)
+
+    def test_constraint_validation(self):
+        model = Model()
+        x = model.add_variable("x")
+        with pytest.raises(SolverError):
+            model.add_constraint({x.index: 1.0}, "~~", 1)
+        with pytest.raises(SolverError):
+            model.add_constraint({99: 1.0}, "==", 1)
+
+    def test_integer_indices(self):
+        model = Model()
+        model.add_variable("a", integer=True)
+        model.add_variable("b")
+        model.add_variable("c", integer=True)
+        assert model.integer_indices == [0, 2]
+
+    def test_dense_export(self):
+        model = Model()
+        x = model.add_variable("x", objective=2.0, upper=9.0)
+        y = model.add_variable("y")
+        model.add_constraint({x.index: 1.0, y.index: 3.0}, "<=", 7.0)
+        model.add_constraint({y.index: 1.0}, ">=", 1.0)
+        a, b, senses, c, lower, upper = model.dense()
+        assert a.shape == (2, 2)
+        assert np.allclose(a[0], [1.0, 3.0])
+        assert senses == ["<=", ">="]
+        assert np.allclose(b, [7.0, 1.0])
+        assert np.allclose(c, [2.0, 0.0])
+        assert upper[0] == 9.0 and math.isinf(upper[1])
+
+    def test_set_objective_replaces(self):
+        model = Model()
+        x = model.add_variable("x", objective=5.0)
+        model.set_objective({x.index: 1.0})
+        _, _, _, c, _, _ = model.dense()
+        assert c[0] == 1.0

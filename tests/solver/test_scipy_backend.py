@@ -1,0 +1,82 @@
+"""HiGHS backend, and its agreement with the native solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.solver import Model, branch_and_bound, scipy_solve, solve_model
+from repro.solver.result import SolveStatus
+
+
+def _model_from(c, rows, rhs, upper):
+    model = Model()
+    for j, (cost, ub) in enumerate(zip(c, upper)):
+        model.add_variable(f"x{j}", upper=float(ub), integer=True,
+                           objective=float(cost))
+    for row, b in zip(rows, rhs):
+        coeffs = {j: float(v) for j, v in enumerate(row) if v}
+        if coeffs:
+            model.add_constraint(coeffs, "<=", float(b))
+    return model
+
+
+class TestScipySolve:
+    def test_simple_ilp(self):
+        model = Model()
+        x = model.add_variable("x", integer=True, objective=-1)
+        y = model.add_variable("y", integer=True, objective=-1)
+        model.add_constraint({x.index: 1, y.index: 2}, "<=", 7)
+        model.add_constraint({x.index: 3, y.index: 1}, "<=", 9)
+        result = scipy_solve(model)
+        assert result.ok
+        assert result.objective == pytest.approx(-4)
+
+    def test_infeasible(self):
+        model = Model()
+        x = model.add_variable("x", integer=True, upper=1.0)
+        model.add_constraint({x.index: 1}, ">=", 5)
+        assert scipy_solve(model).status is SolveStatus.INFEASIBLE
+
+    def test_solution_is_integral(self):
+        model = Model()
+        x = model.add_variable("x", integer=True, objective=-1)
+        model.add_constraint({x.index: 2}, "<=", 7)
+        result = scipy_solve(model)
+        assert result.x[0] == 3
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            solve_model(Model(), "cplex")
+
+
+class TestBackendAgreement:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(1, 3),
+        m=st.integers(0, 3),
+        data=st.data(),
+    )
+    def test_native_matches_scipy_on_random_ilps(self, n, m, data):
+        """Both backends find the same optimal objective."""
+        c = data.draw(
+            st.lists(st.integers(-5, 5), min_size=n, max_size=n)
+        )
+        upper = data.draw(
+            st.lists(st.integers(0, 6), min_size=n, max_size=n)
+        )
+        rows = [
+            data.draw(st.lists(st.integers(0, 4), min_size=n, max_size=n))
+            for _ in range(m)
+        ]
+        rhs = data.draw(
+            st.lists(st.integers(0, 20), min_size=m, max_size=m)
+        )
+        model_a = _model_from(c, rows, rhs, upper)
+        model_b = _model_from(c, rows, rhs, upper)
+        result_scipy = scipy_solve(model_a)
+        result_native = branch_and_bound(model_b)
+        assert result_scipy.status == result_native.status
+        if result_scipy.ok:
+            assert result_scipy.objective == pytest.approx(
+                result_native.objective, abs=1e-6
+            )

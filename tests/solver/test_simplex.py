@@ -1,0 +1,97 @@
+"""The native two-phase simplex."""
+
+import numpy as np
+import pytest
+
+from repro.solver.result import SolveStatus
+from repro.solver.simplex import simplex_solve
+
+
+def _solve(a, b, senses, c, lower=None, upper=None):
+    a = np.asarray(a, dtype=float)
+    n = a.shape[1] if a.size else len(c)
+    lower = np.zeros(n) if lower is None else np.asarray(lower, float)
+    upper = np.full(n, np.inf) if upper is None else np.asarray(upper, float)
+    return simplex_solve(a, np.asarray(b, float), senses, np.asarray(c, float),
+                         lower, upper)
+
+
+class TestOptimal:
+    def test_textbook_maximisation(self):
+        # max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 → (2, 6), 36.
+        result = _solve(
+            [[1, 0], [0, 2], [3, 2]], [4, 12, 18],
+            ["<=", "<=", "<="], [-3, -5],
+        )
+        assert result.ok
+        assert np.allclose(result.x, [2, 6])
+        assert result.objective == pytest.approx(-36)
+
+    def test_equality_constraints(self):
+        # min x + y s.t. x + y = 10, x - y = 2 → (6, 4).
+        result = _solve([[1, 1], [1, -1]], [10, 2], ["==", "=="], [1, 1])
+        assert result.ok
+        assert np.allclose(result.x, [6, 4])
+
+    def test_greater_equal(self):
+        # min 2x + 3y s.t. x + y >= 4, x >= 1 → (4, 0), 8.
+        result = _solve([[1, 1], [1, 0]], [4, 1], [">=", ">="], [2, 3])
+        assert result.ok
+        assert result.objective == pytest.approx(8)
+
+    def test_upper_bounds(self):
+        # min -x with x <= 3 via variable bound.
+        result = _solve(
+            np.zeros((0, 1)), [], [], [-1], lower=[0], upper=[3]
+        )
+        assert result.ok
+        assert result.x[0] == pytest.approx(3)
+
+    def test_lower_bound_shift(self):
+        # min x with 2 <= x <= 9 → 2.
+        result = _solve(np.zeros((0, 1)), [], [], [1], lower=[2], upper=[9])
+        assert result.ok
+        assert result.x[0] == pytest.approx(2)
+
+    def test_negative_rhs_normalised(self):
+        # x >= -5 written as -x <= 5; min x with x >= 0 → 0.
+        result = _solve([[-1]], [5], ["<="], [1])
+        assert result.ok
+        assert result.x[0] == pytest.approx(0)
+
+
+class TestInfeasibleUnbounded:
+    def test_infeasible(self):
+        result = _solve([[1], [1]], [2, 5], ["==", "=="], [1])
+        assert result.status is SolveStatus.INFEASIBLE
+
+    def test_infeasible_bounds(self):
+        result = _solve(np.zeros((0, 1)), [], [], [1], lower=[5], upper=[4])
+        assert result.status is SolveStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        result = _solve(np.zeros((0, 1)), [], [], [-1])
+        assert result.status is SolveStatus.UNBOUNDED
+
+    def test_free_variables_rejected(self):
+        with pytest.raises(ValueError):
+            _solve(np.zeros((0, 1)), [], [], [1], lower=[-np.inf])
+
+
+class TestDegenerate:
+    def test_degenerate_ties_terminate(self):
+        # Multiple ties in the ratio test (Bland's rule must terminate).
+        result = _solve(
+            [[1, 1, 1], [1, 0, 0], [0, 1, 0]],
+            [1, 1, 1],
+            ["<=", "<=", "<="],
+            [-1, -1, -1],
+        )
+        assert result.ok
+        assert result.objective == pytest.approx(-1)
+
+    def test_redundant_equalities(self):
+        # x + y = 4 listed twice.
+        result = _solve([[1, 1], [1, 1]], [4, 4], ["==", "=="], [1, 0])
+        assert result.ok
+        assert result.x.sum() == pytest.approx(4)
