@@ -1,0 +1,111 @@
+"""Microbenchmarks for the vectorised Relation kernels.
+
+Times ``group_counts``, ``key_index`` and ``fk_join`` against their naive
+per-row references at 10k–100k rows and emits ``BENCH_relation.json``
+next to this file, so the perf trajectory of the columnar engine is
+tracked from the vectorization PR onward.
+
+Acceptance gate: ``group_counts`` must be ≥ 5× faster than the naive
+loop at 100k rows (in practice the lexsort kernel is 20–100×).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.relational.join import fk_join, fk_join_naive
+from repro.relational.relation import Relation
+
+SIZES = (10_000, 100_000)
+AREAS = [f"area{i}" for i in range(40)]
+OUTPUT = Path(__file__).parent / "BENCH_relation.json"
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _r1(n: int) -> Relation:
+    rng = np.random.default_rng(42)
+    return Relation.from_columns(
+        {
+            "pid": list(range(n)),
+            "Age": rng.integers(0, 115, size=n).tolist(),
+            "Area": [AREAS[i] for i in rng.integers(0, len(AREAS), size=n)],
+            "hid": rng.integers(0, n // 4 + 1, size=n).tolist(),
+        },
+        key="pid",
+    )
+
+
+def _r2(n_keys: int) -> Relation:
+    rng = np.random.default_rng(43)
+    return Relation.from_columns(
+        {
+            "hid": list(range(n_keys)),
+            "Tenure": [f"t{i}" for i in rng.integers(0, 5, size=n_keys)],
+        },
+        key="hid",
+    )
+
+
+def test_microbench_relation():
+    report = {"rows": {}, "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S")}
+    speedups_at = {}
+    for n in SIZES:
+        r1 = _r1(n)
+        r2 = _r2(n // 4 + 1)
+        cell = {}
+
+        fast = _best_of(lambda: r1.group_counts(["Age", "Area"]))
+        slow = _best_of(lambda: r1.group_counts_naive(["Age", "Area"]))
+        cell["group_counts"] = {
+            "vectorized_s": round(fast, 6),
+            "naive_s": round(slow, 6),
+            "speedup": round(slow / fast, 2),
+        }
+
+        fast = _best_of(r2.key_index)
+        slow = _best_of(r2.key_index_naive)
+        cell["key_index"] = {
+            "vectorized_s": round(fast, 6),
+            "naive_s": round(slow, 6),
+            "speedup": round(slow / fast, 2),
+        }
+
+        fast = _best_of(lambda: fk_join(r1, r2, "hid"))
+        slow = _best_of(lambda: fk_join_naive(r1, r2, "hid"))
+        cell["fk_join"] = {
+            "vectorized_s": round(fast, 6),
+            "naive_s": round(slow, 6),
+            "speedup": round(slow / fast, 2),
+        }
+
+        report["rows"][str(n)] = cell
+        speedups_at[n] = cell["group_counts"]["speedup"]
+
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+
+    header = f"{'rows':>8} | {'kernel':<12} | {'naive':>10} | {'vector':>10} | {'speedup':>8}"
+    lines = [header, "-" * len(header)]
+    for n, cell in report["rows"].items():
+        for kernel, row in cell.items():
+            lines.append(
+                f"{n:>8} | {kernel:<12} | {row['naive_s']:>9.4f}s "
+                f"| {row['vectorized_s']:>9.4f}s | {row['speedup']:>7.1f}x"
+            )
+    print("\nRelation kernel microbench (BENCH_relation.json)\n" + "\n".join(lines))
+
+    # The acceptance gate for the vectorization PR.
+    assert speedups_at[100_000] >= 5.0, (
+        f"group_counts speedup at 100k rows was only {speedups_at[100_000]}x"
+    )

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import SchemaError
 from repro.relational.relation import Relation
 
@@ -32,14 +34,20 @@ def marginal_tvd(
 
     counts_a = view_a.group_counts(list(attrs))
     counts_b = view_b.group_counts(list(attrs))
-    total_a = sum(counts_a.values())
-    total_b = sum(counts_b.values())
-    distance = 0.0
-    for key in set(counts_a) | set(counts_b):
-        pa = counts_a.get(key, 0) / total_a
-        pb = counts_b.get(key, 0) / total_b
-        distance += abs(pa - pb)
-    return distance / 2
+    support = list(set(counts_a) | set(counts_b))
+    freq_a = np.fromiter(
+        (counts_a.get(key, 0) for key in support),
+        dtype=np.float64,
+        count=len(support),
+    )
+    freq_b = np.fromiter(
+        (counts_b.get(key, 0) for key in support),
+        dtype=np.float64,
+        count=len(support),
+    )
+    pa = freq_a / freq_a.sum()
+    pb = freq_b / freq_b.sum()
+    return float(np.abs(pa - pb).sum() / 2)
 
 
 def fidelity_report(

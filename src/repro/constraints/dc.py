@@ -201,6 +201,21 @@ class DenialConstraint:
         return f"DC{label}(¬({body} & {fk}))"
 
 
+def violating_members(
+    group_rows: Sequence[Mapping[str, object]],
+    dcs: Sequence[DenialConstraint],
+) -> set:
+    """Local indices of tuples in one FK group involved in a violation."""
+    violating: set = set()
+    for dc in dcs:
+        if dc.arity > len(group_rows):
+            continue
+        for combo in itertools.combinations(range(len(group_rows)), dc.arity):
+            if dc.violates([group_rows[c] for c in combo]):
+                violating.update(combo)
+    return violating
+
+
 def count_violating_tuples(
     rows: Sequence[Mapping[str, object]],
     fk_values: Sequence[object],
@@ -221,10 +236,7 @@ def count_violating_tuples(
         if len(members) < 2:
             continue
         group_rows = [rows[i] for i in members]
-        for dc in dcs:
-            if dc.arity > len(members):
-                continue
-            for combo in itertools.combinations(range(len(members)), dc.arity):
-                if dc.violates([group_rows[c] for c in combo]):
-                    violating.update(members[c] for c in combo)
+        violating.update(
+            members[c] for c in violating_members(group_rows, dcs)
+        )
     return len(violating)

@@ -16,6 +16,10 @@ class SchemaError(ReproError):
     """A relation or predicate references attributes inconsistently."""
 
 
+class KeyLookupError(SchemaError):
+    """A key lookup value has no matching row in the key column."""
+
+
 class PredicateError(ReproError):
     """A selection predicate is malformed or uses an unsupported operator."""
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.relational.ordering import sort_key, tuple_sort_key
 from repro.constraints.cc import CardinalityConstraint
 from repro.constraints.dc import DenialConstraint
 from repro.core.config import SolverConfig
@@ -170,10 +171,10 @@ def solve_with_capacity(
             continue
         partitions.setdefault(assignment.combo(row), []).append(row)
 
-    for combo in sorted(partitions.keys(), key=repr):
+    for combo in sorted(partitions.keys(), key=tuple_sort_key):
         rows = partitions[combo]
         graph = build_conflict_graph(r1, dcs, rows)
-        candidates = sorted(keys_by_combo.get(combo, []), key=repr)
+        candidates = sorted(keys_by_combo.get(combo, []), key=sort_key)
         part_coloring, skipped = capacity_coloring(
             graph, candidates, max_per_key, {}, usage
         )

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.constraints.cc import CardinalityConstraint
+from repro.relational.ordering import tuple_sort_key
 from repro.relational.predicate import Predicate
 from repro.relational.relation import Relation
 
@@ -34,13 +35,14 @@ class ComboCatalog:
     def from_relation(cls, r2: Relation) -> "ComboCatalog":
         key_col = r2.schema.key
         attrs = tuple(n for n in r2.schema.names if n != key_col)
-        keys_by_combo: Dict[tuple, List[object]] = {}
         key_values = r2.column(key_col)
-        cols = [r2.column(a) for a in attrs]
-        for i in range(len(r2)):
-            combo = tuple(col[i] for col in cols)
-            keys_by_combo.setdefault(combo, []).append(key_values[i])
-        combos = sorted(keys_by_combo.keys(), key=repr)
+        # Vectorised group-by; indices are ascending, so key lists keep
+        # R2 row order exactly like the per-row loop did.
+        keys_by_combo: Dict[tuple, List[object]] = {
+            combo: key_values[indices].tolist()
+            for combo, indices in r2.group_indices(list(attrs)).items()
+        }
+        combos = sorted(keys_by_combo.keys(), key=tuple_sort_key)
         return cls(attrs=attrs, combos=combos, keys_by_combo=keys_by_combo)
 
     # ------------------------------------------------------------------

@@ -29,6 +29,7 @@ from repro.phase2.coloring import coloring_lf
 from repro.phase2.edges import build_conflict_graph
 from repro.phase2.hypergraph import ConflictHypergraph
 from repro.phase2.invalid import solve_invalid_tuples
+from repro.relational.ordering import sort_key, tuple_sort_key
 from repro.relational.relation import Relation
 from repro.relational.schema import ColumnSpec
 from repro.relational.types import Dtype
@@ -170,7 +171,7 @@ def run_phase2(
         stats.num_partitions = len(partitions)
         # Finish skipped vertices sequentially: fresh keys are minted here.
         for combo, skipped_rows in sorted(
-            skipped_by_combo.items(), key=lambda kv: repr(kv[0])
+            skipped_by_combo.items(), key=lambda kv: tuple_sort_key(kv[0])
         ):
             stats.num_skipped += len(skipped_rows)
             graph = build_conflict_graph(r1, dcs, partitions[combo])
@@ -190,7 +191,7 @@ def run_phase2(
                         record_new_key(key, combo)
         stats.coloring_seconds = time.perf_counter() - started
     elif partitioned:
-        for combo in sorted(partitions.keys(), key=repr):
+        for combo in sorted(partitions.keys(), key=tuple_sort_key):
             rows = partitions[combo]
             started = time.perf_counter()
             graph = build_conflict_graph(r1, dcs, rows)
@@ -198,7 +199,7 @@ def run_phase2(
             stats.num_edges += graph.num_edges
             stats.num_partitions += 1
 
-            candidates = sorted(keys_by_combo.get(combo, []), key=repr)
+            candidates = sorted(keys_by_combo.get(combo, []), key=sort_key)
             if not candidates:
                 raise ColoringError(
                     f"no candidate keys for combo {combo!r}; Phase I "
@@ -224,7 +225,7 @@ def run_phase2(
         stats.num_edges += graph.num_edges
         stats.num_partitions = 1
         candidate_lists = {
-            row: sorted(keys_by_combo.get(assignment.combo(row), []), key=repr)
+            row: sorted(keys_by_combo.get(assignment.combo(row), []), key=sort_key)
             for row in all_rows
         }
         started = time.perf_counter()

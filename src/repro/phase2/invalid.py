@@ -14,6 +14,7 @@ from typing import Callable, Dict, List, Mapping, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.relational.ordering import sort_key
 from repro.constraints.cc import CardinalityConstraint
 from repro.constraints.dc import DenialConstraint
 from repro.phase1.assignment import ViewAssignment
@@ -104,7 +105,7 @@ def solve_invalid_tuples(
             coloring[u] for u in conflicts[row] if u in coloring
         }
         chosen_key = None
-        for key in sorted(combo_of_key.keys(), key=repr):
+        for key in sorted(combo_of_key.keys(), key=sort_key):
             if key not in forbidden:
                 chosen_key = key
                 break

@@ -20,28 +20,63 @@ import numpy as np
 from repro.constraints.dc import DenialConstraint
 from repro.phase2.coloring import coloring_lf
 from repro.phase2.edges import build_conflict_graph
+from repro.relational.ordering import sort_key, tuple_sort_key
 from repro.relational.relation import Relation
+from repro.relational.schema import Schema
 
-__all__ = ["color_partitions_parallel"]
+__all__ = ["color_partitions_parallel", "partition_payloads"]
 
 
 def _color_one(
-    payload: Tuple[dict, tuple, List[int], Sequence[DenialConstraint], int]
+    payload: Tuple[dict, Schema, tuple, List[int], Sequence[DenialConstraint], int]
 ) -> Tuple[tuple, Dict[int, int], List[int], int]:
     """Worker: color one partition, reporting candidate *indices*.
 
     Returns ``(combo, {row: candidate_index}, skipped_rows, num_edges)``;
-    skipped rows need centrally minted fresh keys.
+    skipped rows need centrally minted fresh keys.  The partition is
+    rebuilt with R1's *declared* schema — re-inferring dtypes from the
+    slice would flip a categorical column whose slice happens to be
+    all-integer to ``INT`` (and drop the key), changing DC evaluation.
     """
-    columns, combo, rows, dcs, num_candidates = payload
-    relation = Relation.from_columns(columns)
-    local = {row: i for i, row in enumerate(rows)}
+    columns, schema, combo, rows, dcs, num_candidates = payload
+    relation = Relation(schema, columns)
     local_rows = np.arange(len(rows), dtype=np.int64)
     graph = build_conflict_graph(relation, dcs, local_rows)
     coloring, skipped = coloring_lf(graph, {}, list(range(num_candidates)))
     back = {rows[v]: int(c) for v, c in coloring.items()}
     skipped_rows = [rows[v] for v in skipped]
     return combo, back, skipped_rows, graph.num_edges
+
+
+def partition_payloads(
+    r1: Relation,
+    dcs: Sequence[DenialConstraint],
+    partitions: Dict[tuple, List[int]],
+    keys_by_combo: Dict[tuple, List[object]],
+) -> Tuple[List[tuple], Dict[tuple, List[object]]]:
+    """Build worker payloads plus the candidate map (canonical order).
+
+    Column data is sliced with one fancy-indexing gather per column and
+    shipped together with ``r1.schema`` so workers reconstruct partitions
+    losslessly.  Returns ``(payloads, candidates_by_combo)``: workers
+    report colors as indices into the combo's sorted candidate list, so
+    the list is sorted here exactly once — the parent maps indices back
+    through ``candidates_by_combo`` while payloads ship only the length.
+    """
+    payloads = []
+    candidates_by_combo: Dict[tuple, List[object]] = {}
+    for combo in sorted(partitions.keys(), key=tuple_sort_key):
+        rows = partitions[combo]
+        indices = np.asarray(rows, dtype=np.int64)
+        columns = {
+            name: r1.column(name)[indices] for name in r1.schema.names
+        }
+        candidates = sorted(keys_by_combo.get(combo, []), key=sort_key)
+        candidates_by_combo[combo] = candidates
+        payloads.append(
+            (columns, r1.schema, combo, rows, list(dcs), len(candidates))
+        )
+    return payloads, candidates_by_combo
 
 
 def color_partitions_parallel(
@@ -57,15 +92,9 @@ def color_partitions_parallel(
     left for the caller to finish sequentially (fresh keys must be minted
     by a single owner).
     """
-    payloads = []
-    for combo in sorted(partitions.keys(), key=repr):
-        rows = partitions[combo]
-        columns = {
-            name: [r1.column(name)[row] for row in rows]
-            for name in r1.schema.names
-        }
-        candidates = sorted(keys_by_combo.get(combo, []), key=repr)
-        payloads.append((columns, combo, rows, list(dcs), len(candidates)))
+    payloads, candidates_by_combo = partition_payloads(
+        r1, dcs, partitions, keys_by_combo
+    )
 
     coloring: Dict[int, object] = {}
     skipped_by_combo: Dict[tuple, List[int]] = {}
@@ -74,7 +103,7 @@ def color_partitions_parallel(
         for combo, back, skipped_rows, num_edges in pool.map(
             _color_one, payloads
         ):
-            candidates = sorted(keys_by_combo.get(combo, []), key=repr)
+            candidates = candidates_by_combo[combo]
             for row, candidate_index in back.items():
                 coloring[row] = candidates[candidate_index]
             if skipped_rows:

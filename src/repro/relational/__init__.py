@@ -1,7 +1,8 @@
 """Columnar relational substrate: relations, schemas, predicates, joins."""
 
 from repro.relational.database import Database, ForeignKey
-from repro.relational.join import fk_join, join_view_schema
+from repro.relational.join import fk_join, fk_join_naive, join_view_schema
+from repro.relational.ordering import sort_key, tuple_sort_key
 from repro.relational.predicate import (
     TRUE_PREDICATE,
     Condition,
@@ -32,8 +33,11 @@ __all__ = [
     "ValueSet",
     "condition_from_atom",
     "fk_join",
+    "fk_join_naive",
     "infer_dtype",
     "join_view_schema",
     "read_csv",
+    "sort_key",
+    "tuple_sort_key",
     "write_csv",
 ]

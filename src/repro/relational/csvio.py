@@ -2,18 +2,22 @@
 
 Integer columns are parsed with :func:`int`; everything else is kept as a
 string.  The writer emits a plain header row followed by the data — enough
-to round-trip any relation the library produces.
+to round-trip any relation the library produces.  Parsing is column-wise:
+each column converts in one ``map(int, …)`` / ``np.asarray`` pass, with a
+per-value rescan only on the error path (to report the offending line).
 """
 
 from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Optional, Union
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.errors import SchemaError
 from repro.relational.relation import Relation
-from repro.relational.schema import Schema
+from repro.relational.schema import ColumnSpec, Schema
 from repro.relational.types import Dtype
 
 __all__ = ["write_csv", "read_csv", "read_csv_infer"]
@@ -22,11 +26,37 @@ __all__ = ["write_csv", "read_csv", "read_csv_infer"]
 def write_csv(relation: Relation, path: Union[str, Path]) -> None:
     """Write a relation to ``path`` with a header row."""
     path = Path(path)
+    names = relation.schema.names
     with path.open("w", newline="") as handle:
         writer = csv.writer(handle)
-        writer.writerow(relation.schema.names)
-        for row in relation.to_rows():
-            writer.writerow(row)
+        writer.writerow(names)
+        writer.writerows(zip(*(relation.column(name) for name in names)))
+
+
+def _read_raw(path: Path) -> List[list]:
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            raise SchemaError(f"{path} is empty")
+        return [header, list(reader)]
+
+
+def _int_column(
+    path: Path, name: str, values: Sequence[str]
+) -> np.ndarray:
+    try:
+        return np.fromiter(map(int, values), dtype=np.int64, count=len(values))
+    except ValueError:
+        for line_no, value in enumerate(values, start=2):
+            try:
+                int(value)
+            except ValueError:
+                raise SchemaError(
+                    f"{path}:{line_no}: column {name!r} "
+                    f"expects an integer, got {value!r}"
+                ) from None
+        raise  # pragma: no cover - unreachable
 
 
 def read_csv(
@@ -40,39 +70,28 @@ def read_csv(
     included); ``key`` overrides the schema's key when given.
     """
     path = Path(path)
-    with path.open(newline="") as handle:
-        reader = csv.reader(handle)
-        header = next(reader, None)
-        if header is None:
-            raise SchemaError(f"{path} is empty")
-        if tuple(header) != schema.names:
+    header, raw_rows = _read_raw(path)
+    if tuple(header) != schema.names:
+        raise SchemaError(
+            f"{path} header {tuple(header)} does not match schema "
+            f"{schema.names}"
+        )
+    for line_no, raw in enumerate(raw_rows, start=2):
+        if len(raw) != len(schema):
             raise SchemaError(
-                f"{path} header {tuple(header)} does not match schema "
-                f"{schema.names}"
+                f"{path}:{line_no}: expected {len(schema)} fields, "
+                f"got {len(raw)}"
             )
-        rows = []
-        for line_no, raw in enumerate(reader, start=2):
-            if len(raw) != len(schema):
-                raise SchemaError(
-                    f"{path}:{line_no}: expected {len(schema)} fields, "
-                    f"got {len(raw)}"
-                )
-            row = []
-            for value, spec in zip(raw, schema):
-                if spec.dtype is Dtype.INT:
-                    try:
-                        row.append(int(value))
-                    except ValueError:
-                        raise SchemaError(
-                            f"{path}:{line_no}: column {spec.name!r} "
-                            f"expects an integer, got {value!r}"
-                        ) from None
-                else:
-                    row.append(value)
-            rows.append(tuple(row))
+    raw_columns = list(zip(*raw_rows)) if raw_rows else [()] * len(schema)
+    columns = {}
+    for spec, values in zip(schema, raw_columns):
+        if spec.dtype is Dtype.INT:
+            columns[spec.name] = _int_column(path, spec.name, values)
+        else:
+            columns[spec.name] = np.asarray(values, dtype=object)
     if key is not None:
         schema = Schema(list(schema.columns), key=key)
-    return Relation.from_rows(schema, rows)
+    return Relation(schema, columns)
 
 
 def read_csv_infer(
@@ -84,39 +103,29 @@ def read_csv_infer(
     :attr:`Dtype.INT`; everything else stays a string.  Used by the CLI,
     where no schema object exists up front.
     """
-    from repro.relational.schema import ColumnSpec
-    from repro.relational.types import Dtype as _Dtype
-
     path = Path(path)
-    with path.open(newline="") as handle:
-        reader = csv.reader(handle)
-        header = next(reader, None)
-        if header is None:
-            raise SchemaError(f"{path} is empty")
-        raw_rows = [row for row in reader]
-
-    def parses_int(value: str) -> bool:
-        try:
-            int(value)
-            return True
-        except ValueError:
-            return False
-
-    dtypes = []
-    for col_index in range(len(header)):
-        values = [row[col_index] for row in raw_rows]
-        is_int = bool(values) and all(parses_int(v) for v in values)
-        dtypes.append(_Dtype.INT if is_int else _Dtype.STR)
-
-    schema = Schema(
-        [ColumnSpec(name, dtype) for name, dtype in zip(header, dtypes)],
-        key=key,
-    )
-    rows = [
-        tuple(
-            int(value) if dtype is _Dtype.INT else value
-            for value, dtype in zip(row, dtypes)
+    header, raw_rows = _read_raw(path)
+    for line_no, raw in enumerate(raw_rows, start=2):
+        if len(raw) != len(header):
+            raise SchemaError(
+                f"{path}:{line_no}: expected {len(header)} fields, "
+                f"got {len(raw)}"
+            )
+    raw_columns = list(zip(*raw_rows)) if raw_rows else [()] * len(header)
+    specs = []
+    columns = {}
+    for name, values in zip(header, raw_columns):
+        parsed: Optional[np.ndarray] = None
+        if values:
+            try:
+                parsed = np.fromiter(
+                    map(int, values), dtype=np.int64, count=len(values)
+                )
+            except ValueError:
+                parsed = None
+        dtype = Dtype.INT if parsed is not None else Dtype.STR
+        specs.append(ColumnSpec(name, dtype))
+        columns[name] = (
+            parsed if parsed is not None else np.asarray(values, dtype=object)
         )
-        for row in raw_rows
-    ]
-    return Relation.from_rows(schema, rows)
+    return Relation(Schema(specs, key=key), columns)

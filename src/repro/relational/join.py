@@ -12,11 +12,11 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.errors import SchemaError
+from repro.errors import KeyLookupError, SchemaError
 from repro.relational.relation import Relation
 from repro.relational.schema import ColumnSpec, Schema
 
-__all__ = ["fk_join", "join_view_schema"]
+__all__ = ["fk_join", "fk_join_naive", "join_view_schema"]
 
 
 def join_view_schema(
@@ -55,14 +55,38 @@ def fk_join(
 
     Every FK value in ``R1`` must exist as a key in ``R2``; the result has
     one row per ``R1`` row.  ``output_columns`` optionally projects the
-    result.
+    result.  The key lookup is the vectorised sorted-key ``searchsorted``
+    of :meth:`Relation.key_positions`.
     """
     if fk_column not in r1.schema:
         raise SchemaError(f"R1 has no FK column {fk_column!r}")
     if r2.schema.key is None:
         raise SchemaError("R2 must declare a primary key column")
 
-    key_to_row = r2.key_index()
+    fk_values = r1.column(fk_column)
+    try:
+        r2_rows = r2.key_positions(fk_values)
+    except KeyLookupError as exc:
+        raise SchemaError(
+            f"FK {exc} — no matching key in R2"
+        ) from None
+
+    return _materialize(r1, r2, fk_column, r2_rows, output_columns)
+
+
+def fk_join_naive(
+    r1: Relation,
+    r2: Relation,
+    fk_column: str,
+    output_columns: Optional[Sequence[str]] = None,
+) -> Relation:
+    """Per-row dict-lookup reference implementation of :func:`fk_join`."""
+    if fk_column not in r1.schema:
+        raise SchemaError(f"R1 has no FK column {fk_column!r}")
+    if r2.schema.key is None:
+        raise SchemaError("R2 must declare a primary key column")
+
+    key_to_row = r2.key_index_naive()
     fk_values = r1.column(fk_column)
     try:
         r2_rows = np.asarray([key_to_row[v] for v in fk_values], dtype=np.int64)
@@ -71,6 +95,16 @@ def fk_join(
             f"FK value {exc.args[0]!r} has no matching key in R2"
         ) from None
 
+    return _materialize(r1, r2, fk_column, r2_rows, output_columns)
+
+
+def _materialize(
+    r1: Relation,
+    r2: Relation,
+    fk_column: str,
+    r2_rows: np.ndarray,
+    output_columns: Optional[Sequence[str]],
+) -> Relation:
     schema = join_view_schema(r1, r2, fk_column, include_fk=True)
     columns = {}
     for spec in schema:

@@ -1,0 +1,45 @@
+"""Canonical value ordering for deterministic enumeration.
+
+Several components enumerate heterogeneous column values in a stable
+order: :meth:`Relation.distinct`, the combo catalog, Phase II candidate
+lists and partition sweeps.  Sorting by ``repr`` — the historical
+behaviour — orders integers lexicographically (``10`` before ``9``) and,
+under NumPy ≥ 2, interleaves ``np.int64(…)`` reprs with plain ints.
+
+The ordering contract is instead:
+
+1. numeric values (``bool``, ``int``, ``float`` and their NumPy scalar
+   counterparts) sort first, by numeric value;
+2. strings sort next, lexicographically;
+3. anything else sorts last, by ``(type name, repr)``.
+
+Equal numbers of different width/type (``np.int64(3)`` vs ``3``) compare
+equal, so the order is insensitive to which scalar family produced the
+value — exactly what the vectorised kernels need when they hand back
+Python scalars where the naive loops handed back NumPy ones.
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import Iterable, Tuple
+
+import numpy as np
+
+__all__ = ["sort_key", "tuple_sort_key"]
+
+
+def sort_key(value: object) -> Tuple[int, object, str]:
+    """The canonical sort key of a single column value."""
+    if isinstance(value, (bool, np.bool_)):
+        return (0, int(value), "")
+    if isinstance(value, numbers.Real):
+        return (0, value, "")
+    if isinstance(value, str):
+        return (1, 0, value)
+    return (2, 0, f"{type(value).__name__}:{value!r}")
+
+
+def tuple_sort_key(values: Iterable[object]) -> tuple:
+    """The canonical sort key of a value combination (e.g. a combo)."""
+    return tuple(sort_key(v) for v in values)

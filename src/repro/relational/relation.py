@@ -13,7 +13,8 @@ from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, 
 
 import numpy as np
 
-from repro.errors import SchemaError
+from repro.errors import KeyLookupError, SchemaError
+from repro.relational.ordering import tuple_sort_key
 from repro.relational.predicate import Predicate
 from repro.relational.schema import ColumnSpec, Schema
 from repro.relational.types import Dtype, infer_dtype
@@ -25,12 +26,40 @@ def _storage_dtype(dtype: Dtype) -> object:
     return np.int64 if dtype is Dtype.INT else object
 
 
+def _factorize(arr: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """``(codes, uniques)`` for a column with ``uniques[codes] == arr``.
+
+    Codes from the ``np.unique`` fast path additionally follow the sorted
+    order of the values; the dict fallback (object columns whose mixed
+    values NumPy cannot sort) only guarantees equal-value/equal-code.
+    Either property suffices for the lexsort-and-split group kernels.
+    """
+    if len(arr) == 0:
+        return np.empty(0, dtype=np.int64), arr
+    try:
+        uniques, codes = np.unique(arr, return_inverse=True)
+        return codes.astype(np.int64, copy=False), uniques
+    except TypeError:
+        first_seen: Dict[object, int] = {}
+        codes = np.fromiter(
+            (first_seen.setdefault(v, len(first_seen)) for v in arr.tolist()),
+            dtype=np.int64,
+            count=len(arr),
+        )
+        return codes, np.asarray(list(first_seen), dtype=object)
+
+
 class Relation:
     """An immutable-by-convention columnar table with a :class:`Schema`."""
 
     def __init__(self, schema: Schema, columns: Mapping[str, np.ndarray]) -> None:
         self.schema = schema
         self._columns: Dict[str, np.ndarray] = {}
+        # Per-column factorization codes and the key-column sorter,
+        # computed once on first use (the relation is immutable by
+        # convention, so neither goes stale).
+        self._code_cache: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        self._key_sorter_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
         lengths = set()
         for spec in schema:
             if spec.name not in columns:
@@ -161,12 +190,95 @@ class Relation:
         sub = self.schema.project(names)
         return Relation(sub, {n: self._columns[n] for n in names})
 
+    def _column_codes(self, name: str) -> Tuple[np.ndarray, np.ndarray]:
+        """``(codes, uniques)`` of one column, computed once and cached."""
+        entry = self._code_cache.get(name)
+        if entry is None:
+            entry = _factorize(self._columns[name])
+            self._code_cache[name] = entry
+        return entry
+
+    def _group_slices(
+        self, names: Sequence[str]
+    ) -> Tuple[List[tuple], np.ndarray, np.ndarray]:
+        """The shared lexsort-and-split kernel behind the group-by ops.
+
+        Returns ``(keys, order, starts)``: the distinct key tuples, a row
+        permutation grouping equal keys contiguously (stable, so indices
+        stay ascending within a group), and the start offset of each group
+        in ``order``.  ``keys[g]`` labels ``order[starts[g]:starts[g+1]]``.
+        """
+        self.schema.require(names)
+        n = self._n
+        if n == 0:
+            return [], np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        cols = [self._columns[name] for name in names]
+        if not cols:
+            return [()], np.arange(n, dtype=np.int64), np.zeros(1, dtype=np.int64)
+        codes = [self._column_codes(name)[0] for name in names]
+        # lexsort treats its *last* key as primary; reverse so names[0] leads.
+        order = np.lexsort(codes[::-1])
+        stacked = np.vstack([c[order] for c in codes])
+        change = (stacked[:, 1:] != stacked[:, :-1]).any(axis=0)
+        starts = np.flatnonzero(np.concatenate(([True], change)))
+        first_rows = order[starts]
+        keys = list(zip(*(col[first_rows].tolist() for col in cols)))
+        return keys, order, starts
+
     def distinct(self, names: Sequence[str]) -> List[tuple]:
-        """Distinct value combinations over the given columns."""
-        return sorted(self.group_counts(names).keys(), key=repr)
+        """Distinct value combinations, in canonical order.
+
+        The ordering contract is :func:`repro.relational.ordering.sort_key`
+        applied elementwise: numerics by value first, then strings
+        lexicographically (``repr``-sorting used to put 10 before 9).
+        """
+        return sorted(self.group_counts(names).keys(), key=tuple_sort_key)
 
     def group_counts(self, names: Sequence[str]) -> Dict[tuple, int]:
-        """Count rows per distinct combination of the given columns."""
+        """Count rows per distinct combination of the given columns.
+
+        When the product of column cardinalities is modest the counts come
+        from one ``np.bincount`` over fused codes — no sort at all; larger
+        key spaces fall back to the lexsort-and-split kernel.
+        """
+        self.schema.require(names)
+        n = self._n
+        if n and names:
+            entries = [self._column_codes(name) for name in names]
+            cells = 1
+            for _, uniques in entries:
+                cells *= len(uniques)
+            if 0 < cells <= max(4 * n, 1024):
+                combined = entries[0][0]
+                for codes, uniques in entries[1:]:
+                    combined = combined * len(uniques) + codes
+                counts = np.bincount(combined, minlength=cells)
+                occupied = np.flatnonzero(counts)
+                key_columns = []
+                remainder = occupied
+                for codes, uniques in reversed(entries):
+                    remainder, local = np.divmod(remainder, len(uniques))
+                    key_columns.append(uniques[local].tolist())
+                keys = list(zip(*reversed(key_columns)))
+                return dict(zip(keys, counts[occupied].tolist()))
+        keys, _, starts = self._group_slices(names)
+        if not keys:
+            return {}
+        sizes = np.diff(np.append(starts, n))
+        return dict(zip(keys, sizes.tolist()))
+
+    def group_indices(self, names: Sequence[str]) -> Dict[tuple, np.ndarray]:
+        """Row indices (ascending) per distinct combination of the columns."""
+        keys, order, starts = self._group_slices(names)
+        if not keys:
+            return {}
+        return dict(zip(keys, np.split(order, starts[1:])))
+
+    # Naive per-row references, kept for equivalence testing.
+    def distinct_naive(self, names: Sequence[str]) -> List[tuple]:
+        return sorted(self.group_counts_naive(names).keys(), key=tuple_sort_key)
+
+    def group_counts_naive(self, names: Sequence[str]) -> Dict[tuple, int]:
         self.schema.require(names)
         counts: Dict[tuple, int] = {}
         cols = [self._columns[name] for name in names]
@@ -175,8 +287,7 @@ class Relation:
             counts[key] = counts.get(key, 0) + 1
         return counts
 
-    def group_indices(self, names: Sequence[str]) -> Dict[tuple, np.ndarray]:
-        """Row indices per distinct combination of the given columns."""
+    def group_indices_naive(self, names: Sequence[str]) -> Dict[tuple, np.ndarray]:
         self.schema.require(names)
         groups: Dict[tuple, list] = {}
         cols = [self._columns[name] for name in names]
@@ -237,11 +348,25 @@ class Relation:
     # ------------------------------------------------------------------
     # Key utilities
     # ------------------------------------------------------------------
-    def key_index(self) -> Dict[object, int]:
-        """Map each key value to its row index (key column required)."""
+    def _key_column(self) -> np.ndarray:
         if self.schema.key is None:
             raise SchemaError("relation has no key column")
-        keys = self._columns[self.schema.key]
+        return self._columns[self.schema.key]
+
+    def key_index(self) -> Dict[object, int]:
+        """Map each key value to its row index (key column required)."""
+        keys = self._key_column()
+        index: Dict[object, int] = dict(zip(keys.tolist(), range(self._n)))
+        if len(index) != self._n:
+            seen: set = set()
+            for value in keys.tolist():
+                if value in seen:
+                    raise SchemaError(f"duplicate key value {value!r}")
+                seen.add(value)
+        return index
+
+    def key_index_naive(self) -> Dict[object, int]:
+        keys = self._key_column()
         index: Dict[object, int] = {}
         for i in range(self._n):
             value = keys[i]
@@ -249,6 +374,64 @@ class Relation:
                 raise SchemaError(f"duplicate key value {value!r}")
             index[value] = i
         return index
+
+    def _key_sorter(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(sorter, sorted_keys)`` for the key column, cached and
+        duplicate-checked once (relations are immutable by convention)."""
+        cached = self._key_sorter_cache
+        if cached is None:
+            keys = self._key_column()
+            sorter = np.argsort(keys, kind="stable")
+            sorted_keys = keys[sorter]
+            if self._n > 1:
+                dupes = np.flatnonzero(sorted_keys[1:] == sorted_keys[:-1])
+                if len(dupes):
+                    dupe = sorted_keys[dupes[0]]
+                    if isinstance(dupe, np.generic):
+                        dupe = dupe.item()
+                    raise SchemaError(f"duplicate key value {dupe!r}")
+            cached = self._key_sorter_cache = (sorter, sorted_keys)
+        return cached
+
+    def key_positions(self, values: Sequence[object]) -> np.ndarray:
+        """Row index of each lookup value, via sorted-key ``searchsorted``.
+
+        Raises :class:`KeyLookupError` for a lookup value absent from the
+        key column and :class:`SchemaError` for duplicate keys.  Lookup
+        values are *not* coerced to the key dtype (``'7'`` or ``7.9``
+        must not match key ``7``); incomparable value families fall back
+        to the exact dict-based lookup.
+        """
+        lookups = np.asarray(values)
+        try:
+            sorter, sorted_keys = self._key_sorter()
+            if len(lookups) == 0:
+                return np.empty(0, dtype=np.int64)
+            pos = np.searchsorted(sorted_keys, lookups)
+            pos = np.minimum(pos, max(self._n - 1, 0))
+            found = (
+                sorted_keys[pos] == lookups
+                if self._n
+                else np.zeros(len(lookups), dtype=bool)
+            )
+            if not np.all(found):
+                missing = lookups[np.flatnonzero(~found)[0]]
+                if isinstance(missing, np.generic):
+                    missing = missing.item()
+                raise KeyLookupError(f"key value {missing!r} not found")
+            return sorter[pos].astype(np.int64, copy=False)
+        except TypeError:
+            index = self.key_index()
+            try:
+                return np.fromiter(
+                    (index[v] for v in lookups.tolist()),
+                    dtype=np.int64,
+                    count=len(lookups),
+                )
+            except KeyError as exc:
+                raise KeyLookupError(
+                    f"key value {exc.args[0]!r} not found"
+                ) from None
 
     def __repr__(self) -> str:
         return f"Relation({self.schema!r}, n={self._n})"

@@ -15,11 +15,15 @@ intervals, and enumerating "unused" value combinations for Algorithm 2.
 from __future__ import annotations
 
 import math
+import numbers
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.errors import SchemaError
+from repro.relational.ordering import sort_key
 
 __all__ = ["Dtype", "Domain", "IntDomain", "CatDomain", "infer_dtype"]
 
@@ -62,9 +66,13 @@ class IntDomain(Domain):
             raise SchemaError(f"empty integer domain [{self.lo}, {self.hi}]")
 
     def contains(self, value: object) -> bool:
-        if not isinstance(value, (int, float)):
+        # Column values arrive as NumPy scalars (np.int64 etc.), which are
+        # not instances of ``int``; accept the whole Real family instead.
+        if isinstance(value, np.bool_):
+            value = int(value)
+        if not isinstance(value, numbers.Real):
             return False
-        return self.lo <= value <= self.hi
+        return bool(self.lo <= value <= self.hi)
 
     @property
     def is_finite(self) -> bool:
@@ -93,7 +101,7 @@ class CatDomain(Domain):
         return value in self.members
 
     def values(self) -> tuple:
-        return tuple(sorted(self.members, key=repr))
+        return tuple(sorted(self.members, key=sort_key))
 
 
 def infer_dtype(values: Sequence[object]) -> Dtype:
@@ -101,13 +109,15 @@ def infer_dtype(values: Sequence[object]) -> Dtype:
 
     All-integer samples map to :attr:`Dtype.INT`; anything else is treated
     as categorical.  Booleans are integers in Python, which conveniently
-    matches the paper's 0/1 ``Multi-ling`` flag.
+    matches the paper's 0/1 ``Multi-ling`` flag.  NumPy scalar families
+    (``np.integer``, ``np.bool_``, ``np.floating``) are classified like
+    their Python counterparts.
     """
-    import numpy as np
-
     for value in values:
-        if isinstance(value, float):
+        if isinstance(value, (bool, np.bool_)):
+            continue
+        if isinstance(value, (float, np.floating)):
             return Dtype.STR
-        if not isinstance(value, (int, bool, np.integer)):
+        if not isinstance(value, numbers.Integral):
             return Dtype.STR
     return Dtype.INT

@@ -50,3 +50,86 @@ def test_parallel_coloring_matches_sequential_guarantees(setup):
     # All rows either colored or reported skipped.
     skipped = {r for rows in skipped_by_combo.values() for r in rows}
     assert set(coloring) | skipped == set(range(len(r1)))
+
+
+class TestPartitionSchemaPreserved:
+    """Regression: workers must rebuild partitions with R1's true schema.
+
+    ``Relation.from_columns`` re-inferred dtypes from the slice, so a
+    categorical column whose partition happened to hold all-int values
+    flipped to ``INT`` (and the key was dropped).  Under NumPy ≥ 2 a DC
+    comparing such a column to a string then crashes with a ufunc type
+    error; with the declared schema it evaluates correctly.
+    """
+
+    @pytest.fixture
+    def int_valued_categorical(self):
+        import numpy as np
+
+        from repro.relational.schema import ColumnSpec, Schema
+        from repro.relational.types import Dtype
+
+        schema = Schema(
+            [
+                ColumnSpec("pid", Dtype.INT),
+                ColumnSpec("Code", Dtype.STR),
+                ColumnSpec("Age", Dtype.INT),
+            ],
+            key="pid",
+        )
+        # "Code" is declared categorical but this slice is all ints.
+        return Relation(
+            schema,
+            {
+                "pid": np.asarray([0, 1, 2], dtype=np.int64),
+                "Code": np.asarray([7, 7, 9], dtype=object),
+                "Age": np.asarray([30, 40, 50], dtype=np.int64),
+            },
+        )
+
+    def test_payload_carries_declared_schema(self, int_valued_categorical):
+        from repro.phase2.parallel import partition_payloads
+        from repro.relational.types import Dtype
+
+        r1 = int_valued_categorical
+        partitions = {("c",): [0, 1, 2]}
+        payloads, candidates_by_combo = partition_payloads(
+            r1, [], partitions, {("c",): [10, 2, 3]}
+        )
+        (columns, schema, combo, rows, dcs, num_candidates) = payloads[0]
+        assert schema is r1.schema
+        assert schema.dtype("Code") is Dtype.STR
+        assert schema.key == "pid"
+        assert columns["Code"].dtype == object
+        # Candidate lists sort canonically (numeric, not repr) exactly once.
+        assert num_candidates == 3
+        assert candidates_by_combo == {("c",): [2, 3, 10]}
+
+    def test_worker_evaluates_string_dc_on_int_valued_slice(
+        self, int_valued_categorical
+    ):
+        from repro.phase2.parallel import _color_one, partition_payloads
+
+        r1 = int_valued_categorical
+        # Comparing Code to a string must not crash and must match nothing.
+        dcs = [parse_dc("not(t1.Code == 'x' & t2.Code == 'x')")]
+        partitions = {("c",): [0, 1, 2]}
+        payloads, _ = partition_payloads(r1, dcs, partitions, {("c",): [1]})
+        combo, back, skipped_rows, num_edges = _color_one(payloads[0])
+        assert combo == ("c",)
+        assert num_edges == 0
+        assert set(back) == {0, 1, 2} and not skipped_rows
+
+    def test_parallel_coloring_on_int_valued_categorical(
+        self, int_valued_categorical
+    ):
+        from repro.phase2.parallel import color_partitions_parallel
+
+        r1 = int_valued_categorical
+        dcs = [parse_dc("not(t1.Code == 'x' & t2.Code == 'x')")]
+        partitions = {("c",): [0, 1, 2]}
+        coloring, skipped_by_combo, _ = color_partitions_parallel(
+            r1, dcs, partitions, {("c",): [101]}, max_workers=2
+        )
+        assert coloring == {0: 101, 1: 101, 2: 101}
+        assert not skipped_by_combo

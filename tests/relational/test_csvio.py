@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SchemaError
-from repro.relational.csvio import read_csv, write_csv
+from repro.relational.csvio import read_csv, read_csv_infer, write_csv
 from repro.relational.relation import Relation
 from repro.relational.schema import ColumnSpec, Schema
 from repro.relational.types import Dtype
@@ -46,3 +46,10 @@ def test_empty_file_rejected(tmp_path, relation):
     path.write_text("")
     with pytest.raises(SchemaError):
         read_csv(path, relation.schema)
+
+
+def test_ragged_rows_rejected_with_line_number(tmp_path):
+    path = tmp_path / "ragged.csv"
+    path.write_text("a,b,c\n1,2,3\n4,5\n7,8,9\n")
+    with pytest.raises(SchemaError, match="ragged.csv:3"):
+        read_csv_infer(path)

@@ -1,0 +1,193 @@
+"""Equivalence of the vectorised Relation kernels and their naive references.
+
+Property-style: randomized relations (mixed INT/STR columns, duplicate-heavy
+and near-unique regimes, empty and single-row edge cases) must produce
+identical results from the lexsort-and-split kernels and the per-row loops.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import dc_error, dc_error_naive
+from repro.constraints.parser import parse_dc
+from repro.errors import SchemaError
+from repro.relational.join import fk_join, fk_join_naive
+from repro.relational.ordering import sort_key, tuple_sort_key
+from repro.relational.relation import Relation
+from repro.relational.schema import ColumnSpec, Schema
+from repro.relational.types import Dtype
+
+AREAS = ["Chicago", "NYC", "Boston", "LA", "Detroit", "Austin"]
+
+
+def random_relation(rng: np.random.Generator, n: int, cardinality: int) -> Relation:
+    """A relation with one INT and two STR columns plus a unique key."""
+    return Relation.from_columns(
+        {
+            "pid": list(range(n)),
+            "Age": rng.integers(0, max(cardinality, 1), size=n).tolist(),
+            "Area": [AREAS[i % len(AREAS)] for i in rng.integers(0, max(cardinality, 1), size=n)],
+            "Rel": [f"rel{i}" for i in rng.integers(0, 3, size=n)],
+        },
+        key="pid",
+    )
+
+
+CASES = [(0, 4), (1, 1), (2, 1), (7, 2), (64, 3), (200, 50), (200, 1000)]
+
+
+@pytest.mark.parametrize("n,cardinality", CASES)
+@pytest.mark.parametrize("names", [["Age"], ["Area"], ["Age", "Area", "Rel"]])
+def test_group_ops_match_naive(n, cardinality, names):
+    rng = np.random.default_rng(n * 1000 + cardinality)
+    relation = random_relation(rng, n, cardinality)
+
+    assert relation.group_counts(names) == relation.group_counts_naive(names)
+
+    fast = relation.group_indices(names)
+    slow = relation.group_indices_naive(names)
+    assert set(fast) == set(slow)
+    for key, indices in slow.items():
+        assert np.array_equal(fast[key], indices)
+
+    assert relation.distinct(names) == relation.distinct_naive(names)
+
+
+@pytest.mark.parametrize("n,cardinality", CASES)
+def test_key_index_matches_naive(n, cardinality):
+    rng = np.random.default_rng(n * 7 + cardinality)
+    relation = random_relation(rng, n, cardinality)
+    assert relation.key_index() == relation.key_index_naive()
+
+
+@pytest.mark.parametrize("n", [0, 1, 5, 50])
+def test_fk_join_matches_naive(n):
+    rng = np.random.default_rng(n)
+    r2 = Relation.from_columns(
+        {"hid": list(range(10, 18)), "Area": [AREAS[i % 6] for i in range(8)]},
+        key="hid",
+    )
+    r1 = Relation.from_columns(
+        {
+            "pid": list(range(n)),
+            "Age": rng.integers(0, 90, size=n).tolist(),
+            "hid": rng.integers(10, 18, size=n).tolist(),
+        },
+        key="pid",
+    )
+    fast = fk_join(r1, r2, "hid")
+    slow = fk_join_naive(r1, r2, "hid")
+    assert fast.schema.names == slow.schema.names
+    assert fast.to_rows() == slow.to_rows()
+
+
+def test_fk_join_string_keys():
+    r2 = Relation.from_columns(
+        {"hid": ["h2", "h10", "h1"], "Area": ["a", "b", "c"]}, key="hid"
+    )
+    r1 = Relation.from_columns(
+        {"pid": [1, 2, 3, 4], "hid": ["h10", "h1", "h10", "h2"]}, key="pid"
+    )
+    assert fk_join(r1, r2, "hid").to_rows() == fk_join_naive(r1, r2, "hid").to_rows()
+
+
+def test_fk_join_dangling_and_duplicate_keys_rejected():
+    r2 = Relation.from_columns({"hid": [1, 2], "Area": ["a", "b"]}, key="hid")
+    r1 = Relation.from_columns({"pid": [1], "hid": [9]}, key="pid")
+    with pytest.raises(SchemaError):
+        fk_join(r1, r2, "hid")
+    dup = Relation.from_columns({"hid": [1, 1], "Area": ["a", "b"]}, key="hid")
+    ok = Relation.from_columns({"pid": [1], "hid": [1]}, key="pid")
+    with pytest.raises(SchemaError):
+        fk_join(ok, dup, "hid")
+
+
+def test_key_positions_vectorized_lookup():
+    relation = Relation.from_columns({"k": [30, 10, 20], "v": [1, 2, 3]}, key="k")
+    assert relation.key_positions([20, 30, 30]).tolist() == [2, 0, 0]
+    with pytest.raises(SchemaError):
+        relation.key_positions([99])
+    empty = Relation.from_columns({"k": [], "v": []}, key="k")
+    assert len(empty.key_positions([])) == 0
+    with pytest.raises(SchemaError):
+        empty.key_positions([1])
+
+
+def test_key_positions_does_not_coerce_lookup_values():
+    """'7' and 7.9 must not silently match integer key 7."""
+    relation = Relation.from_columns({"k": [5, 7], "v": [0, 1]}, key="k")
+    with pytest.raises(SchemaError):
+        relation.key_positions(np.asarray(["7"], dtype=object))
+    with pytest.raises(SchemaError):
+        relation.key_positions([7.9])
+    assert relation.key_positions([7.0]).tolist() == [1]
+
+
+def test_mixed_type_object_column_falls_back():
+    """Unsortable mixed values must still group and look up correctly."""
+    schema = Schema(
+        [ColumnSpec("k", Dtype.STR), ColumnSpec("v", Dtype.INT)], key="k"
+    )
+    relation = Relation(
+        schema,
+        {
+            "k": np.asarray([1, "x", 2, "x", 1], dtype=object),
+            "v": np.asarray([0, 1, 2, 3, 4], dtype=np.int64),
+        },
+    )
+    assert relation.group_counts(["k"]) == relation.group_counts_naive(["k"])
+    assert relation.distinct(["k"]) == relation.distinct_naive(["k"])
+    keyed = Relation(
+        schema,
+        {
+            "k": np.asarray([1, "x", 2], dtype=object),
+            "v": np.asarray([0, 1, 2], dtype=np.int64),
+        },
+    )
+    assert keyed.key_positions(np.asarray(["x", 1], dtype=object)).tolist() == [1, 0]
+
+
+def test_group_counts_empty_names():
+    relation = Relation.from_columns({"a": [1, 2, 3]})
+    assert relation.group_counts([]) == relation.group_counts_naive([]) == {(): 3}
+    empty = Relation.from_columns({"a": []})
+    assert empty.group_counts([]) == empty.group_counts_naive([]) == {}
+
+
+@pytest.mark.parametrize("n", [0, 1, 2, 40])
+def test_dc_error_matches_naive(n):
+    rng = np.random.default_rng(n + 99)
+    r1_hat = Relation.from_columns(
+        {
+            "pid": list(range(n)),
+            "Age": rng.integers(0, 5, size=n).tolist(),
+            "Rel": [["Owner", "Child"][i] for i in rng.integers(0, 2, size=n)],
+            "hid": rng.integers(0, max(n // 3, 1), size=n).tolist(),
+        },
+        key="pid",
+    )
+    dcs = [
+        parse_dc("not(t1.Rel == 'Owner' & t2.Rel == 'Owner')"),
+        parse_dc("not(t1.Age < t2.Age - 3)"),
+    ]
+    assert dc_error(r1_hat, "hid", dcs) == dc_error_naive(r1_hat, "hid", dcs)
+
+
+class TestCanonicalOrdering:
+    def test_integers_sort_numerically(self):
+        relation = Relation.from_columns({"a": [10, 9, 2, 100]})
+        assert relation.distinct(["a"]) == [(2,), (9,), (10,), (100,)]
+
+    def test_numbers_before_strings(self):
+        values = ["b", 10, "a", 2]
+        assert sorted(values, key=sort_key) == [2, 10, "a", "b"]
+
+    def test_numpy_scalars_order_like_python(self):
+        values = [np.int64(10), 9, np.int64(2)]
+        assert sorted(values, key=sort_key) == [np.int64(2), 9, np.int64(10)]
+
+    def test_tuple_key_is_elementwise(self):
+        combos = [(10, "b"), (9, "a"), (9, "b"), (2, "z")]
+        assert sorted(combos, key=tuple_sort_key) == [
+            (2, "z"), (9, "a"), (9, "b"), (10, "b"),
+        ]

@@ -72,3 +72,30 @@ class TestInferDtype:
         import numpy as np
 
         assert infer_dtype(list(np.asarray([1, 2]))) is Dtype.INT
+
+
+class TestNumpyScalars:
+    """Regression: NumPy scalar column values must pass domain checks.
+
+    ``isinstance(np.int64(5), (int, float))`` is False, so domain checks
+    fed raw column values used to reject every value silently.
+    """
+
+    def test_int_domain_accepts_numpy_integers(self):
+        import numpy as np
+
+        domain = IntDomain(0, 114)
+        assert domain.contains(np.int64(5))
+        assert domain.contains(np.int32(114))
+        assert not domain.contains(np.int64(115))
+        assert domain.contains(np.float64(3.5))
+        assert domain.contains(np.bool_(True))
+        assert not domain.contains(np.str_("5"))
+
+    def test_infer_dtype_numpy_families(self):
+        import numpy as np
+
+        assert infer_dtype([np.int64(1), np.int32(2)]) is Dtype.INT
+        assert infer_dtype([np.bool_(True), 0]) is Dtype.INT
+        assert infer_dtype([np.float64(1.0)]) is Dtype.STR
+        assert infer_dtype([np.str_("a")]) is Dtype.STR
