@@ -1,0 +1,98 @@
+"""End-to-end pipeline microbenchmark through ``repro.synthesize``.
+
+Times the full census solve — spec build, Phase I, Phase II, evaluation —
+at two mini scales and emits ``BENCH_pipeline.json`` next to this file,
+so the perf trajectory covers the whole production entrypoint, not just
+the ``Relation`` kernels of ``BENCH_relation.json``.
+
+Acceptance gate: the pipeline stays DC-clean and CC-exact at both
+scales, and the recorded per-stage split accounts for the wall-clock
+(no unattributed time beyond spec/database assembly overhead).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from benchmarks.conftest import ccs_for, dataset
+from repro.bench.harness import census_spec
+from repro.datagen import good_dcs
+from repro.spec import synthesize
+
+SCALES = (1, 2)
+NUM_CCS = 60
+OUTPUT = Path(__file__).parent / "BENCH_pipeline.json"
+
+
+def test_microbench_pipeline():
+    dcs = good_dcs()
+    report = {"rows": {}, "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S")}
+
+    for scale in SCALES:
+        data = dataset(scale)
+        ccs = ccs_for(scale, "good", num_ccs=NUM_CCS)
+        spec = census_spec(data, ccs, dcs)
+
+        started = time.perf_counter()
+        result = synthesize(spec)
+        wall = time.perf_counter() - started
+
+        _, step = result.steps[0]
+        p1 = step.phase1.stats
+        p2 = step.phase2.stats
+        edge = result.edges[0]
+        stages = {
+            "phase1_pairwise_s": round(p1.pairwise_seconds, 6),
+            "phase1_recursion_s": round(p1.recursion_seconds, 6),
+            "phase1_ilp_s": round(p1.ilp_seconds, 6),
+            "phase1_completion_s": round(p1.completion_seconds, 6),
+            "phase2_edges_s": round(p2.edge_seconds, 6),
+            "phase2_coloring_s": round(p2.coloring_seconds, 6),
+            "phase2_invalid_s": round(p2.invalid_seconds, 6),
+            "evaluate_s": round(step.report.evaluate_seconds, 6),
+        }
+        report["rows"][f"{scale}x"] = {
+            "persons": len(data.persons),
+            "households": len(data.housing),
+            "num_ccs": len(ccs),
+            "num_dcs": len(dcs),
+            "wall_s": round(wall, 6),
+            "solve_s": round(edge.total_seconds, 6),
+            "stages": stages,
+            "dc_error": edge.errors.dc_error,
+            "max_cc_error": edge.errors.max_cc_error,
+            "new_r2_tuples": edge.num_new_parent_tuples,
+        }
+
+        # Correctness gates: the full pipeline stays exact at both scales.
+        assert edge.errors.dc_error == 0.0
+        assert edge.errors.max_cc_error == 0.0
+        # The per-stage split must account for the solve wall-clock; the
+        # delta is spec/database assembly plus evaluation, which stays a
+        # modest fraction of the end-to-end run.
+        accounted = edge.total_seconds + step.report.evaluate_seconds
+        assert accounted <= wall
+        assert wall - accounted < max(0.5, 0.5 * wall)
+
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+
+    header = (
+        f"{'scale':>6} | {'persons':>8} | {'wall':>9} | {'phase1':>9} "
+        f"| {'phase2':>9} | {'eval':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for scale, row in report["rows"].items():
+        stages = row["stages"]
+        phase1 = sum(v for k, v in stages.items() if k.startswith("phase1"))
+        phase2 = sum(v for k, v in stages.items() if k.startswith("phase2"))
+        lines.append(
+            f"{scale:>6} | {row['persons']:>8} | {row['wall_s']:>8.4f}s "
+            f"| {phase1:>8.4f}s | {phase2:>8.4f}s "
+            f"| {stages['evaluate_s']:>8.4f}s"
+        )
+    print(
+        "\nEnd-to-end pipeline microbench (BENCH_pipeline.json)\n"
+        + "\n".join(lines)
+    )

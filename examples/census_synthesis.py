@@ -3,13 +3,13 @@
 Generates a Census-style database (Persons / Housing), derives the
 Table 5 constraint families (good = intersection-free, bad =
 intersecting) and the twelve Table 4 denial constraints, then runs the
-hybrid solver and both Section 6 baselines, printing a Figure-8-style
-comparison.
+hybrid pipeline through the unified ``repro.synthesize`` front door and
+both Section 6 baselines, printing a Figure-8-style comparison.
 
 Run:  python examples/census_synthesis.py
 """
 
-from repro import CExtensionSolver
+import repro
 from repro.baselines import baseline_solve
 from repro.datagen import CensusConfig, all_dcs, cc_family, generate_census
 
@@ -29,15 +29,19 @@ def main() -> None:
         ccs = cc_family(data, kind, num_ccs=120)
         print(f"=== S_{kind}_CC ({len(ccs)} constraints) ===")
 
-        hybrid = CExtensionSolver().solve(
-            data.persons_masked, data.housing,
-            fk_column="hid", ccs=ccs, dcs=dcs,
+        spec = (
+            repro.SpecBuilder(f"census-{kind}")
+            .relation("persons", data=data.persons_masked, key="pid")
+            .relation("housing", data=data.housing, key="hid")
+            .edge("persons", "hid", "housing", ccs=ccs, dcs=dcs)
+            .build()
         )
-        he = hybrid.report.errors
+        hybrid = repro.synthesize(spec).edges[0]
+        he = hybrid.errors
         print(
             f"  hybrid              median CC {he.median_cc_error:.3f}  "
             f"mean CC {he.mean_cc_error:.3f}  DC {he.dc_error:.3f}  "
-            f"(+{hybrid.phase2.stats.num_new_r2_tuples} fresh R2 tuples)"
+            f"(+{hybrid.num_new_parent_tuples} fresh R2 tuples)"
         )
 
         for with_marginals in (False, True):

@@ -3,24 +3,37 @@
 1. **Disjunctive CCs** — the extension Section 2 hints at ("our
    algorithms can be extended to conditions that contain disjunction").
 2. **Capacity constraints** — future-work item 1: bounding how many rows
-   may share one foreign key (household size caps).
+   may share one foreign key (household size caps).  Declared on the
+   spec's FK edge, which routes Phase II to the registered ``"capacity"``
+   strategy.
 3. **DC discovery** — mining the Table 4-style constraints back out of a
    completed database.
 4. **Distribution fidelity** — TVD between synthesized and ground-truth
    marginals, beyond the paper's CC/DC error measures.
 
+Every solve goes through the one ``repro.synthesize`` front door.
+
 Run:  python examples/extensions_tour.py
 """
 
-from repro import CExtensionSolver, parse_cc
+import repro
 from repro.bench.fidelity import fidelity_report
 from repro.core.metrics import dc_error
 from repro.datagen import CensusConfig, cc_family, generate_census, good_dcs
-from repro.extensions import (
-    DiscoveryConfig,
-    discover_fk_dcs,
-    solve_with_capacity,
-)
+from repro.extensions import DiscoveryConfig, discover_fk_dcs
+from repro.extensions.capacity import fk_usage_histogram
+from repro.relational.join import fk_join
+
+
+def census_spec(name, data, ccs=(), dcs=(), capacity=None):
+    return (
+        repro.SpecBuilder(name)
+        .relation("persons", data=data.persons_masked, key="pid")
+        .relation("housing", data=data.housing, key="hid")
+        .edge("persons", "hid", "housing",
+              ccs=list(ccs), dcs=list(dcs), capacity=capacity)
+        .build()
+    )
 
 
 def main() -> None:
@@ -32,33 +45,33 @@ def main() -> None:
     # 1. A disjunctive CC: children OR seniors, in either of two areas.
     # ------------------------------------------------------------------
     truth = data.ground_truth_join()
-    dnf = parse_cc(
+    dnf = repro.parse_cc(
         f"|Age in [0, 12] & Area == '{areas[0]}' "
         f"or Age in [65, 114] & Area == '{areas[1]}'| = 0"
     )
     dnf = dnf.with_target(dnf.count_in(truth))
-    result = CExtensionSolver().solve(
-        data.persons_masked, data.housing,
-        fk_column="hid", ccs=[dnf], dcs=dcs,
-    )
+    result = repro.synthesize(census_spec("dnf", data, ccs=[dnf], dcs=dcs))
+    view = fk_join(result.relation("persons"), result.relation("housing"),
+                   "hid")
     print(
         f"1. disjunctive CC target {dnf.target}: achieved "
-        f"{dnf.count_in(result.join_view())} "
-        f"(error {result.report.errors.per_cc[0]:.3f})"
+        f"{dnf.count_in(view)} "
+        f"(error {result.edges[0].errors.per_cc[0]:.3f})"
     )
 
     # ------------------------------------------------------------------
-    # 2. Capacity: no household may exceed 5 members.
+    # 2. Capacity: no household may exceed 5 members.  The edge-level
+    #    cap dispatches Phase II to the "capacity" strategy.
     # ------------------------------------------------------------------
-    capped = solve_with_capacity(
-        data.persons_masked, data.housing,
-        fk_column="hid", max_per_key=5, dcs=dcs,
+    capped = repro.synthesize(
+        census_spec("capacity", data, dcs=dcs, capacity=5)
     )
-    usage = capped.usage()
+    usage = fk_usage_histogram(capped.relation("persons"), "hid")
     print(
         f"2. capacity 5: max household size {max(usage.values())}, "
-        f"DC error {capped.errors.dc_error}, "
-        f"{capped.num_new_r2_tuples} fresh households"
+        f"DC error {capped.dc_error}, "
+        f"{capped.edges[0].num_new_parent_tuples} fresh households "
+        f"(strategy={capped.edges[0].strategy})"
     )
 
     # ------------------------------------------------------------------
@@ -78,12 +91,15 @@ def main() -> None:
     # 4. Fidelity: constrained synthesis preserves joint marginals.
     # ------------------------------------------------------------------
     ccs = cc_family(data, "good", 80)
-    constrained = CExtensionSolver().solve(
-        data.persons_masked, data.housing,
-        fk_column="hid", ccs=ccs, dcs=dcs,
+    constrained = repro.synthesize(
+        census_spec("fidelity", data, ccs=ccs, dcs=dcs)
+    )
+    synthesized_view = fk_join(
+        constrained.relation("persons"), constrained.relation("housing"),
+        "hid",
     )
     report = fidelity_report(
-        constrained.join_view(), truth, [["Rel"], ["Area"], ["Rel", "Area"]]
+        synthesized_view, truth, [["Rel"], ["Area"], ["Rel", "Area"]]
     )
     print("4. fidelity (TVD vs ground truth):")
     for attrs, tvd in report.items():

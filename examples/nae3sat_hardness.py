@@ -12,7 +12,7 @@ things:
 Run:  python examples/nae3sat_hardness.py
 """
 
-from repro import CExtensionSolver
+import repro
 from repro.core.metrics import dc_error
 from repro.core.problem import brute_force_decision
 from repro.datagen import (
@@ -49,14 +49,19 @@ def main() -> None:
 
         # The heuristic pipeline never violates a DC; when the instance is
         # over-constrained it escapes by growing R2 instead.
-        result = CExtensionSolver().solve(
-            problem.r1, problem.r2,
-            fk_column="Chosen", dcs=list(problem.dcs),
+        spec = (
+            repro.SpecBuilder(f"nae3sat-{seed}")
+            .relation("clauses", data=problem.r1)
+            .relation("keys", data=problem.r2)
+            .edge("clauses", "Chosen", "keys", dcs=list(problem.dcs))
+            .build()
         )
-        assert dc_error(result.r1_hat, "Chosen", list(problem.dcs)) == 0.0
+        result = repro.synthesize(spec)
+        clauses_hat = result.relation("clauses")
+        assert dc_error(clauses_hat, "Chosen", list(problem.dcs)) == 0.0
         print(
             f"pipeline  : DC-clean completion, "
-            f"{result.phase2.stats.num_new_r2_tuples} fresh R2 keys\n"
+            f"{result.edges[0].num_new_parent_tuples} fresh R2 keys\n"
         )
 
 

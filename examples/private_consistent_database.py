@@ -17,9 +17,10 @@ Run:  python examples/private_consistent_database.py
 
 import random
 
-from repro import CExtensionSolver
+import repro
 from repro.core.metrics import dc_error
 from repro.datagen import CensusConfig, cc_family, generate_census, good_dcs
+from repro.relational.join import fk_join
 
 
 def add_noise(target: int, rng: random.Random, scale: float = 2.0) -> int:
@@ -44,11 +45,16 @@ def main() -> None:
         "by the (simulated) privacy mechanism\n"
     )
 
-    result = CExtensionSolver().solve(
-        data.persons_masked, data.housing,
-        fk_column="hid", ccs=noisy_ccs, dcs=dcs,
+    spec = (
+        repro.SpecBuilder("private-census")
+        .relation("persons", data=data.persons_masked, key="pid")
+        .relation("housing", data=data.housing, key="hid")
+        .edge("persons", "hid", "housing", ccs=noisy_ccs, dcs=dcs)
+        .build()
     )
-    view = result.join_view()
+    result = repro.synthesize(spec)
+    persons_hat = result.relation("persons")
+    view = fk_join(persons_hat, result.relation("housing"), "hid")
 
     answered_vs_noisy = []
     answered_vs_truth = []
@@ -69,8 +75,8 @@ def main() -> None:
     )
     print(
         "integrity constraints              : DC error "
-        f"{dc_error(result.r1_hat, 'hid', dcs)} "
-        f"({result.phase2.stats.num_new_r2_tuples} fresh households added)"
+        f"{dc_error(persons_hat, 'hid', dcs)} "
+        f"({result.edges[0].num_new_parent_tuples} fresh households added)"
     )
     print(
         "\nAnalysts can now run arbitrary SQL-style queries against the\n"

@@ -3,77 +3,84 @@
 Nine persons are missing their household id.  Four cardinality
 constraints fix how many people of each kind live in Chicago and NYC,
 and five denial constraints forbid impossible households (two owners,
-implausible age gaps).  The solver imputes ``hid`` so that every DC holds
-exactly and every CC count is met.
+implausible age gaps).
+
+The workload is declared once as a :class:`repro.SynthesisSpec` — the
+single front door over every pipeline in the library — and executed with
+:func:`repro.synthesize`, which imputes ``hid`` so that every DC holds
+exactly and every CC count is met.  The same spec could be saved with
+``repro.save_spec(spec, "quickstart.toml")`` and run from the CLI via
+``repro-synth solve --spec quickstart.toml``.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import CExtensionSolver, Relation, parse_cc, parse_dc
+import repro
 
 
 def main() -> None:
-    # Figure 1 — Persons (hid missing) and Housing.
-    persons = Relation.from_columns(
-        {
-            "pid": [1, 2, 3, 4, 5, 6, 7, 8, 9],
-            "Age": [75, 75, 25, 25, 24, 10, 10, 30, 30],
-            "Rel": ["Owner", "Owner", "Owner", "Owner", "Spouse",
-                    "Child", "Child", "Owner", "Owner"],
-            "Multi-ling": [0, 1, 0, 1, 0, 1, 1, 0, 1],
-        },
-        key="pid",
-    )
-    housing = Relation.from_columns(
-        {
-            "hid": [1, 2, 3, 4, 5, 6],
-            "Area": ["Chicago", "Chicago", "Chicago", "Chicago",
-                     "NYC", "NYC"],
-        },
-        key="hid",
+    spec = (
+        repro.SpecBuilder("quickstart")
+        # Figure 1 — Persons (hid missing) and Housing.
+        .relation(
+            "persons",
+            columns={
+                "pid": [1, 2, 3, 4, 5, 6, 7, 8, 9],
+                "Age": [75, 75, 25, 25, 24, 10, 10, 30, 30],
+                "Rel": ["Owner", "Owner", "Owner", "Owner", "Spouse",
+                        "Child", "Child", "Owner", "Owner"],
+                "Multi-ling": [0, 1, 0, 1, 0, 1, 1, 0, 1],
+            },
+            key="pid",
+        )
+        .relation(
+            "housing",
+            columns={
+                "hid": [1, 2, 3, 4, 5, 6],
+                "Area": ["Chicago", "Chicago", "Chicago", "Chicago",
+                         "NYC", "NYC"],
+            },
+            key="hid",
+        )
+        # Figure 2 — CCs on Persons ⋈ Housing, FK DCs on Persons.
+        .edge(
+            "persons", "hid", "housing",
+            ccs=[
+                "|Rel == 'Owner' & Area == 'Chicago'| = 4",
+                "|Rel == 'Owner' & Area == 'NYC'| = 2",
+                "|Age <= 24 & Area == 'Chicago'| = 3",
+                "|Multi-ling == 1 & Area == 'Chicago'| = 4",
+            ],
+            dcs=[
+                "not(t1.Rel == 'Owner' & t2.Rel == 'Owner')",
+                "not(t1.Rel == 'Owner' & t2.Rel == 'Spouse' "
+                "& t2.Age < t1.Age - 50)",
+                "not(t1.Rel == 'Owner' & t2.Rel == 'Spouse' "
+                "& t2.Age > t1.Age + 50)",
+                "not(t1.Rel == 'Owner' & t1.Multi-ling == 1 "
+                "& t2.Rel == 'Child' & t2.Age < t1.Age - 50)",
+                "not(t1.Rel == 'Owner' & t1.Multi-ling == 1 "
+                "& t2.Rel == 'Child' & t2.Age > t1.Age - 12)",
+            ],
+        )
+        .build()
     )
 
-    # Figure 2b — cardinality constraints on Persons ⋈ Housing.
-    ccs = [
-        parse_cc("|Rel == 'Owner' & Area == 'Chicago'| = 4", name="CC1"),
-        parse_cc("|Rel == 'Owner' & Area == 'NYC'| = 2", name="CC2"),
-        parse_cc("|Age <= 24 & Area == 'Chicago'| = 3", name="CC3"),
-        parse_cc("|Multi-ling == 1 & Area == 'Chicago'| = 4", name="CC4"),
-    ]
-
-    # Figure 2a — foreign-key denial constraints on Persons.
-    dcs = [
-        parse_dc("not(t1.Rel == 'Owner' & t2.Rel == 'Owner')",
-                 name="DC_O_O"),
-        parse_dc("not(t1.Rel == 'Owner' & t2.Rel == 'Spouse' "
-                 "& t2.Age < t1.Age - 50)", name="DC_O_S_low"),
-        parse_dc("not(t1.Rel == 'Owner' & t2.Rel == 'Spouse' "
-                 "& t2.Age > t1.Age + 50)", name="DC_O_S_up"),
-        parse_dc("not(t1.Rel == 'Owner' & t1.Multi-ling == 1 "
-                 "& t2.Rel == 'Child' & t2.Age < t1.Age - 50)",
-                 name="DC_O_C_low"),
-        parse_dc("not(t1.Rel == 'Owner' & t1.Multi-ling == 1 "
-                 "& t2.Rel == 'Child' & t2.Age > t1.Age - 12)",
-                 name="DC_O_C_up"),
-    ]
-
-    result = CExtensionSolver().solve(
-        persons, housing, fk_column="hid", ccs=ccs, dcs=dcs
-    )
+    result = repro.synthesize(spec)
 
     print("Persons with the imputed hid column (cf. Figure 3):\n")
-    print(result.r1_hat.pretty())
+    print(result.relation("persons").pretty())
     print("\nHousing (unchanged — no fresh tuples were needed):\n")
-    print(result.r2_hat.pretty())
+    print(result.relation("housing").pretty())
 
-    errors = result.report.errors
-    print("\nCC errors  :", [round(e, 3) for e in errors.per_cc])
-    print("DC error   :", errors.dc_error)
+    report = result.edges[0]
+    print("\nCC errors  :", [round(e, 3) for e in report.errors.per_cc])
+    print("DC error   :", report.errors.dc_error)
     print(
         "Runtime    : phase I %.4fs, phase II %.4fs"
-        % (result.report.phase1_seconds, result.report.phase2_seconds)
+        % (report.phase1_seconds, report.phase2_seconds)
     )
-    assert errors.dc_error == 0.0 and errors.max_cc_error == 0.0
+    assert result.dc_error == 0.0 and result.max_cc_error == 0.0
 
 
 if __name__ == "__main__":

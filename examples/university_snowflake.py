@@ -1,99 +1,54 @@
 """Snowflake-schema synthesis: Example 5.6's university database.
 
 Students reference Majors and Courses; Majors reference Departments.
-All three FK columns start missing.  The synthesizer walks the FK graph
-breadth-first from the fact table, so step-2 constraints can span the
-already-completed Students ⋈ Majors join — exactly the paper's example.
+All three FK columns start missing.  The whole workload — relations, FK
+edges and per-edge constraints — lives in one declarative spec file,
+``examples/specs/university.toml``; :func:`repro.synthesize` plans the
+BFS edge order from the fact table and solves edge by edge, so step-2
+constraints can span the already-completed Students ⋈ Majors join —
+exactly the paper's example.
+
+The same spec runs from the command line:
+
+    repro-synth solve --spec examples/specs/university.toml --out out/
 
 Run:  python examples/university_snowflake.py
 """
 
-from repro import (
-    Database,
-    EdgeConstraints,
-    Relation,
-    SnowflakeSynthesizer,
-    parse_cc,
-    parse_dc,
-)
+from pathlib import Path
+
+import repro
 from repro.relational.join import fk_join
 
-
-def build_database() -> Database:
-    db = Database()
-    db.add_relation(
-        "Students",
-        Relation.from_columns(
-            {
-                "sid": list(range(1, 21)),
-                "Year": [1, 1, 1, 1, 2, 2, 2, 2, 3, 3,
-                         3, 3, 4, 4, 4, 4, 1, 2, 3, 4],
-            },
-            key="sid",
-        ),
-    )
-    db.add_relation(
-        "Majors",
-        Relation.from_columns(
-            {"mid": [1, 2, 3], "MName": ["CS", "Math", "Bio"]}, key="mid"
-        ),
-    )
-    db.add_relation(
-        "Courses",
-        Relation.from_columns(
-            {"cid": [1, 2, 3], "Credits": [3, 4, 4]}, key="cid"
-        ),
-    )
-    db.add_relation(
-        "Departments",
-        Relation.from_columns(
-            {"did": [1, 2], "DName": ["Engineering", "Science"]}, key="did"
-        ),
-    )
-    db.add_foreign_key("Students", "major_id", "Majors")
-    db.add_foreign_key("Students", "course_id", "Courses")
-    db.add_foreign_key("Majors", "dept_id", "Departments")
-    return db
+SPEC_PATH = Path(__file__).parent / "specs" / "university.toml"
 
 
 def main() -> None:
-    db = build_database()
-    constraints = {
-        # Step 1: five freshmen major in CS.
-        ("Students", "major_id"): EdgeConstraints(
-            ccs=[parse_cc("|Year == 1 & MName == 'CS'| = 5")]
-        ),
-        # Step 2: spans Students ⋈ Majors ⋈ Courses — four CS students
-        # take a 4-credit course.
-        ("Students", "course_id"): EdgeConstraints(
-            ccs=[parse_cc("|MName == 'CS' & Credits == 4| = 4")]
-        ),
-        # Step 3: CS and Math must not share a department.
-        ("Majors", "dept_id"): EdgeConstraints(
-            dcs=[parse_dc("not(t1.MName == 'CS' & t2.MName == 'Math')")]
-        ),
-    }
+    spec = repro.load_spec(SPEC_PATH)
+    result = repro.synthesize(spec)
 
-    result = SnowflakeSynthesizer().solve(db, "Students", constraints)
-    for fk, step in result.steps:
-        errors = step.report.errors
+    for edge in result.edges:
         print(
-            f"completed {fk}: CC mean error {errors.mean_cc_error:.3f}, "
-            f"DC error {errors.dc_error:.3f}"
+            f"completed {edge.child}.{edge.column} -> {edge.parent}: "
+            f"CC mean error {edge.errors.mean_cc_error:.3f}, "
+            f"DC error {edge.errors.dc_error:.3f}"
         )
 
     print("\nStudents (both FKs imputed):\n")
-    print(db.relation("Students").pretty(8))
+    print(result.relation("Students").pretty(8))
     print("\nMajors (dept_id imputed):\n")
-    print(db.relation("Majors").pretty())
+    print(result.relation("Majors").pretty())
 
     # Verify the multi-hop constraint on the final database.
-    view = fk_join(db.relation("Students"), db.relation("Majors"), "major_id")
-    view = fk_join(view, db.relation("Courses"), "course_id")
+    view = fk_join(
+        result.relation("Students"), result.relation("Majors"), "major_id"
+    )
+    view = fk_join(view, result.relation("Courses"), "course_id")
     cs_heavy = view.count(
-        parse_cc("|MName == 'CS' & Credits == 4| = 4").predicate
+        repro.parse_cc("|MName == 'CS' & Credits == 4| = 4").predicate
     )
     print(f"\nCS students in 4-credit courses: {cs_heavy} (target 4)")
+    assert result.dc_error == 0.0
 
 
 if __name__ == "__main__":

@@ -6,13 +6,23 @@ linear cardinality constraints on their join and a set of foreign-key
 denial constraints, the library imputes the FK column so that every DC
 holds exactly while CC error stays low.
 
-Quickstart::
+Quickstart — describe the workload, then synthesize::
 
-    from repro import CExtensionSolver, Relation, parse_cc, parse_dc
+    import repro
 
-    solver = CExtensionSolver()
-    result = solver.solve(r1, r2, fk_column="hid", ccs=ccs, dcs=dcs)
-    print(result.report.errors.summary())
+    spec = (
+        repro.SpecBuilder("quickstart")
+        .relation("persons", data=persons, key="pid")
+        .relation("housing", data=housing, key="hid")
+        .edge("persons", "hid", "housing", ccs=ccs, dcs=dcs)
+        .build()
+    )
+    result = repro.synthesize(spec)
+    print(result.summary())
+
+Spec files (TOML/JSON) load with :func:`repro.load_spec`; the lower-level
+:class:`CExtensionSolver` / :class:`SnowflakeSynthesizer` remain available
+for direct use.
 """
 
 from repro.constraints import (
@@ -46,8 +56,19 @@ from repro.relational import (
     ValueSet,
     fk_join,
 )
+from repro.spec import (
+    EdgeReport,
+    EdgeSpec,
+    RelationSpec,
+    SpecBuilder,
+    SynthesisResult,
+    SynthesisSpec,
+    load_spec,
+    save_spec,
+    synthesize,
+)
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "BinaryAtom",
@@ -60,20 +81,29 @@ __all__ = [
     "Database",
     "DenialConstraint",
     "EdgeConstraints",
+    "EdgeReport",
+    "EdgeSpec",
     "ErrorReport",
     "IntDomain",
     "Interval",
     "Predicate",
     "Relation",
+    "RelationSpec",
     "Schema",
     "SnowflakeSynthesizer",
     "SolverConfig",
+    "SpecBuilder",
+    "SynthesisResult",
+    "SynthesisSpec",
     "UnaryAtom",
     "ValueSet",
     "evaluate",
     "fk_join",
+    "load_spec",
     "parse_cc",
     "parse_dc",
     "parse_predicate",
+    "save_spec",
+    "synthesize",
     "__version__",
 ]

@@ -1,7 +1,12 @@
 """Benchmark harness: experiment runners and paper-style reporting."""
 
 from repro.bench.fidelity import fidelity_report, marginal_tvd
-from repro.bench.harness import ExperimentRow, run_baseline, run_hybrid
+from repro.bench.harness import (
+    ExperimentRow,
+    census_spec,
+    run_baseline,
+    run_hybrid,
+)
 from repro.bench.reporting import (
     error_histogram,
     render_breakdown,
@@ -18,5 +23,6 @@ __all__ = [
     "render_series",
     "render_table",
     "run_baseline",
+    "census_spec",
     "run_hybrid",
 ]

@@ -16,10 +16,10 @@ from repro.baselines.arasu import baseline_solve
 from repro.constraints.cc import CardinalityConstraint
 from repro.constraints.dc import DenialConstraint
 from repro.core.config import SolverConfig
-from repro.core.synthesizer import CExtensionSolver
 from repro.datagen.census import CensusData
+from repro.spec import SpecBuilder, synthesize
 
-__all__ = ["ExperimentRow", "run_hybrid", "run_baseline"]
+__all__ = ["ExperimentRow", "census_spec", "run_hybrid", "run_baseline"]
 
 
 @dataclass
@@ -58,6 +58,27 @@ class ExperimentRow:
         }
 
 
+def census_spec(
+    data: CensusData,
+    ccs: Sequence[CardinalityConstraint] = (),
+    dcs: Sequence[DenialConstraint] = (),
+    config: Optional[SolverConfig] = None,
+    capacity: Optional[int] = None,
+):
+    """The census workload as a :class:`SynthesisSpec` (shared by benches)."""
+    builder = (
+        SpecBuilder("census-bench")
+        .relation("persons", data=data.persons_masked, key="pid")
+        .relation("housing", data=data.housing, key="hid")
+        .edge("persons", "hid", "housing",
+              ccs=list(ccs), dcs=list(dcs), capacity=capacity)
+        .fact_table("persons")
+    )
+    if config is not None:
+        builder.options(config)
+    return builder.build()
+
+
 def run_hybrid(
     data: CensusData,
     ccs: Sequence[CardinalityConstraint],
@@ -65,18 +86,17 @@ def run_hybrid(
     scale: str = "",
     config: Optional[SolverConfig] = None,
 ) -> ExperimentRow:
-    """Run the paper's hybrid pipeline on one dataset."""
-    solver = CExtensionSolver(config or SolverConfig())
-    result = solver.solve(
-        data.persons_masked,
-        data.housing,
-        fk_column="hid",
-        ccs=ccs,
-        dcs=dcs,
-    )
-    errors = result.report.errors
-    p1 = result.phase1.stats
-    p2 = result.phase2.stats
+    """Run the paper's hybrid pipeline on one dataset.
+
+    Goes through the unified :func:`repro.synthesize` front door, so the
+    bench exercises exactly the production entrypoint.
+    """
+    spec = census_spec(data, ccs, dcs, config or SolverConfig())
+    result = synthesize(spec)
+    _, step = result.steps[0]
+    errors = step.report.errors
+    p1 = step.phase1.stats
+    p2 = step.phase2.stats
     return ExperimentRow(
         algorithm="hybrid",
         scale=scale,
@@ -84,8 +104,8 @@ def run_hybrid(
         mean_cc_error=errors.mean_cc_error,
         max_cc_error=errors.max_cc_error,
         dc_error=errors.dc_error,
-        phase1_seconds=result.report.phase1_seconds,
-        phase2_seconds=result.report.phase2_seconds,
+        phase1_seconds=step.report.phase1_seconds,
+        phase2_seconds=step.report.phase2_seconds,
         pairwise_seconds=p1.pairwise_seconds,
         recursion_seconds=p1.recursion_seconds,
         ilp_seconds=p1.ilp_seconds,

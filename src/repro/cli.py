@@ -1,141 +1,56 @@
-"""Command-line interface: generate, solve and evaluate from CSV files.
+"""Command-line interface: generate, solve and evaluate workloads.
 
 Subcommands:
 
 * ``generate`` — emit a Census-style workload: ``persons.csv`` (FK
-  masked), ``housing.csv``, ``ground_truth.csv`` and a ``constraints.txt``
-  with the derived CC/DC sets;
-* ``solve`` — run the hybrid pipeline over two CSVs and a constraints
-  file, writing ``r1_hat.csv`` / ``r2_hat.csv`` and printing the report;
+  masked), ``housing.csv``, ``ground_truth.csv``, a ``constraints.txt``
+  with the derived CC/DC sets and a ready-to-run ``workload.toml`` spec;
+* ``solve`` — run a workload.  Either declaratively::
+
+      repro-synth solve --spec workload.toml --out out/
+
+  where the spec file may describe any schema shape the library handles
+  (two-table, snowflake, capacity-capped edges), or with the legacy
+  two-table flags (``--r1 … --r2 … --fk …``), which build the equivalent
+  one-edge spec under the hood;
 * ``evaluate`` — score an already-completed pair of CSVs.
 
-Constraint files hold one constraint per line::
+Constraint files hold one constraint per line, optionally grouped into
+``[child.column -> parent]`` sections (see
+:mod:`repro.constraints.textio`)::
 
     # lines starting with # are comments
     cc: |Rel == 'Owner' & Area == 'Area1000'| = 4
     dc: not(t1.Rel == 'Owner' & t2.Rel == 'Owner')
+    dc: not(t1.Rel == 'Owner' & t2.Rel in {'Step child', 'Foster child'})
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
-from repro.constraints.cc import CardinalityConstraint
-from repro.constraints.dc import DenialConstraint
-from repro.constraints.parser import parse_cc, parse_dc
-from repro.core.config import SolverConfig
+# Re-exported here for backward compatibility; the implementation moved
+# to repro.constraints.textio.
+from repro.constraints.textio import dump_constraints, load_constraints
 from repro.core.metrics import evaluate
-from repro.core.synthesizer import CExtensionSolver
 from repro.datagen.census import CensusConfig, generate_census
 from repro.datagen.constraints_census import all_dcs, cc_family
-from repro.errors import ParseError, ReproError
+from repro.errors import ReproError
 from repro.relational.csvio import read_csv_infer, write_csv
+from repro.spec import (
+    SpecBuilder,
+    SynthesisResult,
+    SynthesisSpec,
+    load_spec,
+    save_spec,
+    synthesize,
+)
 
 __all__ = ["main", "load_constraints", "dump_constraints"]
-
-
-def load_constraints(
-    path: Path,
-) -> Tuple[List[CardinalityConstraint], List[DenialConstraint]]:
-    """Parse a ``cc:``/``dc:`` constraints file."""
-    ccs: List[CardinalityConstraint] = []
-    dcs: List[DenialConstraint] = []
-    for line_no, raw in enumerate(path.read_text().splitlines(), start=1):
-        line = raw.strip()
-        if not line or line.startswith("#"):
-            continue
-        try:
-            if line.startswith("cc:"):
-                ccs.append(parse_cc(line[3:], name=f"cc_line{line_no}"))
-            elif line.startswith("dc:"):
-                dcs.append(parse_dc(line[3:], name=f"dc_line{line_no}"))
-            else:
-                raise ParseError(
-                    f"{path}:{line_no}: lines must start with 'cc:' or 'dc:'"
-                )
-        except ParseError as exc:
-            raise ParseError(f"{path}:{line_no}: {exc}") from None
-    return ccs, dcs
-
-
-def _format_dc(dc: DenialConstraint) -> str:
-    """Serialise a DC back into the parser's syntax."""
-    from repro.constraints.dc import BinaryAtom, UnaryAtom
-
-    parts = []
-    for atom in dc.atoms:
-        if isinstance(atom, UnaryAtom):
-            if atom.op == "in":
-                # The parser has no "in" syntax; expand later if needed.
-                raise ReproError(
-                    "cannot serialise an 'in' atom to the text format"
-                )
-            value = (
-                atom.value if isinstance(atom.value, int) else f"'{atom.value}'"
-            )
-            parts.append(f"t{atom.var + 1}.{atom.attr} {atom.op} {value}")
-        else:
-            assert isinstance(atom, BinaryAtom)
-            offset = ""
-            if atom.offset > 0:
-                offset = f" + {atom.offset}"
-            elif atom.offset < 0:
-                offset = f" - {-atom.offset}"
-            parts.append(
-                f"t{atom.left_var + 1}.{atom.left_attr} {atom.op} "
-                f"t{atom.right_var + 1}.{atom.right_attr}{offset}"
-            )
-    return "not(" + " & ".join(parts) + ")"
-
-
-def dump_constraints(
-    path: Path,
-    ccs: Sequence[CardinalityConstraint],
-    dcs: Sequence[DenialConstraint],
-) -> int:
-    """Write a constraints file; returns how many DCs were serialisable."""
-    lines = ["# generated by repro-synth"]
-    for cc in ccs:
-        body = " or ".join(
-            " & ".join(
-                _render_condition(attr, cond)
-                for attr, cond in disjunct.items
-            )
-            for disjunct in cc.disjuncts
-        )
-        lines.append(f"cc: |{body}| = {cc.target}")
-    written_dcs = 0
-    for dc in dcs:
-        try:
-            lines.append("dc: " + _format_dc(dc))
-            written_dcs += 1
-        except ReproError:
-            continue  # 'in' atoms have no text form; skip
-    path.write_text("\n".join(lines) + "\n")
-    return written_dcs
-
-
-def _render_condition(attr: str, cond) -> str:
-    from repro.relational.predicate import Interval, ValueSet
-
-    if isinstance(cond, Interval):
-        import math
-
-        if cond.lo == cond.hi:
-            return f"{attr} == {int(cond.lo)}"
-        if math.isinf(cond.lo):
-            return f"{attr} <= {int(cond.hi)}"
-        if math.isinf(cond.hi):
-            return f"{attr} >= {int(cond.lo)}"
-        return f"{attr} in [{int(cond.lo)}, {int(cond.hi)}]"
-    assert isinstance(cond, ValueSet)
-    if len(cond.values) != 1:
-        raise ReproError("cannot serialise multi-value sets")
-    (value,) = cond.values
-    return f"{attr} == '{value}'"
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -155,40 +70,149 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     ccs = cc_family(data, args.cc_kind, args.num_ccs)
     dcs = all_dcs()
     written = dump_constraints(out / "constraints.txt", ccs, dcs)
+
+    spec = (
+        SpecBuilder("census")
+        .relation("persons", csv="persons.csv", key="pid")
+        .relation("housing", csv="housing.csv", key="hid")
+        .edge("persons", "hid", "housing", ccs=ccs, dcs=dcs)
+        .fact_table("persons")
+        .base_dir(out)
+        .build()
+    )
+    save_spec(spec, out / "workload.toml")
+
     print(
         f"wrote {len(data.persons)} persons / {len(data.housing)} "
         f"households to {out}"
     )
     print(
         f"constraints.txt: {len(ccs)} CCs, {written} DCs "
-        f"({len(dcs) - written} skipped: no text form for 'in' atoms)"
+        f"({len(dcs) - written} skipped)"
+    )
+    print(
+        "workload.toml: run `repro-synth solve "
+        f"--spec {out}/workload.toml --out <dir>`"
     )
     return 0
 
 
-def _cmd_solve(args: argparse.Namespace) -> int:
-    r1 = read_csv_infer(Path(args.r1), key=args.r1_key or None)
-    r2 = read_csv_infer(Path(args.r2), key=args.r2_key)
+def _spec_from_legacy_flags(args: argparse.Namespace) -> SynthesisSpec:
+    """The shim: legacy two-table flags become a one-edge spec."""
     ccs, dcs = load_constraints(Path(args.constraints))
-    config = SolverConfig(backend=args.backend)
-    result = CExtensionSolver(config).solve(
-        r1, r2, fk_column=args.fk, ccs=ccs, dcs=dcs
+    builder = (
+        SpecBuilder("legacy-two-table")
+        .relation("r1", csv=args.r1, key=args.r1_key or None)
+        .relation("r2", csv=args.r2, key=args.r2_key)
+        .edge(
+            "r1",
+            args.fk,
+            "r2",
+            ccs=ccs,
+            dcs=dcs,
+            capacity=args.capacity,
+        )
+        .fact_table("r1")
+        .options(backend=args.backend or "scipy")
     )
+    return builder.build()
+
+
+def _print_edge_reports(result: SynthesisResult) -> None:
+    for edge in result.edges:
+        errors = edge.errors
+        line = (
+            f"  [{edge.child}.{edge.column} -> {edge.parent}] "
+            f"strategy={edge.strategy} "
+            f"ccs={edge.num_ccs} dcs={edge.num_dcs}"
+        )
+        if errors is not None:
+            line += (
+                f" | CC mean {errors.mean_cc_error:.4f} "
+                f"max {errors.max_cc_error:.4f} "
+                f"DC {errors.dc_error:.4f}"
+            )
+        line += (
+            f" | +{edge.num_new_parent_tuples} parent tuples, "
+            f"{edge.total_seconds:.3f}s"
+        )
+        print(line)
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    legacy_only = [
+        flag
+        for flag, value in (
+            ("--r1", args.r1),
+            ("--r2", args.r2),
+            ("--fk", args.fk),
+            ("--constraints", args.constraints),
+            ("--r1-key", args.r1_key),
+            ("--r2-key", args.r2_key),
+            ("--backend", args.backend),
+            ("--capacity", args.capacity),
+        )
+        if value not in ("", None)
+    ]
+    if args.spec and legacy_only:
+        raise ReproError(
+            f"--spec and the legacy two-table flags {legacy_only} are "
+            "exclusive; put solver options and capacities in the spec file"
+        )
     out = Path(args.out)
+
+    if args.spec:
+        spec = load_spec(Path(args.spec))
+        result = synthesize(spec)
+        out.mkdir(parents=True, exist_ok=True)
+        for name in result.database.relation_names:
+            write_csv(result.relation(name), out / f"{name}.csv")
+        (out / "summary.json").write_text(
+            json.dumps(result.summary(), indent=2) + "\n"
+        )
+        print(
+            f"solved spec {spec.name or Path(args.spec).stem!r}: "
+            f"{len(result.edges)} FK edges from fact table {spec.fact()!r}"
+        )
+        _print_edge_reports(result)
+        print(f"  outputs in {out} (summary.json + one CSV per relation)")
+        return 0 if result.dc_error == 0.0 else 1
+
+    missing = [
+        flag
+        for flag, value in (
+            ("--r1", args.r1),
+            ("--r2", args.r2),
+            ("--fk", args.fk),
+            ("--r2-key", args.r2_key),
+            ("--constraints", args.constraints),
+        )
+        if not value
+    ]
+    if missing:
+        raise ReproError(
+            f"solve needs either --spec or the legacy flags {missing}"
+        )
+    spec = _spec_from_legacy_flags(args)
+    result = synthesize(spec)
+    edge = result.edges[0]
+    errors = edge.errors
     out.mkdir(parents=True, exist_ok=True)
-    write_csv(result.r1_hat, out / "r1_hat.csv")
-    write_csv(result.r2_hat, out / "r2_hat.csv")
-    errors = result.report.errors
-    print(f"solved: {len(r1)} rows, {len(ccs)} CCs, {len(dcs)} DCs")
+    write_csv(result.relation("r1"), out / "r1_hat.csv")
+    write_csv(result.relation("r2"), out / "r2_hat.csv")
+    print(
+        f"solved: {len(result.relation('r1'))} rows, "
+        f"{edge.num_ccs} CCs, {edge.num_dcs} DCs"
+    )
     print(
         f"  CC error median {errors.median_cc_error:.4f} "
         f"mean {errors.mean_cc_error:.4f} max {errors.max_cc_error:.4f}"
     )
     print(f"  DC error {errors.dc_error:.4f}")
     print(
-        f"  fresh R2 tuples {result.phase2.stats.num_new_r2_tuples}; "
-        f"phase I {result.report.phase1_seconds:.3f}s, "
-        f"phase II {result.report.phase2_seconds:.3f}s"
+        f"  fresh R2 tuples {edge.num_new_parent_tuples}; "
+        f"phase I {edge.phase1_seconds:.3f}s, "
+        f"phase II {edge.phase2_seconds:.3f}s"
     )
     print(f"  outputs in {out}")
     return 0 if errors.dc_error == 0.0 else 1
@@ -225,16 +249,23 @@ def _build_parser() -> argparse.ArgumentParser:
                      dest="cc_kind")
     gen.set_defaults(func=_cmd_generate)
 
-    solve = sub.add_parser("solve", help="impute the FK column")
-    solve.add_argument("--r1", required=True)
-    solve.add_argument("--r2", required=True)
-    solve.add_argument("--fk", required=True)
-    solve.add_argument("--constraints", required=True)
+    solve = sub.add_parser(
+        "solve",
+        help="run a workload (spec file or legacy two-table flags)",
+    )
+    solve.add_argument("--spec", default="",
+                       help="TOML/JSON workload spec file")
     solve.add_argument("--out", required=True)
+    solve.add_argument("--r1", default="")
+    solve.add_argument("--r2", default="")
+    solve.add_argument("--fk", default="")
+    solve.add_argument("--constraints", default="")
     solve.add_argument("--r1-key", default="", dest="r1_key")
-    solve.add_argument("--r2-key", required=True, dest="r2_key")
+    solve.add_argument("--r2-key", default="", dest="r2_key")
     solve.add_argument("--backend", choices=("scipy", "native"),
-                       default="scipy")
+                       default="")
+    solve.add_argument("--capacity", type=int, default=None,
+                       help="cap rows per FK key (capacity strategy)")
     solve.set_defaults(func=_cmd_solve)
 
     ev = sub.add_parser("evaluate", help="score a completed database")

@@ -16,6 +16,14 @@ from repro.constraints.relationships import (
     RelationshipTable,
     classify_pair,
 )
+from repro.constraints.textio import (
+    dump_constraint_sections,
+    dump_constraints,
+    format_cc,
+    format_dc,
+    load_constraint_sections,
+    load_constraints,
+)
 
 __all__ = [
     "BinaryAtom",
@@ -30,6 +38,12 @@ __all__ = [
     "build_binning",
     "classify_pair",
     "count_violating_tuples",
+    "dump_constraint_sections",
+    "dump_constraints",
+    "format_cc",
+    "format_dc",
+    "load_constraint_sections",
+    "load_constraints",
     "marginal_constraints",
     "parse_cc",
     "parse_dc",

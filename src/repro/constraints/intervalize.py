@@ -63,21 +63,33 @@ class Binning:
     def key_arrays(
         self, relation: Relation, indices: Optional[np.ndarray] = None
     ) -> List[np.ndarray]:
-        """Per-attribute key component arrays for (a subset of) a relation."""
+        """Per-attribute key component arrays for (a subset of) a relation.
+
+        Numeric attributes are intervalized on the column's distinct
+        values (the cached :meth:`Relation.codes` factorization) and the
+        result broadcast back through the codes — one ``searchsorted``
+        over the uniques instead of one over every row.
+        """
         out = []
         for attr in self.attrs:
-            values = relation.column(attr)
-            if indices is not None:
-                values = values[indices]
             if self.is_numeric(attr):
+                codes, uniques = relation.codes(attr)
                 starts = self.starts[attr]
-                comp = np.searchsorted(starts, values, side="right") - 1
+                unique_comp = (
+                    np.searchsorted(starts, uniques, side="right") - 1
+                )
+                comp = unique_comp[codes]
+                if indices is not None:
+                    comp = comp[indices]
                 if (comp < 0).any():
                     raise ConstraintError(
                         f"values below the domain of attribute {attr!r}"
                     )
                 out.append(comp)
             else:
+                values = relation.column(attr)
+                if indices is not None:
+                    values = values[indices]
                 out.append(values)
         return out
 

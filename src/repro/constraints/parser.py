@@ -3,11 +3,13 @@
 The paper writes constraints as logic; users of the library can write them
 as strings:
 
-* predicate — ``"Rel == 'Owner' & Area == 'Chicago' & Age in [10, 14]"``
+* predicate — ``"Rel == 'Owner' & Area == 'Chicago' & Age in [10, 14]"``;
+  finite value sets are written ``"Rel in {'Owner', 'Spouse'}"``
 * cardinality constraint — ``"|Rel == 'Owner' & Area == 'Chicago'| = 4"``
 * denial constraint — ``"not(t1.Rel == 'Owner' & t2.Rel == 'Owner')"``
   with the FK-equality atom implicit; binary age-gap atoms are written
-  ``"t2.Age < t1.Age - 50"``.
+  ``"t2.Age < t1.Age - 50"`` and multi-value atoms
+  ``"t2.Rel in {'Biological child', 'Step child'}"``.
 
 Unquoted barewords are treated as string values (``Rel == Owner`` works).
 """
@@ -24,6 +26,7 @@ from repro.relational.predicate import (
     Condition,
     Interval,
     Predicate,
+    ValueSet,
     condition_from_atom,
 )
 from repro.relational.types import Domain
@@ -36,8 +39,8 @@ _TOKEN_RE = re.compile(
         (?P<number>-?\d+)
       | (?P<string>'[^']*'|"[^"]*")
       | (?P<op><=|>=|==|!=|=|<|>)
-      | (?P<punct>[\[\],&().|])
-      | (?P<word>[A-Za-z_][A-Za-z0-9_\-/ ]*?(?=\s*(?:<=|>=|==|!=|=|<|>|[\[\],&().|]|$)))
+      | (?P<punct>[\[\]{},&().|])
+      | (?P<word>[A-Za-z_][A-Za-z0-9_\-/ ]*?(?=\s*(?:<=|>=|==|!=|=|<|>|[\[\]{},&().|]|$)))
       | (?P<keyword>in|not)\b
     )
     """,
@@ -110,15 +113,27 @@ def _parse_atom(
     # "Age in [10, 14]" tokenizes as the single word "Age in" because word
     # tokens may contain spaces (multi-word categorical values); peel the
     # trailing "in" keyword off here.
-    interval_follows = False
+    in_follows = False
     if attr.endswith(" in"):
         attr = attr[:-3].strip()
-        interval_follows = True
+        in_follows = True
     nxt = tokens.peek()
-    if interval_follows or (nxt is not None and nxt[1] == "in"):
-        if not interval_follows:
+    if in_follows or (nxt is not None and nxt[1] == "in"):
+        if not in_follows:
             tokens.next()
-        tokens.expect("[")
+        kind, bracket = tokens.next()
+        if bracket == "{":
+            # "Rel in {'Owner', 'Spouse'}" — a finite value set.
+            values = [_parse_value(tokens)]
+            while tokens.peek() is not None and tokens.peek()[1] == ",":
+                tokens.next()
+                values.append(_parse_value(tokens))
+            tokens.expect("}")
+            return attr, ValueSet(values)
+        if bracket != "[":
+            raise ParseError(
+                f"expected '[' or '{{' after 'in', found {bracket!r}"
+            )
         lo = _parse_value(tokens)
         tokens.expect(",")
         hi = _parse_value(tokens)
@@ -191,6 +206,52 @@ def parse_cc(
 
 
 _TREF_RE = re.compile(r"t(\d+)\.([A-Za-z_][A-Za-z0-9_\-]*)")
+_IN_SET_RE = re.compile(r"in\s*\{(.*)\}\s*$", re.DOTALL)
+_SET_VALUE_RE = re.compile(r"""'[^']*'|"[^"]*"|[^,]+""")
+
+
+def _split_atoms(body: str) -> List[str]:
+    """Split a DC body on ``&``, honouring quoted values.
+
+    A ``&`` inside ``'…'`` or ``"…"`` (e.g. the category ``'B&B'``) is
+    part of the value, not an atom separator.
+    """
+    atoms: List[str] = []
+    current: List[str] = []
+    quote: Optional[str] = None
+    for ch in body:
+        if quote is not None:
+            current.append(ch)
+            if ch == quote:
+                quote = None
+        elif ch in "'\"":
+            quote = ch
+            current.append(ch)
+        elif ch == "&":
+            atoms.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    atoms.append("".join(current))
+    return atoms
+
+
+def _parse_value_list(body: str, context: str) -> List[object]:
+    """The comma-separated values of an ``in {…}`` atom."""
+    values: List[object] = []
+    for raw in _SET_VALUE_RE.findall(body):
+        item = raw.strip()
+        if not item:
+            continue
+        if re.fullmatch(r"-?\d+", item):
+            values.append(int(item))
+        elif item.startswith(("'", '"')) and item.endswith(("'", '"')):
+            values.append(item[1:-1])
+        else:
+            values.append(item)
+    if not values:
+        raise ParseError(f"empty value set in {context!r}")
+    return values
 
 
 def parse_dc(text: str, name: str = "", fk_column: str = "FK") -> DenialConstraint:
@@ -198,6 +259,8 @@ def parse_dc(text: str, name: str = "", fk_column: str = "FK") -> DenialConstrai
 
     Atoms referencing ``fk_column`` (e.g. ``t1.hid == t2.hid``) are accepted
     and dropped — the FK equality is implicit in every foreign-key DC.
+    Unary atoms may test set membership: ``t2.Rel in {'Step child', 'Foster
+    child'}`` becomes a :class:`UnaryAtom` with ``op="in"``.
     """
     match = re.fullmatch(r"\s*not\s*\((.*)\)\s*", text, re.DOTALL)
     if match is None:
@@ -206,7 +269,7 @@ def parse_dc(text: str, name: str = "", fk_column: str = "FK") -> DenialConstrai
 
     atoms: List[object] = []
     max_var = 0
-    for part in body.split("&"):
+    for part in _split_atoms(body):
         part = part.strip()
         if not part:
             raise ParseError(f"empty atom in {text!r}")
@@ -217,6 +280,13 @@ def parse_dc(text: str, name: str = "", fk_column: str = "FK") -> DenialConstrai
         left_attr = left.group(2)
         max_var = max(max_var, left_var)
         rest = part[left.end():].strip()
+        in_match = _IN_SET_RE.match(rest)
+        if in_match is not None:
+            values = _parse_value_list(in_match.group(1), part)
+            atoms.append(
+                UnaryAtom(left_var, left_attr, "in", tuple(values))
+            )
+            continue
         op_match = re.match(r"(<=|>=|==|!=|=|<|>)", rest)
         if op_match is None:
             raise ParseError(f"missing operator in atom {part!r}")

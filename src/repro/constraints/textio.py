@@ -1,0 +1,271 @@
+"""Text serialisation of constraint sets (the ``cc:``/``dc:`` format).
+
+One constraint per line::
+
+    # lines starting with # are comments
+    cc: |Rel == 'Owner' & Area == 'Area1000'| = 4
+    dc: not(t1.Rel == 'Owner' & t2.Rel == 'Owner')
+    dc: not(t1.Rel == 'Owner' & t2.Rel in {'Step child', 'Foster child'})
+
+A file may also be split into *table-scoped sections*, one per FK edge of
+a multi-relation workload.  A section header names the edge the following
+constraints belong to::
+
+    [Students.major_id -> Majors]
+    cc: |Year == 1 & MName == 'CS'| = 5
+
+    [Majors.dept_id -> Departments]
+    dc: not(t1.MName == 'CS' & t2.MName == 'Math')
+
+Lines before the first header belong to the anonymous section (key
+``None``), which two-table callers treat as *the* constraint set.  Every
+constraint the parser accepts — including ``in {…}`` value-set atoms and
+multi-value ``ValueSet`` conditions — round-trips through this module.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.constraints.cc import CardinalityConstraint
+from repro.constraints.dc import BinaryAtom, DenialConstraint, UnaryAtom
+from repro.constraints.parser import parse_cc, parse_dc
+from repro.errors import ParseError, ReproError
+from repro.relational.ordering import sort_key
+from repro.relational.predicate import Interval, ValueSet
+
+__all__ = [
+    "EdgeKey",
+    "load_constraints",
+    "load_constraint_sections",
+    "loads_constraint_sections",
+    "dump_constraints",
+    "dump_constraint_sections",
+    "format_cc",
+    "format_dc",
+]
+
+#: ``(child, column, parent)`` — one FK edge of a multi-relation workload.
+EdgeKey = Tuple[str, str, str]
+
+_HEADER_RE = re.compile(
+    r"\[\s*([A-Za-z_][\w\-]*)\.([A-Za-z_][\w\-]*)\s*->\s*([A-Za-z_][\w\-]*)\s*\]"
+)
+
+
+# ----------------------------------------------------------------------
+# Loading
+# ----------------------------------------------------------------------
+def loads_constraint_sections(
+    text: str,
+    origin: str = "<constraints>",
+) -> Dict[Optional[EdgeKey], Tuple[List[CardinalityConstraint], List[DenialConstraint]]]:
+    """Parse constraints text into per-edge ``(ccs, dcs)`` sections.
+
+    The anonymous (headerless) section is keyed by ``None`` and is only
+    present when it holds at least one constraint.  ``origin`` labels
+    parse errors (a file path when loading from disk).
+    """
+    sections: Dict[
+        Optional[EdgeKey],
+        Tuple[List[CardinalityConstraint], List[DenialConstraint]],
+    ] = {}
+    current: Optional[EdgeKey] = None
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        header = _HEADER_RE.fullmatch(line)
+        if header is not None:
+            current = (header.group(1), header.group(2), header.group(3))
+            sections.setdefault(current, ([], []))
+            continue
+        ccs, dcs = sections.setdefault(current, ([], []))
+        try:
+            if line.startswith("cc:"):
+                ccs.append(parse_cc(line[3:], name=f"cc_line{line_no}"))
+            elif line.startswith("dc:"):
+                dcs.append(parse_dc(line[3:], name=f"dc_line{line_no}"))
+            else:
+                raise ParseError(
+                    "lines must start with 'cc:', 'dc:' or a "
+                    "'[child.column -> parent]' header"
+                )
+        except ParseError as exc:
+            raise ParseError(f"{origin}:{line_no}: {exc}") from None
+    return sections
+
+
+def load_constraint_sections(
+    path: Path,
+) -> Dict[Optional[EdgeKey], Tuple[List[CardinalityConstraint], List[DenialConstraint]]]:
+    """Parse a constraints file into per-edge ``(ccs, dcs)`` sections."""
+    path = Path(path)
+    return loads_constraint_sections(path.read_text(), origin=str(path))
+
+
+def load_constraints(
+    path: Path,
+) -> Tuple[List[CardinalityConstraint], List[DenialConstraint]]:
+    """Parse a ``cc:``/``dc:`` constraints file into flat lists.
+
+    Table-scoped sections, when present, are merged in file order.
+    """
+    ccs: List[CardinalityConstraint] = []
+    dcs: List[DenialConstraint] = []
+    for section_ccs, section_dcs in load_constraint_sections(path).values():
+        ccs.extend(section_ccs)
+        dcs.extend(section_dcs)
+    return ccs, dcs
+
+
+# ----------------------------------------------------------------------
+# Formatting
+# ----------------------------------------------------------------------
+def _format_value(value: object) -> str:
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    text = str(value)
+    if "'" not in text:
+        return f"'{text}'"
+    if '"' not in text:
+        return f'"{text}"'
+    raise ReproError(
+        f"cannot serialise value {text!r}: it contains both quote kinds"
+    )
+
+
+def _format_value_set(values) -> str:
+    ordered = sorted(values, key=sort_key) if isinstance(
+        values, (set, frozenset)
+    ) else list(values)
+    return "{" + ", ".join(_format_value(v) for v in ordered) + "}"
+
+
+def _format_condition(attr: str, cond: object) -> str:
+    if isinstance(cond, Interval):
+        if cond.lo == cond.hi:
+            return f"{attr} == {int(cond.lo)}"
+        if math.isinf(cond.lo):
+            return f"{attr} <= {int(cond.hi)}"
+        if math.isinf(cond.hi):
+            return f"{attr} >= {int(cond.lo)}"
+        return f"{attr} in [{int(cond.lo)}, {int(cond.hi)}]"
+    if isinstance(cond, ValueSet):
+        if len(cond.values) == 1:
+            (value,) = cond.values
+            return f"{attr} == {_format_value(value)}"
+        return f"{attr} in {_format_value_set(cond.values)}"
+    raise ReproError(f"cannot serialise condition {cond!r}")
+
+
+def format_cc(cc: CardinalityConstraint) -> str:
+    """Serialise a CC into the parser's ``|<condition>| = k`` syntax."""
+    body = " or ".join(
+        " & ".join(
+            _format_condition(attr, cond) for attr, cond in disjunct.items
+        )
+        for disjunct in cc.disjuncts
+    )
+    return f"|{body}| = {cc.target}"
+
+
+def format_dc(dc: DenialConstraint) -> str:
+    """Serialise a DC back into the parser's ``not(...)`` syntax."""
+    parts = []
+    for atom in dc.atoms:
+        if isinstance(atom, UnaryAtom):
+            if atom.op == "in":
+                parts.append(
+                    f"t{atom.var + 1}.{atom.attr} in "
+                    f"{_format_value_set(atom.value)}"
+                )
+            else:
+                parts.append(
+                    f"t{atom.var + 1}.{atom.attr} {atom.op} "
+                    f"{_format_value(atom.value)}"
+                )
+        else:
+            assert isinstance(atom, BinaryAtom)
+            offset = ""
+            if atom.offset > 0:
+                offset = f" + {atom.offset}"
+            elif atom.offset < 0:
+                offset = f" - {-atom.offset}"
+            parts.append(
+                f"t{atom.left_var + 1}.{atom.left_attr} {atom.op} "
+                f"t{atom.right_var + 1}.{atom.right_attr}{offset}"
+            )
+    return "not(" + " & ".join(parts) + ")"
+
+
+# ----------------------------------------------------------------------
+# Dumping
+# ----------------------------------------------------------------------
+def _section_lines(
+    ccs: Sequence[CardinalityConstraint],
+    dcs: Sequence[DenialConstraint],
+) -> Tuple[List[str], int]:
+    """Render one section; returns ``(lines, dcs_written)``.
+
+    DCs without a text form (values mixing both quote kinds) are skipped,
+    mirroring the historical ``dump_constraints`` contract; every DC the
+    parser itself can produce serialises.
+    """
+    lines = [f"cc: {format_cc(cc)}" for cc in ccs]
+    written = 0
+    for dc in dcs:
+        try:
+            lines.append(f"dc: {format_dc(dc)}")
+            written += 1
+        except ReproError:
+            continue
+    return lines, written
+
+
+def dump_constraints(
+    path: Path,
+    ccs: Sequence[CardinalityConstraint],
+    dcs: Sequence[DenialConstraint],
+) -> int:
+    """Write a flat constraints file; returns how many DCs were written.
+
+    Since ``in {…}`` atoms gained a text form, every census-family DC
+    serialises and the return value equals ``len(dcs)``; only DC values
+    mixing both quote kinds are skipped.
+    """
+    body, written = _section_lines(ccs, dcs)
+    lines = ["# generated by repro-synth", *body]
+    Path(path).write_text("\n".join(lines) + "\n")
+    return written
+
+
+def dump_constraint_sections(
+    path: Path,
+    sections: Dict[
+        Optional[EdgeKey],
+        Tuple[Sequence[CardinalityConstraint], Sequence[DenialConstraint]],
+    ],
+) -> int:
+    """Write a sectioned constraints file; returns how many DCs were written.
+
+    The anonymous ``None`` section (when present) is emitted first so the
+    file stays loadable by flat two-table consumers.
+    """
+    lines = ["# generated by repro-synth"]
+    written = 0
+    ordered = sorted(sections.items(), key=lambda kv: (kv[0] is not None, kv[0] or ()))
+    for edge, (ccs, dcs) in ordered:
+        if edge is not None:
+            lines.append("")
+            lines.append(f"[{edge[0]}.{edge[1]} -> {edge[2]}]")
+        body, section_written = _section_lines(ccs, dcs)
+        lines.extend(body)
+        written += section_written
+    Path(path).write_text("\n".join(lines) + "\n")
+    return written

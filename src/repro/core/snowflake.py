@@ -33,10 +33,30 @@ __all__ = ["EdgeConstraints", "SnowflakeResult", "SnowflakeSynthesizer"]
 
 @dataclass
 class EdgeConstraints:
-    """The CC/DC sets attached to one FK edge."""
+    """The CC/DC sets (and Phase-II strategy) attached to one FK edge.
+
+    ``capacity`` caps how many child rows may share one parent key; when
+    set, the edge is solved with the registered ``"capacity"`` Phase-II
+    strategy.  ``strategy`` names any registered strategy explicitly and
+    overrides the capacity-implied default; ``options`` carries extra
+    strategy knobs.
+    """
 
     ccs: Sequence[CardinalityConstraint] = ()
     dcs: Sequence[DenialConstraint] = ()
+    capacity: Optional[int] = None
+    strategy: Optional[str] = None
+    options: Mapping[str, object] = field(default_factory=dict)
+
+    def resolved_strategy(self) -> Tuple[str, Dict[str, object]]:
+        """The ``(strategy, options)`` pair this edge solves with."""
+        options: Dict[str, object] = dict(self.options)
+        if self.capacity is not None:
+            options.setdefault("max_per_key", self.capacity)
+        name = self.strategy
+        if name is None:
+            name = "capacity" if self.capacity is not None else "coloring"
+        return name, options
 
 
 @dataclass
@@ -105,12 +125,15 @@ class SnowflakeSynthesizer:
             # solve; the FK values map 1:1 back onto the child relation
             # because extension joins preserve row order and count.
             extended = self._extended_view(database, fk.child, completed)
+            strategy, options = edge_constraints.resolved_strategy()
             step = solver.solve(
                 extended,
                 parent,
                 fk_column=fk.column,
                 ccs=edge_constraints.ccs,
                 dcs=edge_constraints.dcs,
+                strategy=strategy,
+                strategy_options=options,
             )
             fk_values = list(step.r1_hat.column(fk.column))
 

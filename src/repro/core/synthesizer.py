@@ -12,6 +12,10 @@ Phase II (conflict-graph coloring) and evaluates the result:
 The guarantees match Propositions 4.7 / 5.5: all DCs hold exactly in
 ``r1_hat``; CCs are exact for intersection-free inputs and low-error
 otherwise.
+
+Phase II is dispatched through the :mod:`repro.core.stages` registry:
+``strategy="coloring"`` (the default Algorithm 3/4 list coloring) or any
+other registered strategy such as ``"capacity"``.
 """
 
 from __future__ import annotations
@@ -19,15 +23,16 @@ from __future__ import annotations
 import logging
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence
 
 from repro.constraints.cc import CardinalityConstraint, validate_cc_set
 from repro.constraints.dc import DenialConstraint
 from repro.core.config import SolverConfig
 from repro.core.metrics import ErrorReport, evaluate
+from repro.core.stages import phase2_strategy
 from repro.errors import SchemaError
 from repro.phase1.hybrid import Phase1Result, run_phase1
-from repro.phase2.fk_assignment import Phase2Result, run_phase2
+from repro.phase2.fk_assignment import Phase2Result
 from repro.relational.join import fk_join
 from repro.relational.relation import Relation
 
@@ -87,13 +92,19 @@ class CExtensionSolver:
         fk_column: str,
         ccs: Sequence[CardinalityConstraint] = (),
         dcs: Sequence[DenialConstraint] = (),
+        strategy: str = "coloring",
+        strategy_options: Optional[Mapping[str, object]] = None,
     ) -> CExtensionResult:
         """Impute ``r1.fk_column`` under ``ccs`` and ``dcs``.
 
         ``r1`` may contain the FK column (its values are ignored and
         dropped) or omit it.  ``r2`` must declare a primary key.
+        ``strategy`` names the registered Phase-II stage to run
+        (``"coloring"`` by default; ``"capacity"`` takes a
+        ``max_per_key`` option in ``strategy_options``).
         """
         config = self.config
+        run_strategy = phase2_strategy(strategy)
         if r2.schema.key is None:
             raise SchemaError("R2 must declare a primary key column")
         if fk_column in r1.schema:
@@ -131,7 +142,7 @@ class CExtensionSolver:
         )
 
         started = time.perf_counter()
-        phase2 = run_phase2(
+        phase2 = run_strategy(
             r1,
             r2,
             dcs,
@@ -139,8 +150,8 @@ class CExtensionSolver:
             phase1.catalog,
             fk_column,
             ccs=ccs,
-            partitioned=config.partitioned_coloring,
-            parallel_workers=config.parallel_workers,
+            config=config,
+            options=strategy_options,
         )
         report.phase2_seconds = time.perf_counter() - started
         logger.info(

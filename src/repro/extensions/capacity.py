@@ -12,22 +12,35 @@ color becomes forbidden once its usage reaches the cap, in addition to
 Algorithm 3's DC-based forbidding.  Skipped vertices receive fresh keys
 exactly as in Algorithm 4, so the capacity invariant always holds in the
 output (at the price of possibly more fresh R2 tuples).
+
+The capacity pass is registered as the ``"capacity"`` Phase-II strategy
+(see :mod:`repro.core.stages`), so the unified solver and the spec-driven
+:func:`repro.synthesize` front door reach it by name;
+:func:`solve_with_capacity` survives as a convenience shim over that
+path.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.relational.ordering import sort_key, tuple_sort_key
 from repro.constraints.cc import CardinalityConstraint
 from repro.constraints.dc import DenialConstraint
 from repro.core.config import SolverConfig
-from repro.core.metrics import ErrorReport, evaluate
+from repro.core.metrics import ErrorReport
+from repro.core.stages import register_phase2_strategy
 from repro.errors import ColoringError, ReproError
-from repro.phase1.hybrid import run_phase1
+from repro.phase1.assignment import ViewAssignment
+from repro.phase1.combos import ComboCatalog
 from repro.phase2.edges import build_conflict_graph
-from repro.phase2.fk_assignment import FreshKeyFactory
+from repro.phase2.fk_assignment import (
+    FreshKeyFactory,
+    Phase2Result,
+    Phase2Stats,
+)
 from repro.phase2.hypergraph import ConflictHypergraph
 from repro.relational.relation import Relation
 from repro.relational.schema import ColumnSpec
@@ -113,39 +126,38 @@ def fk_usage_histogram(r1_hat: Relation, fk_column: str) -> Dict[object, int]:
     return out
 
 
-def solve_with_capacity(
+@register_phase2_strategy("capacity")
+def capacity_phase2(
     r1: Relation,
     r2: Relation,
-    *,
+    dcs: Sequence[DenialConstraint],
+    assignment: ViewAssignment,
+    catalog: ComboCatalog,
     fk_column: str,
-    max_per_key: int,
+    *,
     ccs: Sequence[CardinalityConstraint] = (),
-    dcs: Sequence[DenialConstraint] = (),
     config: Optional[SolverConfig] = None,
-) -> CapacityResult:
-    """C-Extension with a hard per-key capacity.
+    options: Optional[Mapping[str, object]] = None,
+) -> Phase2Result:
+    """The ``"capacity"`` Phase-II strategy: Algorithm 4 with a usage cap.
 
-    Phase I is the unchanged hybrid; Phase II swaps Algorithm 3 for
-    :func:`capacity_coloring`.  All DCs hold exactly and every key serves
-    at most ``max_per_key`` rows; both invariants are enforced even for
-    invalid tuples (which here always receive fresh keys — the safest
-    capacity-respecting choice).
+    Swaps Algorithm 3 for :func:`capacity_coloring`.  All DCs hold exactly
+    and every key serves at most ``options["max_per_key"]`` rows; both
+    invariants are enforced even for invalid tuples (which here always
+    receive fresh keys — the safest capacity-respecting choice).
     """
-    config = config or SolverConfig()
-    if fk_column in r1.schema:
-        r1 = r1.drop_column(fk_column)
-    phase1 = run_phase1(
-        r1,
-        r2,
-        ccs,
-        marginals=config.marginals,
-        soft_ccs=config.soft_ccs,
-        backend=config.backend,
-        force_ilp=config.force_ilp,
-    )
-    assignment = phase1.assignment
-    catalog = phase1.catalog
+    options = dict(options or {})
+    max_per_key = options.pop("max_per_key", None)
+    if options:
+        raise ReproError(
+            f"unknown capacity strategy options {sorted(options)}"
+        )
+    if not isinstance(max_per_key, int):
+        raise ReproError(
+            "the capacity strategy requires an integer 'max_per_key' option"
+        )
 
+    stats = Phase2Stats()
     key_column = r2.schema.key
     factory = FreshKeyFactory(list(r2.column(key_column)))
     keys_by_combo = {c: list(k) for c, k in catalog.keys_by_combo.items()}
@@ -162,6 +174,7 @@ def solve_with_capacity(
             )
         )
         keys_by_combo.setdefault(combo, []).append(key)
+        stats.num_new_r2_tuples += 1
 
     partitions: Dict[tuple, List[int]] = {}
     invalid_rows: List[int] = []
@@ -171,13 +184,17 @@ def solve_with_capacity(
             continue
         partitions.setdefault(assignment.combo(row), []).append(row)
 
+    started = time.perf_counter()
     for combo in sorted(partitions.keys(), key=tuple_sort_key):
         rows = partitions[combo]
         graph = build_conflict_graph(r1, dcs, rows)
+        stats.num_partitions += 1
+        stats.num_edges += graph.num_edges
         candidates = sorted(keys_by_combo.get(combo, []), key=sort_key)
         part_coloring, skipped = capacity_coloring(
             graph, candidates, max_per_key, {}, usage
         )
+        stats.num_skipped += len(skipped)
         guard = 0
         while skipped:
             guard += 1
@@ -191,9 +208,11 @@ def solve_with_capacity(
                 if key in set(part_coloring.values()):
                     record_new_key(key, combo)
         coloring.update(part_coloring)
+    stats.coloring_seconds = time.perf_counter() - started
 
     # Invalid tuples: fresh keys with an arbitrary safe combo (capacity 1
     # usage each) — the conservative capacity-respecting escape hatch.
+    started = time.perf_counter()
     for row in invalid_rows:
         combo = catalog.combos[0] if catalog.combos else None
         if combo is None:
@@ -207,20 +226,51 @@ def solve_with_capacity(
         usage[key] = usage.get(key, 0) + 1
         assignment.assign(row, catalog.as_dict(combo))
         assignment.invalid.discard(row)
+    stats.num_invalid_handled = len(invalid_rows)
+    stats.invalid_seconds = time.perf_counter() - started
 
     fk_values = [coloring[row] for row in range(assignment.n)]
     key_dtype = r2.schema.dtype(key_column)
     r1_hat = r1.with_column(ColumnSpec(fk_column, key_dtype), fk_values)
     r2_hat = r2.append_rows(new_rows)
+    return Phase2Result(
+        r1_hat=r1_hat, r2_hat=r2_hat, coloring=coloring, stats=stats
+    )
 
-    errors = None
-    if config.evaluate:
-        errors = evaluate(r1_hat, r2_hat, fk_column, ccs, dcs)
+
+def solve_with_capacity(
+    r1: Relation,
+    r2: Relation,
+    *,
+    fk_column: str,
+    max_per_key: int,
+    ccs: Sequence[CardinalityConstraint] = (),
+    dcs: Sequence[DenialConstraint] = (),
+    config: Optional[SolverConfig] = None,
+) -> CapacityResult:
+    """C-Extension with a hard per-key capacity.
+
+    A convenience shim over the unified solver: Phase I is the unchanged
+    hybrid; Phase II dispatches to the registered ``"capacity"`` strategy.
+    Identical to ``CExtensionSolver(config).solve(..., strategy="capacity",
+    strategy_options={"max_per_key": max_per_key})``.
+    """
+    from repro.core.synthesizer import CExtensionSolver
+
+    result = CExtensionSolver(config).solve(
+        r1,
+        r2,
+        fk_column=fk_column,
+        ccs=ccs,
+        dcs=dcs,
+        strategy="capacity",
+        strategy_options={"max_per_key": max_per_key},
+    )
     return CapacityResult(
-        r1_hat=r1_hat,
-        r2_hat=r2_hat,
+        r1_hat=result.r1_hat,
+        r2_hat=result.r2_hat,
         fk_column=fk_column,
         max_per_key=max_per_key,
-        num_new_r2_tuples=len(new_rows),
-        errors=errors,
+        num_new_r2_tuples=result.phase2.stats.num_new_r2_tuples,
+        errors=result.report.errors,
     )

@@ -34,13 +34,20 @@ _NP_OPS = {
 def _unary_mask(
     relation: Relation, rows: np.ndarray, atoms: Sequence[UnaryAtom]
 ) -> np.ndarray:
+    """Which of ``rows`` satisfy all unary atoms.
+
+    Atoms are evaluated on the column's distinct values (via the cached
+    :meth:`Relation.codes` factorization) and broadcast back through the
+    codes, so repeated partition sweeps never rescan full columns.
+    """
     mask = np.ones(len(rows), dtype=bool)
     for atom in atoms:
-        values = relation.column(atom.attr)[rows]
+        codes, uniques = relation.codes(atom.attr)
         if atom.op == "in":
-            mask &= np.isin(values, list(atom.value))
+            unique_mask = np.isin(uniques, list(atom.value))
         else:
-            mask &= _NP_OPS[atom.op](values, atom.value)
+            unique_mask = _NP_OPS[atom.op](uniques, atom.value)
+        mask &= np.asarray(unique_mask, dtype=bool)[codes[rows]]
     return mask
 
 

@@ -190,13 +190,26 @@ class Relation:
         sub = self.schema.project(names)
         return Relation(sub, {n: self._columns[n] for n in names})
 
-    def _column_codes(self, name: str) -> Tuple[np.ndarray, np.ndarray]:
-        """``(codes, uniques)`` of one column, computed once and cached."""
+    def codes(self, name: str) -> Tuple[np.ndarray, np.ndarray]:
+        """``(codes, uniques)`` factorization of one column, cached.
+
+        ``uniques[codes]`` reconstructs the column; the codes come from
+        the fused-code group-by kernels and are shared with every other
+        consumer (conflict-edge enumeration, marginal binning), so a
+        column is scanned at most once per relation lifetime.  Codes from
+        the ``np.unique`` fast path follow the sorted order of the
+        values; the dict fallback only guarantees equal-value/equal-code.
+        """
+        if name not in self._columns:
+            raise SchemaError(f"no column named {name!r}")
         entry = self._code_cache.get(name)
         if entry is None:
             entry = _factorize(self._columns[name])
             self._code_cache[name] = entry
         return entry
+
+    # Backward-compatible private alias (pre-1.x internal name).
+    _column_codes = codes
 
     def _group_slices(
         self, names: Sequence[str]

@@ -1,0 +1,32 @@
+"""Declarative synthesis workloads: one spec, one ``synthesize()``.
+
+``repro.spec`` is the front door over every pipeline in the library —
+two-table C-Extension, snowflake traversal and capacity-capped edges —
+described by a single :class:`SynthesisSpec` that loads from a TOML/JSON
+file (:func:`load_spec`), builds fluently (:class:`SpecBuilder`), and
+executes with :func:`synthesize`.
+"""
+
+from repro.spec.api import (
+    EdgeReport,
+    SynthesisResult,
+    plan_edges,
+    synthesize,
+)
+from repro.spec.builder import SpecBuilder
+from repro.spec.io import load_spec, save_spec, toml_dumps
+from repro.spec.model import EdgeSpec, RelationSpec, SynthesisSpec
+
+__all__ = [
+    "EdgeReport",
+    "EdgeSpec",
+    "RelationSpec",
+    "SpecBuilder",
+    "SynthesisResult",
+    "SynthesisSpec",
+    "load_spec",
+    "plan_edges",
+    "save_spec",
+    "synthesize",
+    "toml_dumps",
+]

@@ -1,0 +1,186 @@
+"""The unified synthesis front door: ``synthesize(spec)``.
+
+One entrypoint executes any workload a :class:`SynthesisSpec` can
+describe — the paper's two-table C-Extension, the Section 5 snowflake
+traversal, and capacity-capped edges — by planning the FK-edge order and
+dispatching each edge through the solver's pluggable Phase-II stage
+registry.  The result carries the completed database, per-edge reports
+and a JSON-serialisable summary, whatever pipeline ran underneath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.metrics import ErrorReport
+from repro.core.snowflake import EdgeConstraints, SnowflakeSynthesizer
+from repro.core.synthesizer import CExtensionResult
+from repro.errors import SchemaError
+from repro.relational.database import Database, ForeignKey
+from repro.relational.relation import Relation
+from repro.spec.model import SynthesisSpec
+
+__all__ = ["EdgeReport", "SynthesisResult", "plan_edges", "synthesize"]
+
+
+@dataclass
+class EdgeReport:
+    """What happened on one FK edge of the workload."""
+
+    child: str
+    column: str
+    parent: str
+    strategy: str
+    num_ccs: int
+    num_dcs: int
+    phase1_seconds: float
+    phase2_seconds: float
+    num_new_parent_tuples: int
+    num_conflict_edges: int
+    num_partitions: int
+    errors: Optional[ErrorReport] = None
+
+    @property
+    def total_seconds(self) -> float:
+        return self.phase1_seconds + self.phase2_seconds
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "edge": f"{self.child}.{self.column} -> {self.parent}",
+            "strategy": self.strategy,
+            "num_ccs": self.num_ccs,
+            "num_dcs": self.num_dcs,
+            "phase1_s": round(self.phase1_seconds, 4),
+            "phase2_s": round(self.phase2_seconds, 4),
+            "new_parent_tuples": self.num_new_parent_tuples,
+            "conflict_edges": self.num_conflict_edges,
+            "partitions": self.num_partitions,
+        }
+        if self.errors is not None:
+            out["median_cc_error"] = round(self.errors.median_cc_error, 4)
+            out["mean_cc_error"] = round(self.errors.mean_cc_error, 4)
+            out["max_cc_error"] = round(self.errors.max_cc_error, 4)
+            out["dc_error"] = round(self.errors.dc_error, 4)
+        return out
+
+
+@dataclass
+class SynthesisResult:
+    """The completed database plus per-edge reports.
+
+    ``steps`` keeps the full per-edge :class:`CExtensionResult` objects
+    for callers that need Phase-I/II internals; ``edges`` is the compact
+    report the CLI and summaries read.
+    """
+
+    spec: SynthesisSpec
+    database: Database
+    edges: List[EdgeReport] = field(default_factory=list)
+    steps: List[Tuple[ForeignKey, CExtensionResult]] = field(
+        default_factory=list
+    )
+
+    def relation(self, name: str) -> Relation:
+        return self.database.relation(name)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(edge.total_seconds for edge in self.edges)
+
+    @property
+    def dc_error(self) -> float:
+        """The worst per-edge DC error (0.0 when nothing was evaluated)."""
+        errors = [e.errors.dc_error for e in self.edges if e.errors]
+        return max(errors, default=0.0)
+
+    @property
+    def max_cc_error(self) -> float:
+        errors = [e.errors.max_cc_error for e in self.edges if e.errors]
+        return max(errors, default=0.0)
+
+    def summary(self) -> Dict[str, object]:
+        """A JSON-serialisable account of the whole run."""
+        return {
+            "name": self.spec.name,
+            "fact_table": self.spec.fact(),
+            "relations": {
+                name: len(self.database.relation(name))
+                for name in self.database.relation_names
+            },
+            "edges": [edge.as_dict() for edge in self.edges],
+            "total_seconds": round(self.total_seconds, 4),
+            "dc_error": round(self.dc_error, 4),
+            "max_cc_error": round(self.max_cc_error, 4),
+        }
+
+
+def plan_edges(spec: SynthesisSpec, database: Database) -> List[ForeignKey]:
+    """The FK-edge solve order: BFS outward from the fact table.
+
+    Raises when a declared edge is unreachable from the fact table —
+    such an edge would silently never be solved.
+    """
+    order = database.bfs_edges(spec.fact())
+    planned = {(fk.child, fk.column) for fk in order}
+    declared = {(e.child, e.column) for e in spec.edges}
+    unreachable = declared - planned
+    if unreachable:
+        raise SchemaError(
+            f"edges {sorted(unreachable)} are unreachable from fact table "
+            f"{spec.fact()!r}; declare fact_table explicitly or fix the "
+            "FK graph"
+        )
+    return order
+
+
+def synthesize(spec: SynthesisSpec) -> SynthesisResult:
+    """Execute a declarative workload end to end.
+
+    Builds the database, plans the edge order, and solves every FK edge
+    with its declared constraint sets and Phase-II strategy.  Two-table
+    workloads are simply one-edge snowflakes.
+    """
+    spec.validate()
+    database = spec.to_database()
+    plan_edges(spec, database)
+
+    constraints = {
+        (edge.child, edge.column): EdgeConstraints(
+            ccs=edge.ccs,
+            dcs=edge.dcs,
+            capacity=edge.capacity,
+            strategy=edge.strategy,
+        )
+        for edge in spec.edges
+    }
+    flake = SnowflakeSynthesizer(spec.options).solve(
+        database, spec.fact(), constraints
+    )
+
+    result = SynthesisResult(spec=spec, database=flake.database)
+    for fk, step in flake.steps:
+        edge_constraints = constraints.get(
+            (fk.child, fk.column), EdgeConstraints()
+        )
+        strategy, _ = edge_constraints.resolved_strategy()
+        num_ccs = len(edge_constraints.ccs)
+        num_dcs = len(edge_constraints.dcs)
+        result.steps.append((fk, step))
+        result.edges.append(
+            EdgeReport(
+                child=fk.child,
+                column=fk.column,
+                parent=fk.parent,
+                strategy=strategy,
+                num_ccs=num_ccs,
+                num_dcs=num_dcs,
+                phase1_seconds=step.report.phase1_seconds,
+                phase2_seconds=step.report.phase2_seconds,
+                num_new_parent_tuples=step.phase2.stats.num_new_r2_tuples,
+                num_conflict_edges=step.phase2.stats.num_edges,
+                num_partitions=step.phase2.stats.num_partitions,
+                errors=step.report.errors,
+            )
+        )
+    return result

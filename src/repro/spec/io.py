@@ -1,0 +1,102 @@
+"""Spec files: load/save a :class:`SynthesisSpec` as TOML or JSON.
+
+TOML is the human-facing format (``repro-synth solve --spec
+workload.toml``); JSON round-trips the exact same dictionary shape.
+Reading uses the stdlib ``tomllib``; writing uses a minimal emitter that
+covers the spec's shape (scalars, arrays of scalars, nested tables and
+arrays of tables) — not a general TOML writer.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import tomllib
+from pathlib import Path
+from typing import List, Mapping, Union
+
+from repro.errors import ParseError
+from repro.spec.model import SynthesisSpec
+
+__all__ = ["load_spec", "save_spec", "toml_dumps"]
+
+_BARE_KEY_RE = re.compile(r"[A-Za-z0-9_\-]+")
+
+
+def _key(key: str) -> str:
+    if _BARE_KEY_RE.fullmatch(key):
+        return key
+    return json.dumps(key)
+
+
+def _value(value: object) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        return json.dumps(value)
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_value(v) for v in value) + "]"
+    raise ParseError(f"cannot emit {value!r} as a TOML value")
+
+
+def _emit(lines: List[str], path: List[str], table: Mapping) -> None:
+    subtables = []
+    table_arrays = []
+    for key, value in table.items():
+        if isinstance(value, Mapping):
+            subtables.append((key, value))
+        elif (
+            isinstance(value, (list, tuple))
+            and value
+            and all(isinstance(item, Mapping) for item in value)
+        ):
+            table_arrays.append((key, value))
+        else:
+            lines.append(f"{_key(key)} = {_value(value)}")
+    for key, value in subtables:
+        lines.append("")
+        lines.append("[" + ".".join(_key(p) for p in path + [key]) + "]")
+        _emit(lines, path + [key], value)
+    for key, items in table_arrays:
+        for item in items:
+            lines.append("")
+            lines.append("[[" + ".".join(_key(p) for p in path + [key]) + "]]")
+            _emit(lines, path + [key], item)
+
+
+def toml_dumps(data: Mapping) -> str:
+    """Serialise a spec-shaped dictionary as TOML."""
+    lines: List[str] = []
+    _emit(lines, [], data)
+    return "\n".join(lines).lstrip("\n") + "\n"
+
+
+def load_spec(path: Union[str, Path]) -> SynthesisSpec:
+    """Load a workload spec from a ``.toml`` or ``.json`` file.
+
+    Relative CSV / constraints-file paths inside the spec resolve against
+    the spec file's directory.
+    """
+    path = Path(path)
+    text = path.read_text()
+    if path.suffix.lower() == ".json":
+        data = json.loads(text)
+    else:
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise ParseError(f"{path}: invalid TOML: {exc}") from None
+    return SynthesisSpec.from_dict(data, base_dir=path.parent.resolve())
+
+
+def save_spec(spec: SynthesisSpec, path: Union[str, Path]) -> Path:
+    """Write a spec to ``.toml`` (default) or ``.json``."""
+    path = Path(path)
+    data = spec.to_dict()
+    if path.suffix.lower() == ".json":
+        path.write_text(json.dumps(data, indent=2) + "\n")
+    else:
+        path.write_text(toml_dumps(data))
+    return path

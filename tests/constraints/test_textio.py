@@ -1,0 +1,143 @@
+"""Constraint text IO: ``in {…}`` atoms and table-scoped sections."""
+
+import pytest
+
+from repro.constraints.dc import DenialConstraint, UnaryAtom
+from repro.constraints.parser import parse_cc, parse_dc, parse_predicate
+from repro.constraints.textio import (
+    dump_constraint_sections,
+    dump_constraints,
+    format_cc,
+    format_dc,
+    load_constraint_sections,
+    load_constraints,
+)
+from repro.datagen.constraints_census import all_dcs
+from repro.errors import ParseError
+from repro.relational.predicate import ValueSet
+
+
+class TestInAtoms:
+    def test_parse_dc_in_set(self):
+        dc = parse_dc(
+            "not(t1.Rel == 'Owner' & t2.Rel in {'Step child', 'Foster child'})"
+        )
+        atom = dc.atoms[1]
+        assert isinstance(atom, UnaryAtom)
+        assert atom.op == "in"
+        assert atom.value == ("Step child", "Foster child")
+
+    def test_parse_dc_in_set_integers(self):
+        dc = parse_dc("not(t1.Multi-ling in {0, 1} & t2.Age > 5)")
+        assert dc.atoms[0].value == (0, 1)
+
+    def test_format_dc_in_round_trips(self):
+        text = "not(t1.Rel == 'Owner' & t2.Rel in {'A', 'B'})"
+        dc = parse_dc(text)
+        assert parse_dc(format_dc(dc)) == dc
+
+    def test_frozenset_value_serialised_deterministically(self):
+        dc = DenialConstraint(
+            [
+                UnaryAtom(0, "Rel", "==", "Owner"),
+                UnaryAtom(1, "Rel", "in", frozenset({"B", "A"})),
+            ]
+        )
+        assert "in {'A', 'B'}" in format_dc(dc)
+
+    def test_empty_value_set_rejected(self):
+        with pytest.raises(ParseError):
+            parse_dc("not(t1.Rel in {} & t2.Rel == 'X')")
+
+    def test_predicate_value_set(self):
+        predicate = parse_predicate("Rel in {'Owner', 'Spouse'} & Age <= 30")
+        cond = predicate.condition("Rel")
+        assert isinstance(cond, ValueSet)
+        assert cond.values == frozenset({"Owner", "Spouse"})
+
+    def test_cc_with_value_set_round_trips(self):
+        cc = parse_cc("|Rel in {'Owner', 'Spouse'} & Area == 'X'| = 7")
+        assert parse_cc(format_cc(cc)) == cc
+
+    def test_census_all_dcs_round_trip(self, tmp_path):
+        """Satellite acceptance: no census DC is dropped any more."""
+        dcs = all_dcs()
+        path = tmp_path / "c.txt"
+        written = dump_constraints(path, [], dcs)
+        assert written == len(dcs)  # 0 skipped
+        _, loaded = load_constraints(path)
+        assert loaded == dcs
+
+
+class TestSections:
+    def test_sectioned_round_trip(self, tmp_path):
+        sections = {
+            None: ([parse_cc("|Age <= 3 & Area == 'X'| = 1")], []),
+            ("Students", "major_id", "Majors"): (
+                [parse_cc("|Year == 1 & MName == 'CS'| = 5")],
+                [],
+            ),
+            ("Majors", "dept_id", "Departments"): (
+                [],
+                [parse_dc("not(t1.MName == 'CS' & t2.MName == 'Math')")],
+            ),
+        }
+        path = tmp_path / "c.txt"
+        written = dump_constraint_sections(path, sections)
+        assert written == 1
+        loaded = load_constraint_sections(path)
+        assert set(loaded) == set(sections)
+        for key, (ccs, dcs) in sections.items():
+            assert loaded[key][0] == ccs
+            assert loaded[key][1] == dcs
+
+    def test_flat_load_merges_sections(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text(
+            "cc: |Age <= 3 & Area == 'X'| = 1\n"
+            "[Students.major_id -> Majors]\n"
+            "cc: |Year == 1 & MName == 'CS'| = 5\n"
+        )
+        ccs, dcs = load_constraints(path)
+        assert len(ccs) == 2 and not dcs
+
+    def test_bad_header_is_a_parse_error(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text("[not a header\n")
+        with pytest.raises(ParseError):
+            load_constraints(path)
+
+
+class TestQuoting:
+    def test_ampersand_inside_quoted_value_round_trips(self, tmp_path):
+        dc = parse_dc("not(t1.Rel == 'Owner' & t2.Shop in {'B&B', 'Inn'})")
+        assert dc.atoms[1].value == ("B&B", "Inn")
+        assert parse_dc(format_dc(dc)) == dc
+        path = tmp_path / "c.txt"
+        assert dump_constraints(path, [], [dc]) == 1
+        _, loaded = load_constraints(path)
+        assert loaded == [dc]
+
+    def test_single_quote_value_uses_double_quotes(self):
+        dc = DenialConstraint(
+            [
+                UnaryAtom(0, "Name", "==", "O'Brien"),
+                UnaryAtom(1, "Name", "==", "X"),
+            ]
+        )
+        text = format_dc(dc)
+        assert '"O\'Brien"' in text
+        assert parse_dc(text) == dc
+
+    def test_both_quote_kinds_skipped_not_crashed(self, tmp_path):
+        bad = DenialConstraint(
+            [
+                UnaryAtom(0, "Name", "==", "both ' and \" quotes"),
+                UnaryAtom(1, "Name", "==", "X"),
+            ]
+        )
+        good = parse_dc("not(t1.Age < 3 & t2.Age < 3)")
+        path = tmp_path / "c.txt"
+        assert dump_constraints(path, [], [bad, good]) == 1
+        _, loaded = load_constraints(path)
+        assert loaded == [good]

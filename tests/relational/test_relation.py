@@ -157,3 +157,24 @@ class TestPretty:
     def test_pretty_renders_and_truncates(self, persons):
         text = persons.pretty(limit=2)
         assert "pid" in text and "more rows" in text
+
+
+class TestCodes:
+    def test_codes_reconstruct_column(self, persons):
+        import numpy as np
+
+        codes, uniques = persons.codes("Rel")
+        assert np.array_equal(uniques[codes], persons.column("Rel"))
+
+    def test_codes_cached(self, persons):
+        first = persons.codes("Age")
+        assert persons.codes("Age") is first
+
+    def test_codes_unknown_column(self, persons):
+        with pytest.raises(SchemaError):
+            persons.codes("nope")
+
+    def test_codes_empty_relation(self):
+        relation = Relation.from_columns({"a": []})
+        codes, uniques = relation.codes("a")
+        assert len(codes) == 0 and len(uniques) == 0

@@ -1,0 +1,181 @@
+"""The declarative SynthesisSpec model."""
+
+import pytest
+
+from repro.core.config import SolverConfig
+from repro.errors import SchemaError
+from repro.relational.relation import Relation
+from repro.relational.types import Dtype
+from repro.spec import EdgeSpec, RelationSpec, SpecBuilder, SynthesisSpec
+
+
+def _two_table_spec(**edge_kwargs) -> SynthesisSpec:
+    return (
+        SpecBuilder("t")
+        .relation("r1", columns={"pid": [1, 2], "Age": [3, 4]}, key="pid")
+        .relation("r2", columns={"hid": [1], "Area": ["X"]}, key="hid")
+        .edge("r1", "hid", "r2", **edge_kwargs)
+        .build()
+    )
+
+
+class TestRelationSpec:
+    def test_exactly_one_source_required(self):
+        with pytest.raises(SchemaError):
+            RelationSpec(name="r")
+        with pytest.raises(SchemaError):
+            RelationSpec(name="r", columns={"a": [1]}, csv="a.csv")
+
+    def test_inline_build_infers_dtypes(self):
+        spec = RelationSpec(name="r", columns={"a": [1, 2], "b": ["x", "y"]})
+        relation = spec.build()
+        assert relation.schema.dtype("a") is Dtype.INT
+        assert relation.schema.dtype("b") is Dtype.STR
+
+    def test_explicit_dtypes_override_inference(self):
+        spec = RelationSpec(
+            name="r",
+            columns={"code": [1, 2]},
+            dtypes={"code": "str"},
+        )
+        relation = spec.build()
+        assert relation.schema.dtype("code") is Dtype.STR
+        assert list(relation.column("code")) == ["1", "2"]
+
+    def test_bad_declared_int_rejected(self):
+        spec = RelationSpec(
+            name="r", columns={"a": ["x"]}, dtypes={"a": "int"}
+        )
+        with pytest.raises(SchemaError):
+            spec.build()
+
+    def test_csv_build_resolves_base_dir(self, tmp_path):
+        (tmp_path / "r.csv").write_text("pid,Age\n1,30\n")
+        spec = RelationSpec(name="r", csv="r.csv", key="pid")
+        relation = spec.build(tmp_path)
+        assert len(relation) == 1 and relation.schema.key == "pid"
+
+    def test_in_memory_relation_serialises_to_columns(self):
+        relation = Relation.from_columns({"k": [1, 2], "v": ["a", "b"]},
+                                         key="k")
+        spec = RelationSpec(name="r", key="k", relation=relation)
+        data = spec.to_dict()
+        assert data["columns"] == {"k": [1, 2], "v": ["a", "b"]}
+        assert data["dtypes"] == {"k": "int", "v": "str"}
+        rebuilt = RelationSpec.from_dict(data).build()
+        assert rebuilt.to_rows() == relation.to_rows()
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSpec.from_dict({"name": "r", "columns": {}, "nope": 1})
+
+
+class TestEdgeSpec:
+    def test_string_constraints_parsed(self):
+        edge = EdgeSpec(
+            "r1", "hid", "r2",
+            ccs=["|Age <= 3 & Area == 'X'| = 1"],
+            dcs=["not(t1.Age < 3 & t2.Age < 3)"],
+        )
+        assert edge.ccs[0].target == 1
+        assert edge.dcs[0].arity == 2
+
+    def test_inline_constraint_block(self):
+        edge = EdgeSpec.from_dict(
+            {
+                "child": "r1", "column": "hid", "parent": "r2",
+                "constraints": (
+                    "# comment\n"
+                    "cc: |Age <= 3 & Area == 'X'| = 1\n"
+                    "dc: not(t1.Age < 3 & t2.Age < 3)\n"
+                ),
+            }
+        )
+        assert len(edge.ccs) == 1 and len(edge.dcs) == 1
+
+    def test_constraints_file_picks_matching_section(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text(
+            "[r1.hid -> r2]\ncc: |Age <= 3 & Area == 'X'| = 1\n"
+            "[other.fk -> r2]\ncc: |Age <= 9 & Area == 'Y'| = 2\n"
+        )
+        edge = EdgeSpec.from_dict(
+            {"child": "r1", "column": "hid", "parent": "r2",
+             "constraints_file": str(path)},
+        )
+        assert len(edge.ccs) == 1 and edge.ccs[0].target == 1
+
+    def test_constraints_file_without_section_rejected(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text("[other.fk -> r2]\ncc: |Age <= 9 & Area == 'Y'| = 2\n")
+        with pytest.raises(SchemaError):
+            EdgeSpec.from_dict(
+                {"child": "r1", "column": "hid", "parent": "r2",
+                 "constraints_file": str(path)},
+            )
+
+
+class TestSynthesisSpec:
+    def test_validates_unknown_relations(self):
+        spec = SynthesisSpec(
+            relations=[RelationSpec(name="r1", columns={"a": [1]})],
+            edges=[EdgeSpec("r1", "fk", "ghost")],
+        )
+        with pytest.raises(SchemaError):
+            spec.validate()
+
+    def test_duplicate_edge_rejected(self):
+        builder = (
+            SpecBuilder()
+            .relation("r1", columns={"pid": [1]}, key="pid")
+            .relation("r2", columns={"hid": [1]}, key="hid")
+            .edge("r1", "hid", "r2")
+            .edge("r1", "hid", "r2")
+        )
+        with pytest.raises(SchemaError):
+            builder.build()
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(SchemaError):
+            _two_table_spec(capacity=0)
+
+    def test_fact_inference(self):
+        assert _two_table_spec().fact() == "r1"
+
+    def test_fact_inference_ambiguous(self):
+        spec = (
+            SpecBuilder()
+            .relation("a", columns={"k": [1]}, key="k")
+            .relation("b", columns={"k": [1]}, key="k")
+            .relation("c", columns={"k": [1]}, key="k")
+            .edge("a", "fk_c", "c")
+            .edge("b", "fk_c2", "c")
+        )
+        built = spec.build()
+        with pytest.raises(SchemaError):
+            built.fact()
+
+    def test_to_database(self):
+        db = _two_table_spec().to_database()
+        assert set(db.relation_names) == {"r1", "r2"}
+        assert len(db.foreign_keys) == 1
+
+    def test_options_round_trip_only_non_defaults(self):
+        spec = _two_table_spec().with_options(backend="native",
+                                              parallel_workers=2)
+        data = spec.to_dict()
+        assert data["options"] == {"backend": "native",
+                                   "parallel_workers": 2}
+        rebuilt = SynthesisSpec.from_dict(data)
+        assert rebuilt.options == SolverConfig(backend="native",
+                                               parallel_workers=2)
+
+    def test_unknown_option_rejected(self):
+        data = _two_table_spec().to_dict()
+        data["options"] = {"warp_speed": True}
+        with pytest.raises(SchemaError):
+            SynthesisSpec.from_dict(data)
+
+    def test_builder_options_exclusive(self):
+        with pytest.raises(SchemaError):
+            SpecBuilder().options(SolverConfig(), backend="native")
