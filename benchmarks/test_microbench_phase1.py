@@ -1,0 +1,186 @@
+"""Microbenchmarks for the columnar Phase-I bookkeeping kernels.
+
+Times the ``ViewAssignment`` bookkeeping workload — bulk B-column
+assignment, the untouched/incomplete/complete index queries and the
+Phase-II partition grouping — against the naive per-row
+``List[Optional[Dict]]`` reference at 10k–100k rows, plus the factorized
+CC counting kernel, and emits ``BENCH_phase1.json`` next to this file.
+
+Acceptance gate: the assignment bookkeeping must be ≥ 5× faster than the
+naive reference at 100k rows (in practice the code-matrix kernels are
+30–300×).
+
+Set ``REPRO_BENCH_SMOKE=1`` (CI) to run a tiny size with no perf gate —
+the JSON report is still emitted and validated.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.constraints.cc import CardinalityConstraint, count_ccs
+from repro.phase1.assignment import NaiveViewAssignment, ViewAssignment
+from repro.relational.predicate import Interval, Predicate, ValueSet
+from repro.relational.relation import Relation
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+SIZES = (1_000,) if SMOKE else (10_000, 100_000)
+GATE_SIZE = SIZES[-1]
+REPEATS = 1 if SMOKE else 3
+OUTPUT = Path(__file__).parent / "BENCH_phase1.json"
+
+ATTRS = ("Tenure", "Area")
+TENURES = [f"t{i}" for i in range(5)]
+AREAS = [f"area{i}" for i in range(8)]
+
+
+def _best_of(fn, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _bookkeeping_workload(cls, n: int):
+    """The Phase-I/II bookkeeping sequence both classes must run.
+
+    Mirrors one hybrid run: Algorithm 2 bulk-assigns full combos, the ILP
+    fill pins partial rows, the completion sweep queries the index
+    partitions, and Phase II groups completed rows by combo.
+    """
+    rng = np.random.default_rng(11)
+    assignment = cls(n=n, r2_attrs=ATTRS)
+    rows = rng.permutation(n)
+    full = rows[: n // 2]
+    partial = rows[n // 2 : (3 * n) // 4]
+    chunk = max(1, n // 80)
+    for start in range(0, len(full), chunk):
+        block = full[start : start + chunk]
+        c = start // chunk
+        assignment.assign_rows(
+            block,
+            {"Tenure": TENURES[c % len(TENURES)], "Area": AREAS[c % len(AREAS)]},
+            cc_index=c % 7,
+        )
+    for start in range(0, len(partial), chunk):
+        block = partial[start : start + chunk]
+        assignment.assign_rows(
+            block, {"Area": AREAS[(start // chunk) % len(AREAS)]}
+        )
+    assignment.mark_invalid_rows(full[::97])
+    untouched = assignment.untouched_indices()
+    incomplete = assignment.incomplete_indices()
+    complete = assignment.complete_indices()
+    fraction = assignment.completion_fraction()
+    mask_total = int(assignment.untouched_mask().sum())
+    partitions = assignment.group_by_combo()
+    return (
+        len(untouched),
+        len(incomplete),
+        len(complete),
+        fraction,
+        mask_total,
+        {combo: len(rows_) for combo, rows_ in partitions.items()},
+    )
+
+
+def _cc_relation(n: int) -> Relation:
+    rng = np.random.default_rng(42)
+    return Relation.from_columns(
+        {
+            "pid": list(range(n)),
+            "Age": rng.integers(0, 115, size=n).tolist(),
+            "Area": [AREAS[i] for i in rng.integers(0, len(AREAS), size=n)],
+        },
+        key="pid",
+    )
+
+
+def _cc_family(num: int):
+    ccs = []
+    for i in range(num):
+        lo = (7 * i) % 90
+        ccs.append(
+            CardinalityConstraint(
+                Predicate(
+                    {
+                        "Age": Interval(lo, lo + 15),
+                        "Area": ValueSet([AREAS[i % len(AREAS)]]),
+                    }
+                ),
+                target=0,
+                name=f"cc{i}",
+            )
+        )
+    return ccs
+
+
+def test_microbench_phase1():
+    report = {"rows": {}, "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S")}
+    gate_speedup = None
+    for n in SIZES:
+        cell = {}
+
+        # Equivalence first: both drivers must produce identical books.
+        assert _bookkeeping_workload(ViewAssignment, n) == (
+            _bookkeeping_workload(NaiveViewAssignment, n)
+        )
+
+        fast = _best_of(lambda: _bookkeeping_workload(ViewAssignment, n))
+        slow = _best_of(lambda: _bookkeeping_workload(NaiveViewAssignment, n))
+        cell["assignment_bookkeeping"] = {
+            "vectorized_s": round(fast, 6),
+            "naive_s": round(slow, 6),
+            "speedup": round(slow / fast, 2),
+        }
+        if n == GATE_SIZE:
+            gate_speedup = cell["assignment_bookkeeping"]["speedup"]
+
+        relation = _cc_relation(n)
+        ccs = _cc_family(24)
+        assert count_ccs(relation, ccs) == [
+            cc.count_in_naive(relation) for cc in ccs
+        ]
+        fast = _best_of(lambda: count_ccs(relation, ccs))
+        slow = _best_of(
+            lambda: [cc.count_in_naive(relation) for cc in ccs]
+        )
+        cell["cc_counting"] = {
+            "vectorized_s": round(fast, 6),
+            "naive_s": round(slow, 6),
+            "speedup": round(slow / fast, 2),
+        }
+
+        report["rows"][str(n)] = cell
+
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+
+    header = (
+        f"{'rows':>8} | {'kernel':<24} | {'naive':>10} | {'vector':>10} "
+        f"| {'speedup':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for n, cell in report["rows"].items():
+        for kernel, row in cell.items():
+            lines.append(
+                f"{n:>8} | {kernel:<24} | {row['naive_s']:>9.4f}s "
+                f"| {row['vectorized_s']:>9.4f}s | {row['speedup']:>7.1f}x"
+            )
+    print(
+        "\nPhase-I bookkeeping microbench (BENCH_phase1.json)\n"
+        + "\n".join(lines)
+    )
+
+    # The acceptance gate for the columnar-bookkeeping PR.
+    if not SMOKE:
+        assert gate_speedup >= 5.0, (
+            f"assignment bookkeeping speedup at {GATE_SIZE} rows was only "
+            f"{gate_speedup}x"
+        )

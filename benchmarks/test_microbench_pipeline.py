@@ -13,6 +13,7 @@ scales, and the recorded per-stage split accounts for the wall-clock
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -21,7 +22,8 @@ from repro.bench.harness import census_spec
 from repro.datagen import good_dcs
 from repro.spec import synthesize
 
-SCALES = (1, 2)
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+SCALES = (1,) if SMOKE else (1, 2)
 NUM_CCS = 60
 OUTPUT = Path(__file__).parent / "BENCH_pipeline.json"
 

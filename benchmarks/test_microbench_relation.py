@@ -7,11 +7,15 @@ tracked from the vectorization PR onward.
 
 Acceptance gate: ``group_counts`` must be ≥ 5× faster than the naive
 loop at 100k rows (in practice the lexsort kernel is 20–100×).
+
+Set ``REPRO_BENCH_SMOKE=1`` (CI) to run a tiny size with no perf gate —
+the JSON report is still emitted and validated.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -20,12 +24,13 @@ import numpy as np
 from repro.relational.join import fk_join, fk_join_naive
 from repro.relational.relation import Relation
 
-SIZES = (10_000, 100_000)
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+SIZES = (1_000,) if SMOKE else (10_000, 100_000)
 AREAS = [f"area{i}" for i in range(40)]
 OUTPUT = Path(__file__).parent / "BENCH_relation.json"
 
 
-def _best_of(fn, repeats: int = 3) -> float:
+def _best_of(fn, repeats: int = 1 if SMOKE else 3) -> float:
     best = float("inf")
     for _ in range(repeats):
         started = time.perf_counter()
@@ -106,6 +111,7 @@ def test_microbench_relation():
     print("\nRelation kernel microbench (BENCH_relation.json)\n" + "\n".join(lines))
 
     # The acceptance gate for the vectorization PR.
-    assert speedups_at[100_000] >= 5.0, (
-        f"group_counts speedup at 100k rows was only {speedups_at[100_000]}x"
-    )
+    if not SMOKE:
+        assert speedups_at[100_000] >= 5.0, (
+            f"group_counts speedup at 100k rows was only {speedups_at[100_000]}x"
+        )

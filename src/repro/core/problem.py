@@ -13,7 +13,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.constraints.cc import CardinalityConstraint
+from repro.constraints.cc import CardinalityConstraint, count_ccs
 from repro.constraints.dc import DenialConstraint
 from repro.errors import ConstraintError
 from repro.relational.join import fk_join
@@ -48,8 +48,10 @@ class CExtensionProblem:
             ColumnSpec(self.fk_column, key_dtype), list(fk_values)
         )
         view = fk_join(r1_hat, self.r2, self.fk_column)
-        for cc in self.ccs:
-            if cc.count_in(view) != cc.target:
+        # One fused pass over the view's cached column codes for all CCs.
+        achieved = count_ccs(view, self.ccs)
+        for cc, count in zip(self.ccs, achieved):
+            if count != cc.target:
                 return False
         # DC check: group by FK, try every arity-sized subset.
         by_fk: Dict[object, List[int]] = {}

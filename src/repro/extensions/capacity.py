@@ -26,6 +26,8 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.relational.ordering import sort_key, tuple_sort_key
 from repro.constraints.cc import CardinalityConstraint
 from repro.constraints.dc import DenialConstraint
@@ -38,6 +40,7 @@ from repro.phase1.combos import ComboCatalog
 from repro.phase2.edges import build_conflict_graph
 from repro.phase2.fk_assignment import (
     FreshKeyFactory,
+    MintPool,
     Phase2Result,
     Phase2Stats,
 )
@@ -160,6 +163,7 @@ def capacity_phase2(
     stats = Phase2Stats()
     key_column = r2.schema.key
     factory = FreshKeyFactory(list(r2.column(key_column)))
+    pool = MintPool(factory)
     keys_by_combo = {c: list(k) for c, k in catalog.keys_by_combo.items()}
     new_rows: List[tuple] = []
     coloring: Dict[int, object] = {}
@@ -176,13 +180,10 @@ def capacity_phase2(
         keys_by_combo.setdefault(combo, []).append(key)
         stats.num_new_r2_tuples += 1
 
-    partitions: Dict[tuple, List[int]] = {}
-    invalid_rows: List[int] = []
-    for row in range(assignment.n):
-        if row in assignment.invalid or not assignment.is_complete(row):
-            invalid_rows.append(row)
-            continue
-        partitions.setdefault(assignment.combo(row), []).append(row)
+    partitions: Dict[tuple, List[int]] = assignment.group_by_combo()
+    invalid_rows: List[int] = np.flatnonzero(
+        ~assignment.assigned_mask()
+    ).tolist()
 
     started = time.perf_counter()
     for combo in sorted(partitions.keys(), key=tuple_sort_key):
@@ -200,13 +201,15 @@ def capacity_phase2(
             guard += 1
             if guard > len(rows) + 1:
                 raise ColoringError("capacity coloring failed to progress")
-            fresh = [factory.mint() for _ in skipped]
+            fresh = pool.take(len(skipped))
             part_coloring, skipped = capacity_coloring(
                 graph, fresh, max_per_key, part_coloring, usage
             )
+            used = set(part_coloring.values())
             for key in fresh:
-                if key in set(part_coloring.values()):
+                if key in used:
                     record_new_key(key, combo)
+            pool.release([k for k in fresh if k not in used])
         coloring.update(part_coloring)
     stats.coloring_seconds = time.perf_counter() - started
 
@@ -220,7 +223,7 @@ def capacity_phase2(
         safe = catalog.unused_for_row(r1.row(row), list(ccs))
         if safe:
             combo = safe[0]
-        key = factory.mint()
+        key = pool.mint()
         record_new_key(key, combo)
         coloring[row] = key
         usage[key] = usage.get(key, 0) + 1

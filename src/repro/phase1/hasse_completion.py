@@ -114,10 +114,9 @@ def complete_with_hasse(
             # count the whole request as shortfall.
             stats.shortfalls[cc_index] = needed
             return
-        for row in rows:
-            assignment.assign(int(row), values, cc_index=cc_index)
-            free[row] = False
-            stats.assigned_rows += 1
+        assignment.assign_rows(rows, values, cc_index=cc_index)
+        free[rows] = False
+        stats.assigned_rows += len(rows)
 
     processed: Set[int] = set()
 

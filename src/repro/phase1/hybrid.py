@@ -216,9 +216,9 @@ def _complete_leftovers(
     """
     combos = catalog.combos
     if not combos:
-        for row in range(assignment.n):
-            if not assignment.is_complete(row):
-                assignment.mark_invalid(row)
+        assignment.mark_invalid_rows(
+            np.flatnonzero(~assignment.complete_mask())
+        )
         return
 
     num_combos = len(combos)
@@ -260,12 +260,16 @@ def _complete_leftovers(
             bin_cc_cache[key] = cached
         return cached
 
-    pending = [
-        row for row in range(assignment.n) if not assignment.is_complete(row)
-    ]
-    if not pending:
+    pending = np.flatnonzero(~assignment.complete_mask())
+    if pending.size == 0:
         return
-    keys = binning.bin_keys(r1, np.asarray(pending, dtype=np.int64))
+    keys = binning.bin_keys(r1, pending)
+    # Per-row partial-assignment signatures straight off the code matrix:
+    # equal code vectors ⇔ equal partial assignments, so the signature
+    # bytes replace the old `tuple(sorted(partial.items()))` cache key
+    # without materialising a dict per row.
+    signatures = assignment.code_rows(pending)
+    num_set = (signatures >= 0).sum(axis=1)
 
     decision_cache: Dict[tuple, Tuple[List[int], bool]] = {}
     # Load balancing: spreading the free rows across equally-safe combos in
@@ -276,19 +280,20 @@ def _complete_leftovers(
         for c, combo in enumerate(combos)
     }
     load = {c: 0 for c in range(num_combos)}
+    chosen_rows: Dict[int, List[int]] = {}
 
-    for row, key in zip(pending, keys):
-        partial = assignment.values(row) or {}
-        cache_key = (key, tuple(sorted(partial.items())))
+    for pos, (row, key) in enumerate(zip(pending.tolist(), keys)):
+        cache_key = (key, signatures[pos].tobytes())
         decision = decision_cache.get(cache_key)
         if decision is None:
+            partial = assignment.values(row) or {}
             decision = _choose_combo(
                 partial,
                 catalog,
                 cc_splits,
                 bin_cc_match(key),
                 num_combos,
-                untouched=not partial,
+                untouched=num_set[pos] == 0,
             )
             decision_cache[cache_key] = decision
         candidates, clean = decision
@@ -300,10 +305,14 @@ def _complete_leftovers(
             key=lambda c: (load[c] + 1) / max(1, key_capacity[c]),
         )
         load[combo_index] += 1
-        assignment.assign(row, catalog.as_dict(combos[combo_index]))
+        chosen_rows.setdefault(combo_index, []).append(row)
         # When `clean` is False the best available combos still add a CC
         # contribution; the row stays valid (it has concrete B values) but
         # contributes CC error, exactly like the paper's non-exact cases.
+
+    # Commit the decisions combo-by-combo in bulk vector writes.
+    for combo_index, rows in chosen_rows.items():
+        assignment.assign_rows(rows, catalog.as_dict(combos[combo_index]))
 
 
 def _choose_combo(

@@ -213,8 +213,7 @@ def complete_with_ilp(
                 continue
             values = catalog.as_dict(combo)
             start = cursor[key]
-            for row in member_rows[start:start + take]:
-                assignment.assign(row, values)
+            assignment.assign_rows(member_rows[start:start + take], values)
             cursor[key] += take
             stats.assigned_rows += take
     stats.fill_seconds = time.perf_counter() - started

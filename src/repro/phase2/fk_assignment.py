@@ -34,7 +34,13 @@ from repro.relational.relation import Relation
 from repro.relational.schema import ColumnSpec
 from repro.relational.types import Dtype
 
-__all__ = ["Phase2Stats", "Phase2Result", "run_phase2", "FreshKeyFactory"]
+__all__ = [
+    "Phase2Stats",
+    "Phase2Result",
+    "run_phase2",
+    "FreshKeyFactory",
+    "MintPool",
+]
 
 
 class FreshKeyFactory:
@@ -61,6 +67,42 @@ class FreshKeyFactory:
                 key = f"synthetic_{n}"
         self._existing.add(key)
         return key
+
+
+class MintPool:
+    """Hands out fresh keys, reusing mints an earlier pass never claimed.
+
+    A fresh-color pass mints one key per skipped vertex, but skipped
+    vertices that are mutually non-conflicting share the first fresh key
+    and the rest go unclaimed.  Discarding them leaks gaps into the R2̂
+    key sequence (the factory never re-mints a key it handed out); the
+    pool takes them back and serves them before minting anew, so the keys
+    that materialise in R2̂ stay dense.
+    """
+
+    def __init__(self, factory: FreshKeyFactory) -> None:
+        self._factory = factory
+        self._unclaimed: List[object] = []
+
+    def take(self, count: int) -> List[object]:
+        """``count`` candidate keys: pooled leftovers first, then mints."""
+        out = self._unclaimed[:count]
+        del self._unclaimed[:count]
+        while len(out) < count:
+            out.append(self._factory.mint())
+        return out
+
+    def mint(self) -> object:
+        """One key, drained from the pool before minting anew.
+
+        Drop-in for :meth:`FreshKeyFactory.mint` so the invalid-tuple
+        fallbacks also reuse unclaimed fresh-color mints.
+        """
+        return self.take(1)[0]
+
+    def release(self, keys: Sequence[object]) -> None:
+        """Return unclaimed keys for the next pass to reuse."""
+        self._unclaimed.extend(keys)
 
 
 @dataclass
@@ -92,7 +134,7 @@ class Phase2Result:
 def _color_partition(
     graph: ConflictHypergraph,
     candidates: List[object],
-    factory: FreshKeyFactory,
+    pool: MintPool,
     stats: Phase2Stats,
 ) -> Tuple[Dict[int, object], List[object]]:
     """Color one partition; returns (coloring, fresh keys actually used)."""
@@ -105,10 +147,11 @@ def _color_partition(
         guard += 1
         if guard > graph.num_vertices + 1:
             raise ColoringError("fresh-color loop failed to make progress")
-        fresh = [factory.mint() for _ in skipped]
+        fresh = pool.take(len(skipped))
         coloring, skipped = coloring_lf(graph, coloring, fresh)
         used = set(coloring.values()) & set(fresh)
         used_fresh.extend(k for k in fresh if k in used)
+        pool.release([k for k in fresh if k not in used])
     return coloring, used_fresh
 
 
@@ -136,6 +179,7 @@ def run_phase2(
     stats = Phase2Stats()
     key_column = r2.schema.key
     factory = FreshKeyFactory(list(r2.column(key_column)))
+    pool = MintPool(factory)
     new_r2_rows: List[tuple] = []
     coloring: Dict[int, object] = {}
 
@@ -143,12 +187,9 @@ def run_phase2(
         combo: list(keys) for combo, keys in catalog.keys_by_combo.items()
     }
 
-    # Partition the completed rows by their full B-combo.
-    partitions: Dict[tuple, List[int]] = {}
-    for row in range(assignment.n):
-        if row in assignment.invalid or not assignment.is_complete(row):
-            continue
-        partitions.setdefault(assignment.combo(row), []).append(row)
+    # Partition the completed rows by their full B-combo — one
+    # lexsort-and-split over the assignment's code matrix.
+    partitions: Dict[tuple, List[int]] = assignment.group_by_combo()
 
     def record_new_key(key: object, combo: tuple) -> None:
         values = catalog.as_dict(combo)
@@ -183,12 +224,13 @@ def run_phase2(
                     raise ColoringError(
                         "fresh-color loop failed to make progress"
                     )
-                fresh = [factory.mint() for _ in remaining]
+                fresh = pool.take(len(remaining))
                 coloring, remaining = coloring_lf(graph, coloring, fresh)
                 used = set(coloring.values()) & set(fresh)
                 for key in fresh:
                     if key in used:
                         record_new_key(key, combo)
+                pool.release([k for k in fresh if k not in used])
         stats.coloring_seconds = time.perf_counter() - started
     elif partitioned:
         for combo in sorted(partitions.keys(), key=tuple_sort_key):
@@ -207,25 +249,26 @@ def run_phase2(
                 )
             started = time.perf_counter()
             part_coloring, used_fresh = _color_partition(
-                graph, candidates, factory, stats
+                graph, candidates, pool, stats
             )
             stats.coloring_seconds += time.perf_counter() - started
             for key in used_fresh:
                 record_new_key(key, combo)
             coloring.update(part_coloring)
     else:
-        all_rows = sorted(
-            row
-            for rows in partitions.values()
+        combo_of_row = {
+            row: combo
+            for combo, rows in partitions.items()
             for row in rows
-        )
+        }
+        all_rows = sorted(combo_of_row)
         started = time.perf_counter()
         graph = build_conflict_graph(r1, dcs, all_rows)
         stats.edge_seconds += time.perf_counter() - started
         stats.num_edges += graph.num_edges
         stats.num_partitions = 1
         candidate_lists = {
-            row: sorted(keys_by_combo.get(assignment.combo(row), []), key=sort_key)
+            row: sorted(keys_by_combo.get(combo_of_row[row], []), key=sort_key)
             for row in all_rows
         }
         started = time.perf_counter()
@@ -236,16 +279,17 @@ def run_phase2(
             guard += 1
             if guard > len(all_rows) + 1:
                 raise ColoringError("fresh-color loop failed to make progress")
-            fresh_lists = {}
-            fresh_by_row = {}
-            for row in skipped:
-                key = factory.mint()
-                fresh_by_row[row] = key
-                fresh_lists[row] = [key]
+            fresh = pool.take(len(skipped))
+            fresh_by_row = dict(zip(skipped, fresh))
+            fresh_lists = {row: [key] for row, key in fresh_by_row.items()}
             coloring, skipped = coloring_lf(graph, coloring, [], fresh_lists)
+            unused = []
             for row, key in fresh_by_row.items():
                 if coloring.get(row) == key:
-                    record_new_key(key, assignment.combo(row))
+                    record_new_key(key, combo_of_row[row])
+                else:
+                    unused.append(key)
+            pool.release(unused)
         stats.coloring_seconds += time.perf_counter() - started
 
     # ------------------------------------------------------------------
@@ -261,7 +305,7 @@ def run_phase2(
             catalog=catalog,
             coloring=coloring,
             keys_by_combo=keys_by_combo,
-            factory=factory,
+            factory=pool,
             record_new_key=record_new_key,
         )
         stats.num_invalid_handled = handled

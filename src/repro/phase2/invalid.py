@@ -43,7 +43,19 @@ def _conflict_lists(
     invalid_set = set(invalid_rows)
     for dc in dcs:
         if dc.arity == 2:
-            for u, v in conflicting_pairs(r1, dc, invalid_arr, all_rows):
+            # Enumerate both role directions: an asymmetric DC (e.g.
+            # ``not(t1.Spouse & t2.Owner)``) conflicts an invalid row
+            # playing *either* tuple variable, but one cross call only
+            # covers the invalid rows in role t1.  A role-symmetric DC
+            # would yield the identical pair set twice — skip the echo.
+            symmetric = not dc.binary_atoms and (
+                {(a.attr, a.op, a.value) for a in dc.unary_atoms(0)}
+                == {(a.attr, a.op, a.value) for a in dc.unary_atoms(1)}
+            )
+            pairs = set(conflicting_pairs(r1, dc, invalid_arr, all_rows))
+            if not symmetric:
+                pairs.update(conflicting_pairs(r1, dc, all_rows, invalid_arr))
+            for u, v in pairs:
                 if u in invalid_set:
                     conflicts[u].add(v)
                 if v in invalid_set:
@@ -86,17 +98,19 @@ def solve_invalid_tuples(
     }
 
     # Current CC counts over the completed rows (invalid rows excluded) so
-    # fallback combos can chase under-target CCs first.
+    # fallback combos can chase under-target CCs first.  One mask pass per
+    # CC over columnar data: R1 columns sliced to the assigned rows plus
+    # the decoded B-columns from the assignment's code matrix.
     counts = [0] * len(ccs)
     if ccs:
-        for row in range(assignment.n):
-            if row in assignment.invalid or not assignment.is_complete(row):
-                continue
-            merged = r1.row(row)
-            merged.update(assignment.values(row) or {})
-            for i, cc in enumerate(ccs):
-                if cc.matches_row(merged):
-                    counts[i] += 1
+        assigned = np.flatnonzero(assignment.assigned_mask())
+        columns = {
+            name: r1.column(name)[assigned] for name in r1.schema.names
+        }
+        columns.update(assignment.value_arrays(assigned))
+        counts = [
+            int(cc.mask(columns, len(assigned)).sum()) for cc in ccs
+        ]
 
     handled = 0
     # Highest-conflict rows first (mirrors the largest-first heuristic).

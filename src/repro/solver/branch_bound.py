@@ -64,7 +64,12 @@ def branch_and_bound(
             max_iterations=max_lp_iterations,
         )
         total_iterations += relaxation.iterations
-        if relaxation.status is SolveStatus.UNBOUNDED and not integer_indices:
+        if relaxation.status is SolveStatus.UNBOUNDED and nodes == 1:
+            # An unbounded root relaxation means the MILP itself has no
+            # finite optimum (for the count models this library builds,
+            # integer points exist along the ray); falling through to the
+            # generic `not ok` skip used to misreport the whole solve as
+            # INFEASIBLE when integer variables were present.
             return SolveResult(
                 SolveStatus.UNBOUNDED, iterations=total_iterations, nodes=nodes
             )

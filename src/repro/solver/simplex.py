@@ -5,20 +5,23 @@ solves ``min c·x`` subject to mixed ``<=``/``>=``/``==`` rows and variable
 bounds ``lower <= x <= upper``.
 
 Bounds handling: variables are shifted so lower bounds become zero; finite
-upper bounds become explicit ``<=`` rows.  That keeps the tableau logic a
-textbook two-phase simplex with Bland's anti-cycling rule.  It is O(m·n)
-per pivot on dense arrays — entirely adequate for the LP relaxations the
-library produces in native mode (tests and small Phase-I systems; larger
-instances use the scipy/HiGHS backend).
+upper bounds become explicit ``<=`` rows (scattered from ``np.eye`` in one
+shot).  That keeps the tableau logic a textbook two-phase simplex with
+Bland's anti-cycling rule.  The inner loops are vectorised: entering
+selection and the ratio test are numpy reductions, and each pivot applies
+one rank-1 update to the whole tableau instead of a per-row elimination
+loop — O(m·n) per pivot in C, not in Python.  Entirely adequate for the LP
+relaxations the library produces in native mode (tests and small Phase-I
+systems; larger instances use the scipy/HiGHS backend).
 """
 
 from __future__ import annotations
 
-import math
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
+from repro.errors import SolverError
 from repro.solver.result import SolveResult, SolveStatus
 
 __all__ = ["simplex_solve"]
@@ -35,7 +38,12 @@ def simplex_solve(
     upper: np.ndarray,
     max_iterations: int = 50_000,
 ) -> SolveResult:
-    """Solve ``min c·x  s.t.  A x (senses) b,  lower <= x <= upper``."""
+    """Solve ``min c·x  s.t.  A x (senses) b,  lower <= x <= upper``.
+
+    Raises :class:`~repro.errors.SolverError` for model shapes the tableau
+    cannot express (non-finite lower bounds); infeasible or unbounded
+    programs come back as a structured :class:`SolveResult` as usual.
+    """
     a = np.asarray(a, dtype=np.float64)
     b = np.asarray(b, dtype=np.float64)
     c = np.asarray(c, dtype=np.float64)
@@ -48,88 +56,83 @@ def simplex_solve(
     if np.any(lower > upper + _EPS):
         return SolveResult(SolveStatus.INFEASIBLE)
 
-    # Shift x = y + lower so y >= 0.
-    shift = np.where(np.isfinite(lower), lower, 0.0)
     if np.any(~np.isfinite(lower)):
-        # Free variables are rare in this library; split them is overkill —
-        # shift by a large negative constant instead would be sloppy, so we
-        # simply reject them.
-        raise ValueError("simplex backend requires finite lower bounds")
+        # Free variables are rare in this library; splitting them is
+        # overkill and shifting by a large constant would be sloppy.
+        # Callers expecting a SolveResult get a typed library error
+        # instead of a bare ValueError.
+        raise SolverError(
+            "the native simplex backend requires finite lower bounds; "
+            "use the scipy backend for free variables"
+        )
+
+    # Shift x = y + lower so y >= 0.
+    shift = lower
     b_shifted = b - a @ shift
     upper_shifted = upper - shift
 
-    rows: List[np.ndarray] = [a[i].copy() for i in range(m)]
-    rhs: List[float] = list(b_shifted)
-    row_senses: List[str] = list(senses)
+    # Finite upper bounds become explicit <= rows: one identity scatter
+    # (only the len(bounded) × n block, never a full n × n eye).
+    bounded = np.flatnonzero(np.isfinite(upper_shifted))
+    bound_rows = np.zeros((len(bounded), n), dtype=np.float64)
+    bound_rows[np.arange(len(bounded)), bounded] = 1.0
 
-    # Finite upper bounds become explicit rows.
-    for j in range(n):
-        if math.isfinite(upper_shifted[j]):
-            row = np.zeros(n)
-            row[j] = 1.0
-            rows.append(row)
-            rhs.append(upper_shifted[j])
-            row_senses.append("<=")
-
-    a_full = np.vstack(rows) if rows else np.zeros((0, n))
-    b_full = np.asarray(rhs, dtype=np.float64)
+    a_full = np.vstack([a, bound_rows])
+    b_full = np.concatenate([b_shifted, upper_shifted[bounded]])
+    row_senses = np.asarray(
+        list(senses) + ["<="] * len(bounded), dtype=object
+    )
     m_full = len(b_full)
 
-    # Normalise to b >= 0.
-    for i in range(m_full):
-        if b_full[i] < 0:
-            a_full[i] = -a_full[i]
-            b_full[i] = -b_full[i]
-            if row_senses[i] == "<=":
-                row_senses[i] = ">="
-            elif row_senses[i] == ">=":
-                row_senses[i] = "<="
+    # Normalise to b >= 0 (flip rows and their senses in one mask op).
+    negative = b_full < 0
+    a_full[negative] = -a_full[negative]
+    b_full[negative] = -b_full[negative]
+    was_le = row_senses == "<="
+    was_ge = row_senses == ">="
+    row_senses[negative & was_le] = ">="
+    row_senses[negative & was_ge] = "<="
 
     # Standard form: slacks for <=, surplus+artificial for >=, artificial
     # for ==.
-    slack_cols = sum(1 for s in row_senses if s == "<=")
-    surplus_cols = sum(1 for s in row_senses if s == ">=")
-    artificial_cols = sum(1 for s in row_senses if s in ("==", ">="))
+    is_le = row_senses == "<="
+    is_ge = row_senses == ">="
+    is_art = ~is_le  # >= and == rows both get an artificial variable
+    slack_cols = int(is_le.sum())
+    surplus_cols = int(is_ge.sum())
+    artificial_cols = int(is_art.sum())
     total = n + slack_cols + surplus_cols + artificial_cols
 
     tableau = np.zeros((m_full, total), dtype=np.float64)
     tableau[:, :n] = a_full
-    basis = [-1] * m_full
-    artificial_indices: List[int] = []
+    basis = np.full(m_full, -1, dtype=np.int64)
 
-    slack_at = n
-    surplus_at = n + slack_cols
-    artificial_at = n + slack_cols + surplus_cols
-    for i, sense in enumerate(row_senses):
-        if sense == "<=":
-            tableau[i, slack_at] = 1.0
-            basis[i] = slack_at
-            slack_at += 1
-        elif sense == ">=":
-            tableau[i, surplus_at] = -1.0
-            surplus_at += 1
-            tableau[i, artificial_at] = 1.0
-            basis[i] = artificial_at
-            artificial_indices.append(artificial_at)
-            artificial_at += 1
-        else:  # ==
-            tableau[i, artificial_at] = 1.0
-            basis[i] = artificial_at
-            artificial_indices.append(artificial_at)
-            artificial_at += 1
+    le_rows = np.flatnonzero(is_le)
+    ge_rows = np.flatnonzero(is_ge)
+    art_rows = np.flatnonzero(is_art)
+    slack_at = n + np.arange(slack_cols)
+    surplus_at = n + slack_cols + np.arange(surplus_cols)
+    artificial_at = n + slack_cols + surplus_cols + np.arange(artificial_cols)
+    tableau[le_rows, slack_at] = 1.0
+    basis[le_rows] = slack_at
+    tableau[ge_rows, surplus_at] = -1.0
+    tableau[art_rows, artificial_at] = 1.0
+    basis[art_rows] = artificial_at
+    artificial_indices = artificial_at
 
     rhs_col = b_full.copy()
     iterations = 0
 
-    def pivot(tab: np.ndarray, rhs_vec: np.ndarray, row: int, col: int) -> None:
-        pivot_value = tab[row, col]
-        tab[row] /= pivot_value
-        rhs_vec[row] /= pivot_value
-        for r in range(len(rhs_vec)):
-            if r != row and abs(tab[r, col]) > _EPS:
-                factor = tab[r, col]
-                tab[r] -= factor * tab[row]
-                rhs_vec[r] -= factor * rhs_vec[row]
+    def pivot(row: int, col: int) -> None:
+        pivot_value = tableau[row, col]
+        tableau[row] /= pivot_value
+        rhs_col[row] /= pivot_value
+        factors = tableau[:, col].copy()
+        factors[row] = 0.0
+        factors[np.abs(factors) <= _EPS] = 0.0
+        # Rank-1 update of the whole tableau (and rhs) at once.
+        tableau[:] -= np.outer(factors, tableau[row])
+        rhs_col[:] -= factors * rhs_col[row]
         basis[row] = col
 
     def run_phase(
@@ -138,60 +141,53 @@ def simplex_solve(
         """Minimise ``cost`` over the first ``allowed`` columns."""
         nonlocal iterations
         # Reduced-cost row relative to the current basis.
-        z = cost.copy()
-        obj = 0.0
-        for row, var in enumerate(basis):
-            if abs(cost[var]) > _EPS:
-                z -= cost[var] * tableau[row]
-                obj -= cost[var] * rhs_col[row]
+        cost_basic = cost[basis]
+        z = cost - cost_basic @ tableau
+        obj = -float(cost_basic @ rhs_col)
         while True:
             iterations += 1
             if iterations > max_iterations:
                 return SolveStatus.ITERATION_LIMIT, -obj
-            entering = -1
-            for j in range(allowed):  # Bland's rule: first negative
-                if z[j] < -_EPS:
-                    entering = j
-                    break
-            if entering < 0:
+            negatives = np.flatnonzero(z[:allowed] < -_EPS)
+            if negatives.size == 0:  # Bland's rule: first negative
                 return SolveStatus.OPTIMAL, -obj
-            ratios = []
-            for i in range(m_full):
-                if tableau[i, entering] > _EPS:
-                    ratios.append((rhs_col[i] / tableau[i, entering], basis[i], i))
-            if not ratios:
+            entering = int(negatives[0])
+            column = tableau[:, entering]
+            eligible = column > _EPS
+            if not eligible.any():
                 return SolveStatus.UNBOUNDED, -obj
-            ratios.sort()  # smallest ratio; ties by basis index (Bland)
-            _, __, leaving_row = ratios[0]
+            ratios = np.full(m_full, np.inf)
+            ratios[eligible] = rhs_col[eligible] / column[eligible]
+            # Smallest ratio; ties by smallest basis index (Bland).
+            ties = np.flatnonzero(ratios == ratios.min())
+            leaving_row = int(ties[np.argmin(basis[ties])])
             factor = z[entering]
-            pivot(tableau, rhs_col, leaving_row, entering)
+            pivot(leaving_row, entering)
             z -= factor * tableau[leaving_row]
             obj -= factor * rhs_col[leaving_row]
 
     # Phase 1: minimise the sum of artificial variables.
-    if artificial_indices:
+    if artificial_cols:
         phase1_cost = np.zeros(total)
-        for idx in artificial_indices:
-            phase1_cost[idx] = 1.0
+        phase1_cost[artificial_indices] = 1.0
         status, value = run_phase(phase1_cost, total)
         if status is not SolveStatus.OPTIMAL:
             return SolveResult(status, iterations=iterations)
         if value > 1e-7:
             return SolveResult(SolveStatus.INFEASIBLE, iterations=iterations)
         # Drive any artificial variable out of the basis when possible.
-        artificial_set = set(artificial_indices)
-        for row in range(m_full):
-            if basis[row] in artificial_set:
-                for j in range(n + slack_cols + surplus_cols):
-                    if abs(tableau[row, j]) > _EPS:
-                        pivot(tableau, rhs_col, row, j)
-                        break
+        structural = n + slack_cols + surplus_cols
+        for row in np.flatnonzero(basis >= structural):
+            usable = np.flatnonzero(
+                np.abs(tableau[row, :structural]) > _EPS
+            )
+            if usable.size:
+                pivot(int(row), int(usable[0]))
 
     # Phase 2: original objective over non-artificial columns.
     phase2_cost = np.zeros(total)
     phase2_cost[:n] = c
     allowed = n + slack_cols + surplus_cols
-    artificial_set = set(artificial_indices)
     # Rows still basic in an artificial variable are redundant; freeze them
     # by leaving the artificial basic at value ~0 (phase 1 drove it to 0).
     status, value = run_phase(phase2_cost, allowed)
@@ -199,8 +195,7 @@ def simplex_solve(
         return SolveResult(status, iterations=iterations)
 
     y = np.zeros(total)
-    for row, var in enumerate(basis):
-        y[var] = rhs_col[row]
+    y[basis] = rhs_col
     x = y[:n] + shift
     objective = float(c @ x)
     return SolveResult(

@@ -1,0 +1,97 @@
+"""Factorized CC counting (``count_in``/``count_ccs``) vs the naive path."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.cc import CardinalityConstraint, count_ccs
+from repro.relational.predicate import Interval, Predicate, ValueSet
+from repro.relational.relation import Relation
+
+AREAS = ["Chicago", "NYC", "LA"]
+RELS = ["Owner", "Spouse", "Child"]
+
+
+def _relation(n, seed):
+    rng = np.random.default_rng(seed)
+    return Relation.from_columns(
+        {
+            "pid": list(range(n)),
+            "Age": rng.integers(0, 100, size=n).tolist(),
+            "Rel": [RELS[i] for i in rng.integers(0, len(RELS), size=n)],
+            "Area": [AREAS[i] for i in rng.integers(0, len(AREAS), size=n)],
+        },
+        key="pid",
+    )
+
+
+def _cc(lo, hi, area=None, rel=None, disjunct2=None, target=0):
+    conditions = {"Age": Interval(lo, hi)}
+    if area is not None:
+        conditions["Area"] = ValueSet([area])
+    if rel is not None:
+        conditions["Rel"] = ValueSet(rel)
+    disjuncts = [Predicate(conditions)]
+    if disjunct2 is not None:
+        disjuncts.append(disjunct2)
+    return CardinalityConstraint(tuple(disjuncts), target)
+
+
+class TestCountInEquivalence:
+    def test_matches_naive_on_conjunctive_ccs(self):
+        relation = _relation(500, seed=3)
+        ccs = [
+            _cc(0, 24),
+            _cc(25, 64, area="Chicago"),
+            _cc(65, 200, rel=["Owner", "Spouse"]),
+        ]
+        for cc in ccs:
+            assert cc.count_in(relation) == cc.count_in_naive(relation)
+
+    def test_matches_naive_on_disjunctive_cc(self):
+        relation = _relation(300, seed=4)
+        cc = _cc(
+            0,
+            17,
+            area="NYC",
+            disjunct2=Predicate(
+                {"Age": Interval(80, 200), "Rel": ValueSet(["Owner"])}
+            ),
+        )
+        assert cc.count_in(relation) == cc.count_in_naive(relation)
+
+    def test_mask_in_equals_column_mask(self):
+        relation = _relation(200, seed=5)
+        cc = _cc(10, 40, area="LA")
+        vectorized = cc.mask_in(relation)
+        naive = cc.mask(relation.columns, len(relation))
+        assert np.array_equal(vectorized, naive)
+
+    def test_empty_relation(self):
+        relation = _relation(0, seed=6)
+        cc = _cc(0, 10)
+        assert cc.count_in(relation) == 0
+
+    def test_count_ccs_batch_matches_per_cc(self):
+        relation = _relation(400, seed=7)
+        ccs = [
+            _cc(0, 24),
+            _cc(0, 24),  # shared (attr, condition) pair hits the cache
+            _cc(25, 64, area="Chicago"),
+            _cc(0, 200, rel=["Child"]),
+        ]
+        batch = count_ccs(relation, ccs)
+        assert batch == [cc.count_in_naive(relation) for cc in ccs]
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=50),
+        lo=st.integers(min_value=0, max_value=60),
+        span=st.integers(min_value=0, max_value=60),
+        area=st.one_of(st.none(), st.sampled_from(AREAS)),
+    )
+    def test_hypothesis_intervals_match_naive(self, seed, lo, span, area):
+        relation = _relation(120, seed=seed)
+        cc = _cc(lo, lo + span, area=area)
+        assert cc.count_in(relation) == cc.count_in_naive(relation)

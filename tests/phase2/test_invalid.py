@@ -53,6 +53,35 @@ class TestInvalidHandling:
         # the CC gains two extra rows: error = 2 / max(10, 1).
         assert report.per_cc[0] == pytest.approx(0.2)
 
+    def test_invalid_row_respects_asymmetric_dc_as_second_role(self):
+        """Regression: the invalid row plays t2 of an asymmetric DC.
+
+        Conflict enumeration used to pair invalid rows only in role t1,
+        so an Owner invalid row slipped past ``not(t1.Spouse & t2.Owner)``
+        and shared the Spouse's key.
+        """
+        r1 = Relation.from_columns(
+            {
+                "pid": list(range(10)),
+                "Age": [0] * 8 + [1, 0],
+                "Rel": ["Owner"] * 9 + ["Spouse"],
+            },
+            key="pid",
+        )
+        r2 = Relation.from_columns({"hid": [0], "Area": ["A"]}, key="hid")
+        # Row 8 (Age 1) cannot take the only combo without breaking the
+        # zero-target CC → it becomes an invalid tuple.
+        ccs = [parse_cc("|Age in [1, 1] & Area == 'A'| = 0")]
+        dcs = [parse_dc("not(t1.Rel == 'Spouse' & t2.Rel == 'Owner')")]
+        phase1 = run_phase1(r1, r2, ccs)
+        assert 8 in phase1.assignment.invalid
+        phase2 = run_phase2(
+            r1, r2, dcs, phase1.assignment, phase1.catalog, "hid", ccs=ccs
+        )
+        assert dc_error(phase2.r1_hat, "hid", dcs) == 0.0
+        fk = phase2.r1_hat.column("hid")
+        assert fk[8] != fk[9]  # Owner invalid row must avoid the Spouse key
+
     def test_min_error_combo_prefers_under_target(self):
         """A fresh-key invalid row chases the under-target CC."""
         r1 = Relation.from_columns(

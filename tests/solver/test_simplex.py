@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.errors import SolverError
 from repro.solver.result import SolveStatus
 from repro.solver.simplex import simplex_solve
 
@@ -73,8 +74,8 @@ class TestInfeasibleUnbounded:
         result = _solve(np.zeros((0, 1)), [], [], [-1])
         assert result.status is SolveStatus.UNBOUNDED
 
-    def test_free_variables_rejected(self):
-        with pytest.raises(ValueError):
+    def test_free_variables_rejected_with_solver_error(self):
+        with pytest.raises(SolverError):
             _solve(np.zeros((0, 1)), [], [], [1], lower=[-np.inf])
 
 
