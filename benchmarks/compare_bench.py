@@ -1,0 +1,138 @@
+"""Diff freshly-emitted ``BENCH_*.json`` reports against the baselines.
+
+CI's bench-regression job re-runs the microbenches in full mode and calls
+this script to compare the emitted reports in ``benchmarks/`` against the
+committed baselines in ``benchmarks/baselines/``.  It prints a Markdown
+comparison table (also appended to ``--summary``, typically
+``$GITHUB_STEP_SUMMARY``) and exits non-zero when a metric regressed past
+``--threshold`` — the job runs with ``continue-on-error`` because CI
+clocks are noisy, so a red bench is a signal, not a gate.
+
+Two report shapes are understood:
+
+* kernel cells carrying a ``speedup`` (the relation/phase1 microbenches):
+  a regression is ``current < baseline / threshold``;
+* scale cells carrying ``wall_s``/``solve_s`` (the pipeline bench): a
+  regression is ``current > baseline * threshold``.
+
+Usage::
+
+    python benchmarks/compare_bench.py \
+        [--baseline benchmarks/baselines] [--current benchmarks] \
+        [--threshold 2.0] [--summary "$GITHUB_STEP_SUMMARY"]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+Row = Tuple[str, str, str, float, float, float, bool]
+#      (report, rows, metric, baseline, current, ratio, regressed)
+
+
+def _iter_metrics(report: dict) -> Iterator[Tuple[str, str, float, bool]]:
+    """Yield ``(rows, metric, value, higher_is_better)`` leaves."""
+    for rows_key, cell in report.get("rows", {}).items():
+        for metric, payload in cell.items():
+            if isinstance(payload, dict) and "speedup" in payload:
+                yield (
+                    rows_key,
+                    f"{metric} speedup",
+                    float(payload["speedup"]),
+                    True,
+                )
+        # Pipeline-shaped cells keep timing scalars next to the stage
+        # table; those are the comparable metrics there.
+        for metric in ("wall_s", "solve_s"):
+            if isinstance(cell.get(metric), (int, float)):
+                yield rows_key, metric, float(cell[metric]), False
+
+
+def compare(
+    baseline_dir: Path, current_dir: Path, threshold: float
+) -> List[Row]:
+    rows: List[Row] = []
+    for baseline_path in sorted(baseline_dir.glob("BENCH_*.json")):
+        current_path = current_dir / baseline_path.name
+        if not current_path.exists():
+            print(
+                f"warning: {current_path} missing (bench not run?)",
+                file=sys.stderr,
+            )
+            continue
+        baseline = json.loads(baseline_path.read_text())
+        current = json.loads(current_path.read_text())
+        base_metrics = {
+            (r, m): (v, up) for r, m, v, up in _iter_metrics(baseline)
+        }
+        for rows_key, metric, value, higher_better in _iter_metrics(current):
+            base = base_metrics.get((rows_key, metric))
+            if base is None:
+                continue
+            base_value, _ = base
+            if base_value == 0:
+                continue
+            ratio = value / base_value
+            regressed = (
+                ratio < 1.0 / threshold if higher_better
+                else ratio > threshold
+            )
+            rows.append((
+                baseline_path.stem, rows_key, metric,
+                base_value, value, ratio, regressed,
+            ))
+    return rows
+
+
+def render_markdown(rows: List[Row], threshold: float) -> str:
+    lines = [
+        "## Microbench comparison vs committed baselines",
+        "",
+        "| report | rows | metric | baseline | current | current/baseline "
+        "| status |",
+        "|---|---|---|---:|---:|---:|---|",
+    ]
+    for report, rows_key, metric, base, value, ratio, regressed in rows:
+        status = "🔴 regressed" if regressed else "✅"
+        lines.append(
+            f"| {report} | {rows_key} | {metric} | {base:g} | {value:g} "
+            f"| {ratio:.2f}× | {status} |"
+        )
+    n_regressed = sum(1 for r in rows if r[6])
+    lines.append("")
+    lines.append(
+        f"{len(rows)} metrics compared, {n_regressed} regressed "
+        f"(threshold {threshold:g}×; CI clocks are noisy — treat red as a "
+        "signal to re-run, not a verdict)."
+    )
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    here = Path(__file__).parent
+    parser.add_argument("--baseline", default=str(here / "baselines"))
+    parser.add_argument("--current", default=str(here))
+    parser.add_argument("--threshold", type=float, default=2.0)
+    parser.add_argument("--summary", default="",
+                        help="file to append the Markdown table to")
+    args = parser.parse_args(argv)
+
+    rows = compare(Path(args.baseline), Path(args.current), args.threshold)
+    if not rows:
+        print("no comparable metrics found", file=sys.stderr)
+        return 2
+    markdown = render_markdown(rows, args.threshold)
+    print(markdown)
+    if args.summary:
+        with open(args.summary, "a") as handle:
+            handle.write(markdown)
+    return 1 if any(r[6] for r in rows) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

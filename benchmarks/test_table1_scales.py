@@ -5,7 +5,7 @@ persons/housing ratio must track the paper's ≈2.56 at every scale.
 """
 
 from benchmarks.conftest import dataset
-from repro.datagen import PAPER_SCALES, paper_row_counts
+from repro.datagen import paper_row_counts
 
 MINI_SCALES = (1, 2, 5, 10)
 

@@ -5,9 +5,12 @@
 2. **Capacity constraints** — future-work item 1: bounding how many rows
    may share one foreign key (household size caps).  Declared on the
    spec's FK edge, which routes Phase II to the registered ``"capacity"``
-   strategy.
+   strategy — with its **soft** sibling (``"soft_capacity"``: overflow
+   allowed but minimised and reported) and **quota coloring**
+   (``"quota_coloring"``: per-combo caps) alongside.
 3. **DC discovery** — mining the Table 4-style constraints back out of a
-   completed database.
+   completed database, and ``repro.discover_spec`` closing the loop into
+   a runnable spec.
 4. **Distribution fidelity** — TVD between synthesized and ground-truth
    marginals, beyond the paper's CC/DC error measures.
 
@@ -25,13 +28,15 @@ from repro.extensions.capacity import fk_usage_histogram
 from repro.relational.join import fk_join
 
 
-def census_spec(name, data, ccs=(), dcs=(), capacity=None):
+def census_spec(name, data, ccs=(), dcs=(), capacity=None,
+                strategy=None, options=None):
     return (
         repro.SpecBuilder(name)
         .relation("persons", data=data.persons_masked, key="pid")
         .relation("housing", data=data.housing, key="hid")
         .edge("persons", "hid", "housing",
-              ccs=list(ccs), dcs=list(dcs), capacity=capacity)
+              ccs=list(ccs), dcs=list(dcs), capacity=capacity,
+              strategy=strategy, options=options)
         .build()
     )
 
@@ -75,7 +80,38 @@ def main() -> None:
     )
 
     # ------------------------------------------------------------------
-    # 3. Discovery: mine FK DCs back out of the ground truth.
+    # 2b. Soft capacity: the cap becomes a penalised objective — no
+    #     fresh households are minted; the realised overflow is reported.
+    # ------------------------------------------------------------------
+    soft = repro.synthesize(
+        census_spec("soft", data, dcs=dcs,
+                    strategy="soft_capacity", options={"max_per_key": 2})
+    )
+    print(
+        f"2b. soft capacity 2: total overflow "
+        f"{soft.edges[0].total_overflow}, "
+        f"{soft.edges[0].num_new_parent_tuples} fresh households, "
+        f"DC error {soft.dc_error}"
+    )
+
+    # ------------------------------------------------------------------
+    # 2c. Quota coloring: per-combo caps — rented homes host at most 3.
+    # ------------------------------------------------------------------
+    tenure = sorted({str(v) for v in data.housing.column("Tenure")})[0]
+    quota = repro.synthesize(
+        census_spec(
+            "quota", data, dcs=dcs, strategy="quota_coloring",
+            options={"quotas": [{"match": {"Tenure": tenure}, "quota": 3}]},
+        )
+    )
+    print(
+        f"2c. quota 3 on Tenure == {tenure!r}: DC error {quota.dc_error}, "
+        f"{quota.edges[0].num_new_parent_tuples} fresh households"
+    )
+
+    # ------------------------------------------------------------------
+    # 3. Discovery: mine FK DCs back out of the ground truth, then close
+    #    the loop — the mined constraints become a runnable spec.
     # ------------------------------------------------------------------
     mined = discover_fk_dcs(
         data.persons, "hid", DiscoveryConfig(min_support=3)
@@ -86,6 +122,15 @@ def main() -> None:
     )
     for dc in mined[:3]:
         print(f"   e.g. {dc}")
+    discovered = repro.discover_spec(
+        data.persons, data.housing, fk_column="hid",
+        config=DiscoveryConfig(min_support=3, slack=2),
+    )
+    resynthesized = repro.synthesize(discovered)
+    print(
+        f"   discover_spec: {len(discovered.edges[0].dcs)} mined DCs "
+        f"inlined; re-synthesis DC error {resynthesized.dc_error}"
+    )
 
     # ------------------------------------------------------------------
     # 4. Fidelity: constrained synthesis preserves joint marginals.

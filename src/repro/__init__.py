@@ -63,6 +63,7 @@ from repro.spec import (
     SpecBuilder,
     SynthesisResult,
     SynthesisSpec,
+    discover_spec,
     load_spec,
     save_spec,
     synthesize,
@@ -97,6 +98,7 @@ __all__ = [
     "SynthesisSpec",
     "UnaryAtom",
     "ValueSet",
+    "discover_spec",
     "evaluate",
     "fk_join",
     "load_spec",

@@ -8,7 +8,6 @@ module and print paper-style tables.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 

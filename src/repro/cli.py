@@ -13,7 +13,14 @@ Subcommands:
   (two-table, snowflake, capacity-capped edges), or with the legacy
   two-table flags (``--r1 … --r2 … --fk …``), which build the equivalent
   one-edge spec under the hood;
-* ``evaluate`` — score an already-completed pair of CSVs.
+* ``evaluate`` — score an already-completed pair of CSVs;
+* ``discover`` — mine FK denial constraints from a *completed* pair of
+  CSVs (:mod:`repro.extensions.discovery`) and emit a runnable spec with
+  the mined DCs inlined::
+
+      repro-synth discover --r1 ground_truth.csv --r2 housing.csv \
+          --fk hid --r1-key pid --r2-key hid --out discovered.toml
+      repro-synth solve --spec discovered.toml --out out/
 
 Constraint files hold one constraint per line, optionally grouped into
 ``[child.column -> parent]`` sections (see
@@ -29,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -132,6 +140,8 @@ def _print_edge_reports(result: SynthesisResult) -> None:
                 f"max {errors.max_cc_error:.4f} "
                 f"DC {errors.dc_error:.4f}"
             )
+        if edge.total_overflow:
+            line += f" | overflow {edge.total_overflow}"
         line += (
             f" | +{edge.num_new_parent_tuples} parent tuples, "
             f"{edge.total_seconds:.3f}s"
@@ -218,6 +228,65 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0 if errors.dc_error == 0.0 else 1
 
 
+def _cmd_discover(args: argparse.Namespace) -> int:
+    from repro.extensions.discovery import DiscoveryConfig
+    from repro.spec.discover import discover_spec
+
+    out = Path(args.out)
+    r1_path = Path(args.r1).resolve()
+    r2_path = Path(args.r2).resolve()
+    r1 = read_csv_infer(r1_path, key=args.r1_key or None)
+    r2 = read_csv_infer(r2_path, key=args.r2_key)
+    config = DiscoveryConfig(
+        rel_attr=args.rel_attr,
+        age_attr=args.age_attr,
+        anchor_rel=args.anchor,
+        slack=args.slack,
+        min_support=args.min_support,
+    )
+    capacity = "observed" if args.observed_capacity else None
+    spec = discover_spec(
+        r1,
+        r2,
+        fk_column=args.fk,
+        config=config,
+        name=args.name,
+        r1_name=args.r1_name,
+        r2_name=args.r2_name,
+        # The spec file references the CSVs relative to its own directory
+        # so the workload stays runnable from anywhere.
+        csv_paths={
+            args.r1_name: _relative_to(r1_path, out.parent.resolve()),
+            args.r2_name: _relative_to(r2_path, out.parent.resolve()),
+        },
+        strategy=args.strategy or None,
+        capacity=capacity,
+    )
+    out.parent.mkdir(parents=True, exist_ok=True)
+    save_spec(spec, out)
+    edge = spec.edges[0]
+    print(
+        f"discovered {len(edge.dcs)} DCs from "
+        f"{len(r1)} {args.r1_name} rows ({args.fk} -> {args.r2_name})"
+    )
+    for dc in edge.dcs[:5]:
+        print(f"  {dc}")
+    if len(edge.dcs) > 5:
+        print(f"  ... and {len(edge.dcs) - 5} more")
+    if edge.capacity is not None:
+        print(f"observed capacity: {edge.capacity} rows per key")
+    print(f"spec: run `repro-synth solve --spec {out} --out <dir>`")
+    return 0
+
+
+def _relative_to(path: Path, base: Path) -> str:
+    """``path`` relative to ``base`` when possible, else absolute."""
+    try:
+        return os.path.relpath(path, base)
+    except ValueError:  # different drives (Windows)
+        return str(path)
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     r1_hat = read_csv_infer(Path(args.r1), key=args.r1_key or None)
     r2_hat = read_csv_infer(Path(args.r2), key=args.r2_key)
@@ -267,6 +336,36 @@ def _build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--capacity", type=int, default=None,
                        help="cap rows per FK key (capacity strategy)")
     solve.set_defaults(func=_cmd_solve)
+
+    disc = sub.add_parser(
+        "discover",
+        help="mine FK DCs from a completed database into a runnable spec",
+    )
+    disc.add_argument("--r1", required=True,
+                      help="completed child CSV (must contain the FK)")
+    disc.add_argument("--r2", required=True, help="parent CSV")
+    disc.add_argument("--fk", required=True, help="FK column in --r1")
+    disc.add_argument("--r1-key", default="", dest="r1_key")
+    disc.add_argument("--r2-key", required=True, dest="r2_key")
+    disc.add_argument("--out", required=True,
+                      help="spec file to write (.toml or .json)")
+    disc.add_argument("--name", default="discovered")
+    disc.add_argument("--r1-name", default="r1", dest="r1_name")
+    disc.add_argument("--r2-name", default="r2", dest="r2_name")
+    disc.add_argument("--rel-attr", default="Rel", dest="rel_attr")
+    disc.add_argument("--age-attr", default="Age", dest="age_attr")
+    disc.add_argument("--anchor", default="Owner",
+                      help="anchor relationship for age windows")
+    disc.add_argument("--slack", type=int, default=0,
+                      help="widen each mined age window by this margin")
+    disc.add_argument("--min-support", type=int, default=3,
+                      dest="min_support")
+    disc.add_argument("--strategy", default="",
+                      help="Phase-II strategy to pin on the emitted edge")
+    disc.add_argument("--observed-capacity", action="store_true",
+                      dest="observed_capacity",
+                      help="cap keys at the max usage observed in --r1")
+    disc.set_defaults(func=_cmd_discover)
 
     ev = sub.add_parser("evaluate", help="score a completed database")
     ev.add_argument("--r1", required=True)

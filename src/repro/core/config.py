@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 __all__ = ["SolverConfig"]
 
@@ -23,6 +24,10 @@ class SolverConfig:
     * ``parallel_workers`` — color partitions on a process pool of this
       size (Appendix A.3); ``0`` keeps everything in-process.
     * ``evaluate`` — compute CC/DC error measures on the result.
+    * ``time_limit`` — wall-clock budget (seconds) for each Phase-I ILP
+      solve; a limited solve keeps its best incumbent (``None`` = exact).
+    * ``mip_gap`` — relative optimality gap accepted by the ILP solve
+      (``None`` = solve to proven optimality).
     """
 
     backend: str = "scipy"
@@ -32,6 +37,8 @@ class SolverConfig:
     partitioned_coloring: bool = True
     parallel_workers: int = 0
     evaluate: bool = True
+    time_limit: Optional[float] = None
+    mip_gap: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.backend not in ("scipy", "native"):
@@ -40,3 +47,7 @@ class SolverConfig:
             raise ValueError(f"unknown marginals mode {self.marginals!r}")
         if self.parallel_workers < 0:
             raise ValueError("parallel_workers must be >= 0")
+        if self.time_limit is not None and self.time_limit <= 0:
+            raise ValueError("time_limit must be positive (or None)")
+        if self.mip_gap is not None and not 0 <= self.mip_gap < 1:
+            raise ValueError("mip_gap must be in [0, 1) (or None)")

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.constraints.cc import CardinalityConstraint, count_ccs
 from repro.constraints.dc import DenialConstraint
@@ -19,7 +19,6 @@ from repro.errors import ConstraintError
 from repro.relational.join import fk_join
 from repro.relational.relation import Relation
 from repro.relational.schema import ColumnSpec
-from repro.relational.types import Dtype
 
 __all__ = ["CExtensionProblem", "brute_force_decision"]
 

@@ -16,7 +16,7 @@ completion could violate.  DESIGN.md discusses the substitution.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.constraints.cc import CardinalityConstraint
@@ -39,7 +39,9 @@ class EdgeConstraints:
     set, the edge is solved with the registered ``"capacity"`` Phase-II
     strategy.  ``strategy`` names any registered strategy explicitly and
     overrides the capacity-implied default; ``options`` carries extra
-    strategy knobs.
+    strategy knobs.  ``solver_overrides`` shadows individual
+    :class:`SolverConfig` fields (backend, time_limit, mip_gap, …) for
+    this edge only.
     """
 
     ccs: Sequence[CardinalityConstraint] = ()
@@ -47,6 +49,7 @@ class EdgeConstraints:
     capacity: Optional[int] = None
     strategy: Optional[str] = None
     options: Mapping[str, object] = field(default_factory=dict)
+    solver_overrides: Mapping[str, object] = field(default_factory=dict)
 
     def resolved_strategy(self) -> Tuple[str, Dict[str, object]]:
         """The ``(strategy, options)`` pair this edge solves with."""
@@ -57,6 +60,12 @@ class EdgeConstraints:
         if name is None:
             name = "capacity" if self.capacity is not None else "coloring"
         return name, options
+
+    def effective_config(self, base: SolverConfig) -> SolverConfig:
+        """``base`` with this edge's solver overrides applied."""
+        if not self.solver_overrides:
+            return base
+        return replace(base, **dict(self.solver_overrides))
 
 
 @dataclass
@@ -113,7 +122,6 @@ class SnowflakeSynthesizer:
 
         result = SnowflakeResult(database=database)
         completed: Dict[str, bool] = {}
-        solver = CExtensionSolver(self.config)
 
         for fk in edges:
             edge_constraints = constraints.get(
@@ -126,6 +134,12 @@ class SnowflakeSynthesizer:
             # because extension joins preserve row order and count.
             extended = self._extended_view(database, fk.child, completed)
             strategy, options = edge_constraints.resolved_strategy()
+            # Per-edge solver overrides shadow the global config for this
+            # edge only (e.g. one stubborn edge on the native backend
+            # with a time limit, the rest on HiGHS).
+            solver = CExtensionSolver(
+                edge_constraints.effective_config(self.config)
+            )
             step = solver.solve(
                 extended,
                 parent,

@@ -34,9 +34,13 @@ __all__ = [
 _REGISTRY: Dict[str, Callable] = {}
 
 #: Built-in strategies and the module whose import registers them.
+#: ``phase2_strategies()`` lists these even before their modules load, so
+#: front ends (spec validation, CLI help) see the full menu up front.
 _BUILTIN = {
     "coloring": "repro.core.stages",
     "capacity": "repro.extensions.capacity",
+    "soft_capacity": "repro.extensions.soft_capacity",
+    "quota_coloring": "repro.extensions.quota_coloring",
 }
 
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import logging
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Sequence
 
 from repro.constraints.cc import CardinalityConstraint, validate_cc_set
@@ -130,6 +130,8 @@ class CExtensionSolver:
             soft_ccs=config.soft_ccs,
             backend=config.backend,
             force_ilp=config.force_ilp,
+            time_limit=config.time_limit,
+            mip_gap=config.mip_gap,
         )
         report.phase1_seconds = time.perf_counter() - started
         logger.info(

@@ -18,8 +18,8 @@ Housing grows from 2 to 10 non-key columns along the Figure 12 ladder:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
 from repro.relational.relation import Relation

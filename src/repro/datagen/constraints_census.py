@@ -19,7 +19,7 @@ ground-truth join, so the constraint system is consistent by construction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.constraints.cc import CardinalityConstraint
 from repro.constraints.dc import BinaryAtom, DenialConstraint, UnaryAtom

@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import itertools
 import random
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.constraints.dc import BinaryAtom, DenialConstraint

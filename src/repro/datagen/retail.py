@@ -29,7 +29,7 @@ from repro.core.snowflake import EdgeConstraints
 from repro.errors import ReproError
 from repro.relational.database import Database
 from repro.relational.join import fk_join
-from repro.relational.predicate import Interval, Predicate, ValueSet
+from repro.relational.predicate import Predicate, ValueSet
 from repro.relational.relation import Relation
 from repro.relational.schema import ColumnSpec, Schema
 from repro.relational.types import Dtype

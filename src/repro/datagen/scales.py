@@ -10,8 +10,7 @@ numbers so the benches can print them side by side.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.datagen.census import CensusConfig, CensusData, generate_census
 

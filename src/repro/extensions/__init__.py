@@ -11,6 +11,14 @@ from repro.extensions.discovery import (
     discover_fk_dcs,
     discovered_windows,
 )
+from repro.extensions.quota_coloring import (
+    quota_coloring_phase2,
+    resolve_quota,
+)
+from repro.extensions.soft_capacity import (
+    soft_capacity_coloring,
+    soft_capacity_phase2,
+)
 
 __all__ = [
     "CapacityResult",
@@ -19,5 +27,9 @@ __all__ = [
     "discover_fk_dcs",
     "discovered_windows",
     "fk_usage_histogram",
+    "quota_coloring_phase2",
+    "resolve_quota",
+    "soft_capacity_coloring",
+    "soft_capacity_phase2",
     "solve_with_capacity",
 ]

@@ -26,15 +26,13 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-import numpy as np
-
 from repro.relational.ordering import sort_key, tuple_sort_key
 from repro.constraints.cc import CardinalityConstraint
 from repro.constraints.dc import DenialConstraint
 from repro.core.config import SolverConfig
 from repro.core.metrics import ErrorReport
 from repro.core.stages import register_phase2_strategy
-from repro.errors import ColoringError, ReproError
+from repro.errors import ReproError
 from repro.phase1.assignment import ViewAssignment
 from repro.phase1.combos import ComboCatalog
 from repro.phase2.edges import build_conflict_graph
@@ -43,6 +41,9 @@ from repro.phase2.fk_assignment import (
     MintPool,
     Phase2Result,
     Phase2Stats,
+    assign_invalid_fresh,
+    color_skipped_with_fresh,
+    new_key_recorder,
 )
 from repro.phase2.hypergraph import ConflictHypergraph
 from repro.relational.relation import Relation
@@ -168,22 +169,11 @@ def capacity_phase2(
     new_rows: List[tuple] = []
     coloring: Dict[int, object] = {}
     usage: Dict[object, int] = {}
-
-    def record_new_key(key: object, combo: tuple) -> None:
-        values = catalog.as_dict(combo)
-        new_rows.append(
-            tuple(
-                key if name == key_column else values[name]
-                for name in r2.schema.names
-            )
-        )
-        keys_by_combo.setdefault(combo, []).append(key)
-        stats.num_new_r2_tuples += 1
+    record_new_key = new_key_recorder(
+        r2, catalog, keys_by_combo, new_rows, stats
+    )
 
     partitions: Dict[tuple, List[int]] = assignment.group_by_combo()
-    invalid_rows: List[int] = np.flatnonzero(
-        ~assignment.assigned_mask()
-    ).tolist()
 
     started = time.perf_counter()
     for combo in sorted(partitions.keys(), key=tuple_sort_key):
@@ -196,40 +186,23 @@ def capacity_phase2(
             graph, candidates, max_per_key, {}, usage
         )
         stats.num_skipped += len(skipped)
-        guard = 0
-        while skipped:
-            guard += 1
-            if guard > len(rows) + 1:
-                raise ColoringError("capacity coloring failed to progress")
-            fresh = pool.take(len(skipped))
-            part_coloring, skipped = capacity_coloring(
-                graph, fresh, max_per_key, part_coloring, usage
-            )
-            used = set(part_coloring.values())
-            for key in fresh:
-                if key in used:
-                    record_new_key(key, combo)
-            pool.release([k for k in fresh if k not in used])
+        part_coloring = color_skipped_with_fresh(
+            len(rows), part_coloring, skipped, pool, combo, record_new_key,
+            lambda fresh, col: capacity_coloring(
+                graph, fresh, max_per_key, col, usage
+            ),
+            label="capacity coloring",
+        )
         coloring.update(part_coloring)
     stats.coloring_seconds = time.perf_counter() - started
 
     # Invalid tuples: fresh keys with an arbitrary safe combo (capacity 1
     # usage each) — the conservative capacity-respecting escape hatch.
     started = time.perf_counter()
-    for row in invalid_rows:
-        combo = catalog.combos[0] if catalog.combos else None
-        if combo is None:
-            raise ColoringError("R2 has no value combinations at all")
-        safe = catalog.unused_for_row(r1.row(row), list(ccs))
-        if safe:
-            combo = safe[0]
-        key = pool.mint()
-        record_new_key(key, combo)
-        coloring[row] = key
-        usage[key] = usage.get(key, 0) + 1
-        assignment.assign(row, catalog.as_dict(combo))
-        assignment.invalid.discard(row)
-    stats.num_invalid_handled = len(invalid_rows)
+    stats.num_invalid_handled = assign_invalid_fresh(
+        r1, ccs, assignment, catalog, pool, coloring, record_new_key,
+        usage=usage,
+    )
     stats.invalid_seconds = time.perf_counter() - started
 
     fk_values = [coloring[row] for row in range(assignment.n)]

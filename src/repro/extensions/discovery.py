@@ -19,7 +19,7 @@ Table 4 ranges.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.constraints.dc import BinaryAtom, DenialConstraint, UnaryAtom
 from repro.errors import ReproError

@@ -107,6 +107,8 @@ def run_phase1(
     soft_ccs: bool = True,
     backend: str = "scipy",
     force_ilp: bool = False,
+    time_limit: Optional[float] = None,
+    mip_gap: Optional[float] = None,
 ) -> Phase1Result:
     """Run the hybrid Phase I and return the view assignment.
 
@@ -178,6 +180,8 @@ def run_phase1(
             marginals=marginals,
             soft_ccs=soft_ccs,
             backend=backend,
+            time_limit=time_limit,
+            mip_gap=mip_gap,
         )
         stats.ilp_seconds = time.perf_counter() - started
 

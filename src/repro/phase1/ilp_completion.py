@@ -21,15 +21,13 @@ up to ``v`` still-unassigned rows of the bin receive the combo (lines
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
-
-import numpy as np
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.constraints.cc import CardinalityConstraint
 from repro.constraints.intervalize import Binning, build_binning
 from repro.constraints.marginals import relevant_bins
-from repro.errors import InfeasibleError
+from repro.errors import InfeasibleError, SolverError
 from repro.phase1.assignment import ViewAssignment
 from repro.phase1.combos import ComboCatalog
 from repro.relational.relation import Relation
@@ -68,6 +66,8 @@ def complete_with_ilp(
     soft_ccs: bool = True,
     backend: str = "scipy",
     binning: Optional[Binning] = None,
+    time_limit: Optional[float] = None,
+    mip_gap: Optional[float] = None,
 ) -> IlpCompletionStats:
     """Run Algorithm 1 over the rows still untouched in ``assignment``.
 
@@ -171,7 +171,9 @@ def complete_with_ilp(
             coeffs[under.index] = 1.0
             objective[over.index] = 1.0
             objective[under.index] = 1.0
-        model.add_constraint(coeffs, "==", float(cc.target), name=f"cc[{cc_pos}]")
+        model.add_constraint(
+            coeffs, "==", float(cc.target), name=f"cc[{cc_pos}]"
+        )
         stats.num_cc_rows += 1
 
     model.set_objective(objective)
@@ -182,11 +184,21 @@ def complete_with_ilp(
     # Solve.
     # ------------------------------------------------------------------
     started = time.perf_counter()
-    result = solve_model(model, backend)
+    result = solve_model(
+        model, backend, time_limit=time_limit, mip_gap=mip_gap
+    )
     stats.solve_seconds = time.perf_counter() - started
     stats.solver_status = result.status.value
     stats.solver_objective = result.objective
     if not result.ok or result.x is None:
+        if time_limit is not None and result.status.value == "iteration_limit":
+            # The budget expired before any integral incumbent was found —
+            # not an infeasibility, a too-tight limit.
+            raise SolverError(
+                f"the ILP time limit ({time_limit}s) expired before any "
+                "integral solution was found; raise time_limit or loosen "
+                "mip_gap"
+            )
         if soft_ccs:
             # The soft program is feasible by construction (all-zero x with
             # slack is a solution), so a failure here is a solver problem.

@@ -32,7 +32,6 @@ from repro.phase2.invalid import solve_invalid_tuples
 from repro.relational.ordering import sort_key, tuple_sort_key
 from repro.relational.relation import Relation
 from repro.relational.schema import ColumnSpec
-from repro.relational.types import Dtype
 
 __all__ = [
     "Phase2Stats",
@@ -40,6 +39,10 @@ __all__ = [
     "run_phase2",
     "FreshKeyFactory",
     "MintPool",
+    "color_partition",
+    "color_skipped_with_fresh",
+    "assign_invalid_fresh",
+    "new_key_recorder",
 ]
 
 
@@ -114,6 +117,9 @@ class Phase2Stats:
     num_skipped: int = 0
     num_new_r2_tuples: int = 0
     num_invalid_handled: int = 0
+    #: Total capacity overflow accepted by a soft-capacity strategy
+    #: (0 for the hard strategies, which never overflow).
+    total_overflow: int = 0
     edge_seconds: float = 0.0
     coloring_seconds: float = 0.0
     invalid_seconds: float = 0.0
@@ -129,9 +135,39 @@ class Phase2Result:
     r2_hat: Relation
     coloring: Dict[int, object]
     stats: Phase2Stats
+    #: Per-key capacity overflow (``key -> rows beyond the cap``) reported
+    #: by soft-capacity strategies; empty when capacities were hard or
+    #: absent.
+    overflow: Dict[object, int] = field(default_factory=dict)
 
 
-def _color_partition(
+def new_key_recorder(
+    r2: Relation,
+    catalog: ComboCatalog,
+    keys_by_combo: Dict[tuple, List[object]],
+    new_rows: List[tuple],
+    stats: Phase2Stats,
+):
+    """The ``record_new_key(key, combo)`` closure every Phase-II strategy
+    shares: materialise the fresh key as a new R2 row carrying the
+    combo's B-values, extend the combo's candidate list, and count it."""
+    key_column = r2.schema.key
+
+    def record_new_key(key: object, combo: tuple) -> None:
+        values = catalog.as_dict(combo)
+        new_rows.append(
+            tuple(
+                key if name == key_column else values[name]
+                for name in r2.schema.names
+            )
+        )
+        keys_by_combo.setdefault(combo, []).append(key)
+        stats.num_new_r2_tuples += 1
+
+    return record_new_key
+
+
+def color_partition(
     graph: ConflictHypergraph,
     candidates: List[object],
     pool: MintPool,
@@ -153,6 +189,71 @@ def _color_partition(
         used_fresh.extend(k for k in fresh if k in used)
         pool.release([k for k in fresh if k not in used])
     return coloring, used_fresh
+
+
+def color_skipped_with_fresh(
+    num_rows: int,
+    coloring: Dict[int, object],
+    skipped: List[int],
+    pool: MintPool,
+    combo: tuple,
+    record_new_key,
+    color_pass,
+    label: str = "fresh-color",
+) -> Dict[int, object]:
+    """Resolve ``skipped`` vertices with fresh keys (Algorithm 4's retry).
+
+    ``color_pass(fresh, coloring) -> (coloring, skipped)`` runs one pass
+    of the caller's coloring over the fresh candidates — the hook through
+    which the capacity-family strategies reuse this loop with their own
+    forbidding rules.  Fresh keys that a pass actually used materialise
+    via ``record_new_key``; unclaimed ones return to the pool.
+    """
+    guard = 0
+    while skipped:
+        guard += 1
+        if guard > num_rows + 1:
+            raise ColoringError(f"{label} loop failed to make progress")
+        fresh = pool.take(len(skipped))
+        coloring, skipped = color_pass(fresh, coloring)
+        used = set(coloring.values())
+        for key in fresh:
+            if key in used:
+                record_new_key(key, combo)
+        pool.release([k for k in fresh if k not in used])
+    return coloring
+
+
+def assign_invalid_fresh(
+    r1: Relation,
+    ccs: Sequence[CardinalityConstraint],
+    assignment: ViewAssignment,
+    catalog: ComboCatalog,
+    pool: MintPool,
+    coloring: Dict[int, object],
+    record_new_key,
+    usage: Optional[Dict[object, int]] = None,
+) -> int:
+    """The conservative invalid-tuple escape hatch of the capacity-family
+    strategies: every invalid row gets a fresh key on a safe combo, so a
+    usage of 1 can never breach a cap or quota.  Returns the number of
+    rows handled."""
+    invalid_rows = sorted(assignment.invalid)
+    for row in invalid_rows:
+        combo = catalog.combos[0] if catalog.combos else None
+        if combo is None:
+            raise ColoringError("R2 has no value combinations at all")
+        safe = catalog.unused_for_row(r1.row(row), list(ccs))
+        if safe:
+            combo = safe[0]
+        key = pool.mint()
+        record_new_key(key, combo)
+        coloring[row] = key
+        if usage is not None:
+            usage[key] = usage.get(key, 0) + 1
+        assignment.assign(row, catalog.as_dict(combo))
+        assignment.invalid.discard(row)
+    return len(invalid_rows)
 
 
 def run_phase2(
@@ -191,15 +292,9 @@ def run_phase2(
     # lexsort-and-split over the assignment's code matrix.
     partitions: Dict[tuple, List[int]] = assignment.group_by_combo()
 
-    def record_new_key(key: object, combo: tuple) -> None:
-        values = catalog.as_dict(combo)
-        r2_row = tuple(
-            key if name == key_column else values[name]
-            for name in r2.schema.names
-        )
-        new_r2_rows.append(r2_row)
-        keys_by_combo.setdefault(combo, []).append(key)
-        stats.num_new_r2_tuples += 1
+    record_new_key = new_key_recorder(
+        r2, catalog, keys_by_combo, new_r2_rows, stats
+    )
 
     if partitioned and parallel_workers > 0:
         from repro.phase2.parallel import color_partitions_parallel
@@ -248,7 +343,7 @@ def run_phase2(
                     "assigned a combination absent from R2"
                 )
             started = time.perf_counter()
-            part_coloring, used_fresh = _color_partition(
+            part_coloring, used_fresh = color_partition(
                 graph, candidates, pool, stats
             )
             stats.coloring_seconds += time.perf_counter() - started

@@ -9,7 +9,7 @@ would violate some DC if assigned the same FK value.  A *proper coloring*
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Set
 
 __all__ = ["ConflictHypergraph"]
 

@@ -10,7 +10,7 @@ minimises the marginal CC error plus a fresh key (inserting a tuple into
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Mapping, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Mapping, Sequence, Set
 
 import numpy as np
 

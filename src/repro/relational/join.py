@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.errors import KeyLookupError, SchemaError
 from repro.relational.relation import Relation
-from repro.relational.schema import ColumnSpec, Schema
+from repro.relational.schema import Schema
 
 __all__ = ["fk_join", "fk_join_naive", "join_view_schema"]
 

@@ -24,7 +24,7 @@ from typing import Iterable, Mapping, Optional
 import numpy as np
 
 from repro.errors import PredicateError
-from repro.relational.types import CatDomain, Domain, Dtype, IntDomain
+from repro.relational.types import CatDomain, Domain, IntDomain
 
 __all__ = [
     "Condition",

@@ -10,7 +10,7 @@ combinations in Algorithm 2.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping, Optional, Sequence
 
 from repro.errors import SchemaError

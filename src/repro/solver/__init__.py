@@ -19,10 +19,20 @@ __all__ = [
 ]
 
 
-def solve_model(model: Model, backend: str = "scipy") -> SolveResult:
-    """Solve ``model`` with the chosen backend (``"scipy"`` or ``"native"``)."""
+def solve_model(
+    model: Model,
+    backend: str = "scipy",
+    *,
+    time_limit=None,
+    mip_gap=None,
+) -> SolveResult:
+    """Solve ``model`` with the chosen backend (``"scipy"`` or ``"native"``).
+
+    ``time_limit`` (seconds) and ``mip_gap`` (relative optimality gap)
+    are honoured by both backends; ``None`` means unlimited/exact.
+    """
     if backend == "scipy":
-        return scipy_solve(model)
+        return scipy_solve(model, time_limit=time_limit, mip_gap=mip_gap)
     if backend == "native":
-        return branch_and_bound(model)
+        return branch_and_bound(model, time_limit=time_limit, mip_gap=mip_gap)
     raise ValueError(f"unknown solver backend {backend!r}")

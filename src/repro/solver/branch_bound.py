@@ -10,6 +10,7 @@ backend handles the benchmark-scale instances.
 from __future__ import annotations
 
 import math
+import time
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -40,14 +41,25 @@ def branch_and_bound(
     model: Model,
     max_nodes: int = 20_000,
     max_lp_iterations: int = 50_000,
+    *,
+    time_limit: Optional[float] = None,
+    mip_gap: Optional[float] = None,
 ) -> SolveResult:
-    """Solve ``model`` to integer optimality with the native backend."""
+    """Solve ``model`` to integer optimality with the native backend.
+
+    ``time_limit`` bounds the wall-clock spent exploring nodes;
+    ``mip_gap`` relaxes the pruning rule so any node within that relative
+    gap of the incumbent is discarded.  Either limit may stop the search
+    early, in which case an incumbent is returned as ``FEASIBLE``.
+    """
     a, b, senses, c, lower, upper = model.dense()
     integer_indices = model.integer_indices
 
     best: Optional[Tuple[float, np.ndarray]] = None
     nodes = 0
     total_iterations = 0
+    stopped_early = False
+    deadline = None if time_limit is None else time.monotonic() + time_limit
 
     # Each stack entry carries per-variable bound overrides.
     stack: List[Tuple[np.ndarray, np.ndarray]] = [(lower.copy(), upper.copy())]
@@ -56,6 +68,10 @@ def branch_and_bound(
         node_lower, node_upper = stack.pop()
         nodes += 1
         if nodes > max_nodes:
+            stopped_early = True
+            break
+        if deadline is not None and time.monotonic() > deadline:
+            stopped_early = True
             break
         if np.any(node_lower > node_upper):
             continue
@@ -75,8 +91,14 @@ def branch_and_bound(
             )
         if not relaxation.ok or relaxation.x is None:
             continue
-        if best is not None and relaxation.objective >= best[0] - 1e-9:
-            continue  # bound: cannot improve the incumbent
+        if best is not None:
+            # Bound: prune nodes that cannot improve the incumbent by more
+            # than the accepted relative gap (0 = exact optimality).
+            tolerance = 1e-9
+            if mip_gap is not None:
+                tolerance = max(tolerance, mip_gap * abs(best[0]))
+            if relaxation.objective >= best[0] - tolerance:
+                continue
         branch_var = _most_fractional(relaxation.x, integer_indices)
         if branch_var is None:
             x = relaxation.x.copy()
@@ -96,12 +118,17 @@ def branch_and_bound(
         stack.append((node_lower, down_upper))
 
     if best is None:
+        status = (
+            SolveStatus.ITERATION_LIMIT if stopped_early
+            else SolveStatus.INFEASIBLE
+        )
         return SolveResult(
-            SolveStatus.INFEASIBLE, iterations=total_iterations, nodes=nodes
+            status, iterations=total_iterations, nodes=nodes
         )
     objective, x = best
+    status = SolveStatus.FEASIBLE if stopped_early else SolveStatus.OPTIMAL
     return SolveResult(
-        SolveStatus.OPTIMAL,
+        status,
         x=x,
         objective=objective,
         iterations=total_iterations,

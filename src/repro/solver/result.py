@@ -13,13 +13,16 @@ __all__ = ["SolveStatus", "SolveResult"]
 
 class SolveStatus(Enum):
     OPTIMAL = "optimal"
+    #: An integral incumbent found before a time/gap limit stopped the
+    #: search — usable (``ok``) but without an optimality proof.
+    FEASIBLE = "feasible"
     INFEASIBLE = "infeasible"
     UNBOUNDED = "unbounded"
     ITERATION_LIMIT = "iteration_limit"
 
     @property
     def ok(self) -> bool:
-        return self is SolveStatus.OPTIMAL
+        return self in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
 
 
 @dataclass

@@ -7,6 +7,8 @@ environment is HiGHS via :func:`scipy.optimize.milp`.  This module adapts a
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.solver.model import Model
@@ -15,8 +17,18 @@ from repro.solver.result import SolveResult, SolveStatus
 __all__ = ["scipy_solve"]
 
 
-def scipy_solve(model: Model) -> SolveResult:
-    """Solve a model with :func:`scipy.optimize.milp` (HiGHS)."""
+def scipy_solve(
+    model: Model,
+    *,
+    time_limit: Optional[float] = None,
+    mip_gap: Optional[float] = None,
+) -> SolveResult:
+    """Solve a model with :func:`scipy.optimize.milp` (HiGHS).
+
+    ``time_limit`` (seconds) and ``mip_gap`` (relative MIP gap) map onto
+    HiGHS's ``time_limit`` / ``mip_rel_gap`` options; a limited solve
+    that still produced an integral incumbent returns ``FEASIBLE``.
+    """
     from scipy import optimize, sparse
 
     a, b, senses, c, lower, upper = model.dense()
@@ -41,20 +53,28 @@ def scipy_solve(model: Model) -> SolveResult:
     for j in model.integer_indices:
         integrality[j] = 1
 
+    options = {}
+    if time_limit is not None:
+        options["time_limit"] = float(time_limit)
+    if mip_gap is not None:
+        options["mip_rel_gap"] = float(mip_gap)
+
     result = optimize.milp(
         c=c,
         constraints=constraints,
         integrality=integrality,
         bounds=optimize.Bounds(lower, upper),
+        options=options,
     )
 
-    if result.status == 0 and result.x is not None:
+    if result.x is not None and result.status in (0, 1):
         x = np.asarray(result.x, dtype=np.float64)
         for j in model.integer_indices:
             x[j] = round(x[j])
-        return SolveResult(
-            SolveStatus.OPTIMAL, x=x, objective=float(c @ x), nodes=1
+        status = (
+            SolveStatus.OPTIMAL if result.status == 0 else SolveStatus.FEASIBLE
         )
+        return SolveResult(status, x=x, objective=float(c @ x), nodes=1)
     if result.status == 2:
         return SolveResult(SolveStatus.INFEASIBLE)
     if result.status == 3:

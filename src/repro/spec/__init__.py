@@ -14,6 +14,7 @@ from repro.spec.api import (
     synthesize,
 )
 from repro.spec.builder import SpecBuilder
+from repro.spec.discover import discover_spec
 from repro.spec.io import load_spec, save_spec, toml_dumps
 from repro.spec.model import EdgeSpec, RelationSpec, SynthesisSpec
 
@@ -24,6 +25,7 @@ __all__ = [
     "SpecBuilder",
     "SynthesisResult",
     "SynthesisSpec",
+    "discover_spec",
     "load_spec",
     "plan_edges",
     "save_spec",

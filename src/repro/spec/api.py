@@ -40,6 +40,11 @@ class EdgeReport:
     num_conflict_edges: int
     num_partitions: int
     errors: Optional[ErrorReport] = None
+    #: Capacity overflow a soft strategy accepted on this edge (0 when
+    #: the strategy enforces caps hard, or has none).
+    total_overflow: int = 0
+    #: The per-edge solver overrides that shadowed the global options.
+    solver_overrides: Dict[str, object] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -57,6 +62,10 @@ class EdgeReport:
             "conflict_edges": self.num_conflict_edges,
             "partitions": self.num_partitions,
         }
+        if self.total_overflow:
+            out["total_overflow"] = self.total_overflow
+        if self.solver_overrides:
+            out["solver_overrides"] = dict(self.solver_overrides)
         if self.errors is not None:
             out["median_cc_error"] = round(self.errors.median_cc_error, 4)
             out["mean_cc_error"] = round(self.errors.mean_cc_error, 4)
@@ -151,6 +160,8 @@ def synthesize(spec: SynthesisSpec) -> SynthesisResult:
             dcs=edge.dcs,
             capacity=edge.capacity,
             strategy=edge.strategy,
+            options=edge.options,
+            solver_overrides=edge.solver,
         )
         for edge in spec.edges
     }
@@ -181,6 +192,8 @@ def synthesize(spec: SynthesisSpec) -> SynthesisResult:
                 num_conflict_edges=step.phase2.stats.num_edges,
                 num_partitions=step.phase2.stats.num_partitions,
                 errors=step.report.errors,
+                total_overflow=step.phase2.stats.total_overflow,
+                solver_overrides=dict(edge_constraints.solver_overrides),
             )
         )
     return result

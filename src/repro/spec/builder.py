@@ -70,8 +70,15 @@ class SpecBuilder:
         dcs: Sequence[object] = (),
         capacity: Optional[int] = None,
         strategy: Optional[str] = None,
+        options: Optional[Mapping[str, object]] = None,
+        solver: Optional[Mapping[str, object]] = None,
     ) -> "SpecBuilder":
-        """Declare an FK edge; constraints may be strings or objects."""
+        """Declare an FK edge; constraints may be strings or objects.
+
+        ``strategy``/``options`` pick and parameterise the Phase-II
+        strategy for this edge; ``solver`` shadows individual global
+        solver knobs (``backend``, ``time_limit``, ``mip_gap``, …).
+        """
         self._spec.edges.append(
             EdgeSpec(
                 child=child,
@@ -81,6 +88,8 @@ class SpecBuilder:
                 dcs=list(dcs),
                 capacity=capacity,
                 strategy=strategy,
+                options=options or {},
+                solver=solver or {},
             )
         )
         return self
@@ -93,7 +102,9 @@ class SpecBuilder:
         self._spec.base_dir = Path(path)
         return self
 
-    def options(self, config: Optional[SolverConfig] = None, **knobs) -> "SpecBuilder":
+    def options(
+        self, config: Optional[SolverConfig] = None, **knobs
+    ) -> "SpecBuilder":
         """Set solver options from a config object and/or keyword knobs."""
         if config is not None and knobs:
             raise SchemaError(

@@ -178,7 +178,10 @@ class EdgeSpec:
     Carries the edge's constraint sets (as objects; strings are parsed on
     construction) plus the Phase-II strategy knobs — ``capacity`` caps
     per-key usage via the ``"capacity"`` strategy, ``strategy`` names any
-    registered stage explicitly.
+    registered stage explicitly, ``options`` holds the strategy-specific
+    knobs (e.g. ``soft_capacity``'s ``penalty``), and ``solver`` carries
+    per-edge solver overrides (``backend``, ``time_limit``, ``mip_gap``,
+    …) that shadow the spec's global solver block for this edge only.
     """
 
     child: str
@@ -188,10 +191,14 @@ class EdgeSpec:
     dcs: List[DenialConstraint] = field(default_factory=list)
     capacity: Optional[int] = None
     strategy: Optional[str] = None
+    options: Mapping[str, object] = field(default_factory=dict)
+    solver: Mapping[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.ccs = _parse_constraints(self.ccs, parse_cc, "CC")
         self.dcs = _parse_constraints(self.dcs, parse_dc, "DC")
+        self.options = dict(self.options or {})
+        self.solver = dict(self.solver or {})
 
     @property
     def edge_key(self):
@@ -211,6 +218,10 @@ class EdgeSpec:
             out["capacity"] = self.capacity
         if self.strategy is not None:
             out["strategy"] = self.strategy
+        if self.options:
+            out["options"] = dict(self.options)
+        if self.solver:
+            out["solver"] = dict(self.solver)
         return out
 
     @classmethod
@@ -222,6 +233,7 @@ class EdgeSpec:
         known = {
             "child", "column", "parent", "ccs", "dcs",
             "constraints", "constraints_file", "capacity", "strategy",
+            "options", "solver",
         }
         unknown = set(data) - known
         if unknown:
@@ -242,6 +254,8 @@ class EdgeSpec:
             dcs=dcs,
             capacity=data.get("capacity"),
             strategy=data.get("strategy"),
+            options=data.get("options", {}),
+            solver=data.get("solver", {}),
         )
         inline = data.get("constraints")
         if inline is not None:
@@ -330,10 +344,58 @@ class SynthesisSpec:
                 raise SchemaError(
                     f"edge {edge.edge_key}: capacity must be >= 1"
                 )
+            self._validate_edge_strategy(edge)
+            self._validate_edge_solver(edge)
         if self.fact_table is not None and self.fact_table not in known:
             raise SchemaError(
                 f"fact table {self.fact_table!r} is not a declared relation"
             )
+
+    @staticmethod
+    def _validate_edge_strategy(edge: "EdgeSpec") -> None:
+        """Unknown strategies fail here, at spec load time, not deep in
+        Phase II — with the available names in the error."""
+        from repro.core.stages import phase2_strategies
+
+        available = phase2_strategies()
+        if edge.strategy is not None and edge.strategy not in available:
+            raise SchemaError(
+                f"edge {edge.edge_key}: unknown Phase-II strategy "
+                f"{edge.strategy!r} (available: {', '.join(available)})"
+            )
+        if edge.options and edge.strategy is None and edge.capacity is None:
+            raise SchemaError(
+                f"edge {edge.edge_key}: strategy options given but no "
+                "strategy (or capacity) is set"
+            )
+        if edge.capacity is not None and edge.strategy not in (
+            None, "capacity", "soft_capacity",
+        ):
+            raise SchemaError(
+                f"edge {edge.edge_key}: capacity only combines with the "
+                f"'capacity'/'soft_capacity' strategies, not "
+                f"{edge.strategy!r}; use a strategy option instead"
+            )
+
+    @staticmethod
+    def _validate_edge_solver(edge: "EdgeSpec") -> None:
+        """Per-edge solver overrides must name real ``SolverConfig`` knobs
+        with valid values."""
+        if not edge.solver:
+            return
+        valid = set(SolverConfig.__dataclass_fields__)
+        bad = set(edge.solver) - valid
+        if bad:
+            raise SchemaError(
+                f"edge {edge.edge_key}: unknown solver overrides "
+                f"{sorted(bad)} (known: {sorted(valid)})"
+            )
+        try:
+            replace(SolverConfig(), **dict(edge.solver))
+        except (TypeError, ValueError) as exc:
+            raise SchemaError(
+                f"edge {edge.edge_key}: invalid solver override: {exc}"
+            ) from None
 
     def fact(self) -> str:
         """The declared fact table, or the inferred traversal root.

@@ -47,9 +47,40 @@ class TestSolverLimits:
         model.add_constraint(
             {x.index: 2.0 for x in xs}, "<=", 5.0
         )
-        # One node is not enough to certify the incumbent.
+        # One node is not enough to certify the incumbent: the truncated
+        # search reports a limit status (or FEASIBLE with an incumbent),
+        # never a spurious INFEASIBLE/OPTIMAL claim.
         result = branch_and_bound(model, max_nodes=1)
-        assert result.status in (SolveStatus.OPTIMAL, SolveStatus.INFEASIBLE)
+        assert result.status in (
+            SolveStatus.FEASIBLE, SolveStatus.ITERATION_LIMIT
+        )
+
+    def test_branch_and_bound_time_limit_returns_incumbent(self):
+        model = Model()
+        xs = [
+            model.add_variable(f"x{i}", upper=1.0, integer=True, objective=-1)
+            for i in range(6)
+        ]
+        model.add_constraint({x.index: 2.0 for x in xs}, "<=", 5.0)
+        # An already-expired deadline still yields an honest limit status.
+        result = branch_and_bound(model, time_limit=0.0)
+        assert result.status in (
+            SolveStatus.FEASIBLE, SolveStatus.ITERATION_LIMIT
+        )
+
+    def test_branch_and_bound_gap_accepts_near_optimal(self):
+        model = Model()
+        xs = [
+            model.add_variable(f"x{i}", upper=1.0, integer=True, objective=-1)
+            for i in range(6)
+        ]
+        model.add_constraint({x.index: 2.0 for x in xs}, "<=", 5.0)
+        exact = branch_and_bound(model)
+        loose = branch_and_bound(model, mip_gap=0.5)
+        assert exact.ok and loose.ok
+        # The loose solve may stop at any solution within 50% of optimal.
+        assert loose.objective <= exact.objective * (1 - 0.5) + 1e-9
+        assert loose.nodes <= exact.nodes
 
 
 class TestCsvErrorPaths:

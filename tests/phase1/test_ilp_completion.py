@@ -136,6 +136,27 @@ class TestCompleteWithIlp:
         assert 0 < stats.num_bin_rows < 8
         assert _count(r1, assignment, ccs[0]) == 4
 
+    def test_expired_time_limit_reports_the_limit(self, figure_1,
+                                                  monkeypatch):
+        """A budget that expires with no incumbent must blame the time
+        limit, not claim infeasibility or a solver bug."""
+        import repro.phase1.ilp_completion as module
+        from repro.errors import SolverError
+        from repro.solver.result import SolveResult, SolveStatus
+
+        monkeypatch.setattr(
+            module, "solve_model",
+            lambda *a, **k: SolveResult(SolveStatus.ITERATION_LIMIT),
+        )
+        r1, r2 = figure_1
+        catalog = ComboCatalog.from_relation(r2)
+        assignment = ViewAssignment(n=9, r2_attrs=catalog.attrs)
+        with pytest.raises(SolverError, match="time limit"):
+            complete_with_ilp(
+                r1, ["Age", "Rel", "Multi"], catalog, _ccs(), assignment,
+                marginals="all", backend="native", time_limit=0.001,
+            )
+
     def test_unknown_marginals_mode(self, figure_1):
         r1, r2 = figure_1
         catalog = ComboCatalog.from_relation(r2)

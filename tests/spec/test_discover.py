@@ -1,0 +1,116 @@
+"""discover_spec() and the repro-synth discover verb."""
+
+import json
+
+import pytest
+
+import repro
+from repro.datagen.census import CensusConfig, generate_census
+from repro.errors import SchemaError
+from repro.extensions.discovery import DiscoveryConfig, discover_fk_dcs
+from repro.spec import discover_spec, load_spec, synthesize
+
+
+@pytest.fixture(scope="module")
+def census():
+    return generate_census(
+        CensusConfig(n_households=50, n_areas=4, seed=9)
+    )
+
+
+class TestDiscoverSpecApi:
+    def test_mined_dcs_inlined_and_runnable(self, census):
+        spec = discover_spec(
+            census.persons, census.housing, fk_column="hid",
+            config=DiscoveryConfig(slack=2),
+        )
+        mined = discover_fk_dcs(
+            census.persons, "hid", DiscoveryConfig(slack=2)
+        )
+        assert spec.edges[0].dcs == mined and mined
+        assert spec.fact() == "r1"
+        # The emitted spec runs end to end and honours every mined DC.
+        result = synthesize(spec)
+        assert result.dc_error == 0.0
+
+    def test_observed_capacity(self, census):
+        spec = discover_spec(
+            census.persons, census.housing, fk_column="hid",
+            capacity="observed",
+        )
+        usage = {}
+        for value in census.persons.column("hid"):
+            usage[value] = usage.get(value, 0) + 1
+        assert spec.edges[0].capacity == max(usage.values())
+
+    def test_missing_fk_column_rejected(self, census):
+        with pytest.raises(SchemaError, match="hid"):
+            discover_spec(
+                census.persons_masked, census.housing, fk_column="hid"
+            )
+
+    def test_exported_from_repro(self):
+        assert repro.discover_spec is discover_spec
+
+
+class TestDiscoverCli:
+    def test_discover_then_solve(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.relational.csvio import write_csv
+
+        census = generate_census(
+            CensusConfig(n_households=40, n_areas=4, seed=5)
+        )
+        data_dir = tmp_path / "data"
+        data_dir.mkdir()
+        write_csv(census.persons, data_dir / "ground_truth.csv")
+        write_csv(census.housing, data_dir / "housing.csv")
+
+        spec_path = tmp_path / "specs" / "discovered.toml"
+        assert main([
+            "discover",
+            "--r1", str(data_dir / "ground_truth.csv"),
+            "--r2", str(data_dir / "housing.csv"),
+            "--fk", "hid", "--r1-key", "pid", "--r2-key", "hid",
+            "--out", str(spec_path),
+            "--slack", "2", "--observed-capacity",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "discovered" in out and "DCs" in out
+        assert spec_path.exists()
+
+        # The emitted spec references the CSVs relative to itself …
+        loaded = load_spec(spec_path)
+        assert all(r.csv is not None for r in loaded.relations)
+        assert loaded.edges[0].dcs
+
+        # … and solves end to end through the solve verb.
+        assert main([
+            "solve", "--spec", str(spec_path),
+            "--out", str(tmp_path / "out"),
+        ]) == 0
+        summary = json.loads((tmp_path / "out" / "summary.json").read_text())
+        assert summary["dc_error"] == 0.0
+        assert summary["edges"][0]["strategy"] == "capacity"
+        assert (tmp_path / "out" / "r1.csv").exists()
+
+    def test_discover_requires_fk_in_r1(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.relational.csvio import write_csv
+
+        census = generate_census(
+            CensusConfig(n_households=20, n_areas=4, seed=5)
+        )
+        data_dir = tmp_path / "data"
+        data_dir.mkdir()
+        write_csv(census.persons_masked, data_dir / "persons.csv")
+        write_csv(census.housing, data_dir / "housing.csv")
+        code = main([
+            "discover",
+            "--r1", str(data_dir / "persons.csv"),
+            "--r2", str(data_dir / "housing.csv"),
+            "--fk", "hid", "--r1-key", "pid", "--r2-key", "hid",
+            "--out", str(tmp_path / "discovered.toml"),
+        ])
+        assert code == 2
+        assert "hid" in capsys.readouterr().err

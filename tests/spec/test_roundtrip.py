@@ -114,6 +114,42 @@ def specs(draw):
             kwargs["dcs"] = [
                 f"not(t1.v{i} == 'val0' & t2.v{i} in {{'val0', 'x'}})"
             ]
+        strategy = draw(
+            st.sampled_from(
+                [None, "soft_capacity", "quota_coloring", "capacity"]
+            )
+        )
+        if strategy in ("soft_capacity", "capacity"):
+            kwargs["strategy"] = strategy
+            kwargs["options"] = {"max_per_key": draw(st.integers(1, 5))}
+            if strategy == "soft_capacity" and draw(st.booleans()):
+                kwargs["options"]["penalty"] = draw(
+                    st.floats(0.5, 10.0, allow_nan=False)
+                )
+        elif strategy == "quota_coloring":
+            kwargs.pop("capacity", None)
+            kwargs["strategy"] = strategy
+            if draw(st.booleans()):
+                kwargs["options"] = {
+                    "default_quota": draw(st.integers(1, 5)),
+                    "quotas": [
+                        {"match": {f"v{i}": "val0"},
+                         "quota": draw(st.integers(1, 5))}
+                    ],
+                }
+        if draw(st.booleans()):
+            kwargs["solver"] = {
+                "backend": draw(st.sampled_from(["scipy", "native"])),
+            }
+            if draw(st.booleans()):
+                kwargs["solver"]["time_limit"] = draw(
+                    st.floats(0.5, 60.0, allow_nan=False)
+                )
+            if draw(st.booleans()):
+                kwargs["solver"]["mip_gap"] = draw(
+                    st.floats(0.0, 0.5, allow_nan=False,
+                              exclude_max=False)
+                )
         builder.edge("fact", f"fk{i}", name, **kwargs)
     if draw(st.booleans()):
         builder.options(backend=draw(st.sampled_from(["scipy", "native"])))

@@ -179,3 +179,82 @@ class TestSynthesisSpec:
     def test_builder_options_exclusive(self):
         with pytest.raises(SchemaError):
             SpecBuilder().options(SolverConfig(), backend="native")
+
+
+class TestEdgeStrategyValidation:
+    """Unknown strategies and bad overrides fail at spec load time."""
+
+    def test_unknown_strategy_rejected_with_menu(self):
+        with pytest.raises(SchemaError) as excinfo:
+            _two_table_spec(strategy="quantum")
+        message = str(excinfo.value)
+        for name in ("coloring", "capacity", "soft_capacity",
+                     "quota_coloring"):
+            assert name in message
+
+    def test_builtin_strategies_accepted(self):
+        for name in ("coloring", "capacity", "soft_capacity",
+                     "quota_coloring"):
+            spec = _two_table_spec(strategy=name)
+            assert spec.edges[0].strategy == name
+
+    def test_options_without_strategy_rejected(self):
+        with pytest.raises(SchemaError, match="options"):
+            _two_table_spec(options={"max_per_key": 2})
+
+    def test_capacity_with_incompatible_strategy_rejected(self):
+        with pytest.raises(SchemaError, match="capacity"):
+            _two_table_spec(capacity=2, strategy="quota_coloring")
+        # … but the capacity-family strategies do combine with it.
+        spec = _two_table_spec(capacity=2, strategy="soft_capacity")
+        assert spec.edges[0].capacity == 2
+
+    def test_strategy_options_round_trip(self):
+        spec = _two_table_spec(
+            strategy="soft_capacity",
+            options={"max_per_key": 3, "penalty": 2.0},
+        )
+        data = spec.to_dict()
+        assert data["edges"][0]["options"] == {
+            "max_per_key": 3, "penalty": 2.0,
+        }
+        rebuilt = SynthesisSpec.from_dict(data)
+        assert rebuilt.edges[0].options == spec.edges[0].options
+
+
+class TestEdgeSolverOverrides:
+    def test_overrides_round_trip(self):
+        spec = _two_table_spec(
+            solver={"backend": "native", "time_limit": 5.0, "mip_gap": 0.1}
+        )
+        data = spec.to_dict()
+        assert data["edges"][0]["solver"] == {
+            "backend": "native", "time_limit": 5.0, "mip_gap": 0.1,
+        }
+        rebuilt = SynthesisSpec.from_dict(data)
+        assert rebuilt.edges[0].solver == spec.edges[0].solver
+
+    def test_unknown_override_key_rejected(self):
+        with pytest.raises(SchemaError, match="bogus"):
+            _two_table_spec(solver={"bogus": 1})
+
+    def test_invalid_override_value_rejected(self):
+        with pytest.raises(SchemaError, match="backend"):
+            _two_table_spec(solver={"backend": "gurobi"})
+        with pytest.raises(SchemaError, match="time_limit"):
+            _two_table_spec(solver={"time_limit": -1.0})
+
+    def test_effective_config_shadows_global(self):
+        from repro.core.snowflake import EdgeConstraints
+
+        base = SolverConfig(backend="scipy")
+        constraints = EdgeConstraints(
+            solver_overrides={"backend": "native", "mip_gap": 0.05}
+        )
+        config = constraints.effective_config(base)
+        assert config.backend == "native"
+        assert config.mip_gap == 0.05
+        # Untouched knobs keep the global value, and no-override edges
+        # reuse the base object untouched.
+        assert config.marginals == base.marginals
+        assert EdgeConstraints().effective_config(base) is base

@@ -126,7 +126,33 @@ class TestSnowflake:
 
 class TestStageRegistry:
     def test_builtins_listed(self):
-        assert {"coloring", "capacity"} <= set(phase2_strategies())
+        assert {
+            "coloring", "capacity", "soft_capacity", "quota_coloring"
+        } <= set(phase2_strategies())
+
+    def test_builtins_listed_before_any_extension_import(self):
+        """The lazily-loadable built-ins appear in phase2_strategies()
+        even in a fresh interpreter that never imported the extension
+        modules (the registry reflects _BUILTIN, not just _REGISTRY)."""
+        import subprocess
+        import sys
+
+        code = (
+            "import sys\n"
+            "from repro.core.stages import phase2_strategies\n"
+            "assert not any(m.startswith('repro.extensions')"
+            " for m in sys.modules), 'extensions imported eagerly'\n"
+            "names = set(phase2_strategies())\n"
+            "assert {'coloring', 'capacity', 'soft_capacity',"
+            " 'quota_coloring'} <= names, names\n"
+            "print('ok')\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True,
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip() == "ok"
 
     def test_unknown_strategy_rejected(self):
         with pytest.raises(ReproError):
