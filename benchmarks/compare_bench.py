@@ -10,10 +10,17 @@ clocks are noisy, so a red bench is a signal, not a gate.
 
 Two report shapes are understood:
 
-* kernel cells carrying a ``speedup`` (the relation/phase1 microbenches):
-  a regression is ``current < baseline / threshold``;
+* kernel cells carrying a ``speedup`` (the relation/phase1 microbenches,
+  and the snowflake traversal bench's sequential-vs-parallel cell): a
+  regression is ``current < baseline / threshold``;
 * scale cells carrying ``wall_s``/``solve_s`` (the pipeline bench): a
   regression is ``current > baseline * threshold``.
+
+Compared reports: ``BENCH_relation.json``, ``BENCH_phase1.json``,
+``BENCH_pipeline.json``, ``BENCH_snowflake.json`` — any committed
+``benchmarks/baselines/BENCH_*.json`` is picked up automatically.
+Parallel-speedup cells are inherently core-count-sensitive; their
+baseline records the measuring machine's ``cores`` for context.
 
 Usage::
 
@@ -34,8 +41,16 @@ Row = Tuple[str, str, str, float, float, float, bool]
 #      (report, rows, metric, baseline, current, ratio, regressed)
 
 
-def _iter_metrics(report: dict) -> Iterator[Tuple[str, str, float, bool]]:
-    """Yield ``(rows, metric, value, higher_is_better)`` leaves."""
+def _iter_metrics(
+    report: dict,
+) -> Iterator[Tuple[str, str, float, bool, object]]:
+    """Yield ``(rows, metric, value, higher_is_better, cores)`` leaves.
+
+    ``cores`` is the core count a parallel-speedup cell was measured on
+    (``None`` for machine-shape-independent kernels): speedups from a
+    1-core box and a 4-core runner are not comparable, so mismatched
+    cells are skipped rather than misread as regressions/improvements.
+    """
     for rows_key, cell in report.get("rows", {}).items():
         for metric, payload in cell.items():
             if isinstance(payload, dict) and "speedup" in payload:
@@ -44,12 +59,13 @@ def _iter_metrics(report: dict) -> Iterator[Tuple[str, str, float, bool]]:
                     f"{metric} speedup",
                     float(payload["speedup"]),
                     True,
+                    payload.get("cores"),
                 )
         # Pipeline-shaped cells keep timing scalars next to the stage
         # table; those are the comparable metrics there.
         for metric in ("wall_s", "solve_s"):
             if isinstance(cell.get(metric), (int, float)):
-                yield rows_key, metric, float(cell[metric]), False
+                yield rows_key, metric, float(cell[metric]), False, None
 
 
 def compare(
@@ -67,14 +83,25 @@ def compare(
         baseline = json.loads(baseline_path.read_text())
         current = json.loads(current_path.read_text())
         base_metrics = {
-            (r, m): (v, up) for r, m, v, up in _iter_metrics(baseline)
+            (r, m): (v, up, c)
+            for r, m, v, up, c in _iter_metrics(baseline)
         }
-        for rows_key, metric, value, higher_better in _iter_metrics(current):
+        for rows_key, metric, value, higher_better, cores in _iter_metrics(
+            current
+        ):
             base = base_metrics.get((rows_key, metric))
             if base is None:
                 continue
-            base_value, _ = base
+            base_value, _, base_cores = base
             if base_value == 0:
+                continue
+            if cores != base_cores:
+                print(
+                    f"note: {baseline_path.name} {rows_key}/{metric} "
+                    f"skipped — measured on {cores} cores vs baseline's "
+                    f"{base_cores}",
+                    file=sys.stderr,
+                )
                 continue
             ratio = value / base_value
             regressed = (

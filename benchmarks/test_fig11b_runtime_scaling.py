@@ -14,6 +14,12 @@ SCALES = (2, 5, 10)
 
 def test_fig11b_scaling(benchmark):
     dcs = good_dcs()
+    # Warm-up solves, discarded: the first run of each CC family pays
+    # one-off import/solver-initialisation costs (the bad family's ILP
+    # leg loads HiGHS) that otherwise land entirely on the smallest
+    # scale and can invert the measured scaling curve.
+    for kind in ("good", "bad"):
+        run_hybrid(dataset(SCALES[0]), ccs_for(SCALES[0], kind), dcs)
     series = {"good_cc.total": [], "bad_cc.total": [],
               "good_cc.phase2": [], "bad_cc.phase2": []}
     totals = {"good": [], "bad": []}

@@ -30,7 +30,7 @@ def _solve():
 
 def test_snowflake_retail(benchmark):
     data, constraints, result = _solve()
-    db = data.database
+    db = result.database
 
     total_ccs = sum(len(e.ccs) for e in constraints.values())
     exact = 0

@@ -126,6 +126,16 @@ def _spec_from_legacy_flags(args: argparse.Namespace) -> SynthesisSpec:
     return builder.build()
 
 
+def _with_workers(spec: SynthesisSpec, workers: Optional[int]) -> SynthesisSpec:
+    """Apply ``--workers``; bad values get the CLI's clean error path."""
+    if workers is None:
+        return spec
+    try:
+        return spec.with_options(workers=workers)
+    except ValueError as exc:
+        raise ReproError(f"--workers: {exc}") from None
+
+
 def _print_edge_reports(result: SynthesisResult) -> None:
     for edge in result.edges:
         errors = edge.errors
@@ -173,6 +183,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
     if args.spec:
         spec = load_spec(Path(args.spec))
+        spec = _with_workers(spec, args.workers)
         result = synthesize(spec)
         out.mkdir(parents=True, exist_ok=True)
         for name in result.database.relation_names:
@@ -203,7 +214,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         raise ReproError(
             f"solve needs either --spec or the legacy flags {missing}"
         )
-    spec = _spec_from_legacy_flags(args)
+    spec = _with_workers(_spec_from_legacy_flags(args), args.workers)
     result = synthesize(spec)
     edge = result.edges[0]
     errors = edge.errors
@@ -335,6 +346,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        default="")
     solve.add_argument("--capacity", type=int, default=None,
                        help="cap rows per FK key (capacity strategy)")
+    solve.add_argument("--workers", type=int, default=None,
+                       help="solve independent snowflake FK edges on a "
+                       "process pool of this size (overrides the spec's "
+                       "workers option; output is identical either way)")
     solve.set_defaults(func=_cmd_solve)
 
     disc = sub.add_parser(

@@ -23,6 +23,9 @@ class SolverConfig:
       ``False`` builds one global conflict graph (ablation).
     * ``parallel_workers`` — color partitions on a process pool of this
       size (Appendix A.3); ``0`` keeps everything in-process.
+    * ``workers`` — solve conflict-free snowflake FK edges of one BFS
+      layer on a process pool of this size; ``0``/``1`` keeps the
+      traversal sequential.  Output is byte-identical either way.
     * ``evaluate`` — compute CC/DC error measures on the result.
     * ``time_limit`` — wall-clock budget (seconds) for each Phase-I ILP
       solve; a limited solve keeps its best incumbent (``None`` = exact).
@@ -36,6 +39,7 @@ class SolverConfig:
     force_ilp: bool = False
     partitioned_coloring: bool = True
     parallel_workers: int = 0
+    workers: int = 0
     evaluate: bool = True
     time_limit: Optional[float] = None
     mip_gap: Optional[float] = None
@@ -47,6 +51,8 @@ class SolverConfig:
             raise ValueError(f"unknown marginals mode {self.marginals!r}")
         if self.parallel_workers < 0:
             raise ValueError("parallel_workers must be >= 0")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
         if self.time_limit is not None and self.time_limit <= 0:
             raise ValueError("time_limit must be positive (or None)")
         if self.mip_gap is not None and not 0 <= self.mip_gap < 1:

@@ -1,0 +1,134 @@
+"""Parallel solving of independent snowflake FK edges.
+
+The snowflake traversal (Section 5.2) walks FK edges breadth-first, but
+edges in one BFS layer whose read/write relation sets are disjoint are
+independent subproblems — the same per-partition independence Appendix
+A.3 exploits for parallel coloring.  This module provides the process-
+pool leg of that scheduler:
+
+* :func:`solve_edge` — the single-edge solve both the sequential and the
+  parallel paths share (per-edge strategy + solver overrides applied);
+* :func:`edge_payload` / :func:`solve_edge_payload` — the worker
+  protocol.  Following :mod:`repro.phase2.parallel`, a payload ships
+  only the column arrays and schemas of the two relations the edge's
+  solve touches (its extended view and its parent), never the
+  :class:`~repro.relational.database.Database`; the worker rebuilds the
+  relations losslessly and returns the full
+  :class:`~repro.core.synthesizer.CExtensionResult`;
+* :func:`solve_batch` — fan a conflict-free batch out on an executor and
+  return results in batch (= BFS) order, so the caller's merge is
+  deterministic and byte-identical to the sequential traversal.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+from repro.core.config import SolverConfig
+from repro.core.synthesizer import CExtensionResult, CExtensionSolver
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from concurrent.futures import Executor
+
+    from repro.core.snowflake import EdgeConstraints
+
+__all__ = [
+    "EdgePayload",
+    "edge_payload",
+    "solve_batch",
+    "solve_edge",
+    "solve_edge_payload",
+]
+
+#: What crosses the process boundary for one edge: the extended view and
+#: the parent relation as ``(schema, column arrays)`` pairs, the FK
+#: column, the edge's constraint set and the already-resolved config.
+EdgePayload = Tuple[Schema, dict, Schema, dict, str, "EdgeConstraints", SolverConfig]
+
+
+def solve_edge(
+    extended: Relation,
+    parent: Relation,
+    fk_column: str,
+    constraints: "EdgeConstraints",
+    config: SolverConfig,
+) -> CExtensionResult:
+    """Solve one FK edge with its per-edge strategy and solver overrides."""
+    strategy, options = constraints.resolved_strategy()
+    solver = CExtensionSolver(constraints.effective_config(config))
+    return solver.solve(
+        extended,
+        parent,
+        fk_column=fk_column,
+        ccs=constraints.ccs,
+        dcs=constraints.dcs,
+        strategy=strategy,
+        strategy_options=options,
+    )
+
+
+def _relation_payload(relation: Relation) -> Tuple[Schema, dict]:
+    """``(schema, columns)`` — raw arrays only, no factorization caches."""
+    return (
+        relation.schema,
+        {name: relation.column(name) for name in relation.schema.names},
+    )
+
+
+def edge_payload(
+    extended: Relation,
+    parent: Relation,
+    fk_column: str,
+    constraints: "EdgeConstraints",
+    config: SolverConfig,
+) -> EdgePayload:
+    """Build the worker payload for one edge of a conflict-free batch."""
+    ext_schema, ext_columns = _relation_payload(extended)
+    parent_schema, parent_columns = _relation_payload(parent)
+    return (
+        ext_schema,
+        ext_columns,
+        parent_schema,
+        parent_columns,
+        fk_column,
+        constraints,
+        config,
+    )
+
+
+def solve_edge_payload(payload: EdgePayload) -> CExtensionResult:
+    """Worker entry point: rebuild the relations and solve the edge.
+
+    Relations are reconstructed with their *declared* schemas (never
+    re-inferred from the shipped arrays — see the dtype-flip caveat in
+    :mod:`repro.phase2.parallel`), so the worker's solve is input-
+    identical to the in-process solve of the same edge.
+    """
+    (
+        ext_schema,
+        ext_columns,
+        parent_schema,
+        parent_columns,
+        fk_column,
+        constraints,
+        config,
+    ) = payload
+    extended = Relation(ext_schema, ext_columns)
+    parent = Relation(parent_schema, parent_columns)
+    return solve_edge(extended, parent, fk_column, constraints, config)
+
+
+def solve_batch(
+    payloads: Sequence[EdgePayload],
+    executor: Optional["Executor"] = None,
+) -> List[CExtensionResult]:
+    """Solve a conflict-free batch, preserving payload (= BFS) order.
+
+    With no executor — or a single-edge batch, where fan-out buys
+    nothing — the batch is solved in-process.
+    """
+    if executor is None or len(payloads) < 2:
+        return [solve_edge_payload(payload) for payload in payloads]
+    return list(executor.map(solve_edge_payload, payloads))

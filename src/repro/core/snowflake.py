@@ -12,17 +12,32 @@ already-completed FKs.  For fact-table edges this is exactly the paper's
 accumulated join (one view row per fact row); for dimension edges it keeps
 the FK functionally dependent on the dimension key, which a row-level join
 completion could violate.  DESIGN.md discusses the substitution.
+
+The traversal is *transactional*: :meth:`SnowflakeSynthesizer.solve`
+works on a copy of the input :class:`Database` and returns it in
+:attr:`SnowflakeResult.database` — a mid-traversal solver failure leaves
+the caller's database exactly as it was.  It is also (optionally)
+*parallel*: edges in one BFS layer whose read/write relation sets are
+disjoint (``Database.conflict_free_batches``) are solved concurrently on
+a process pool, with results merged back in BFS order so the completed
+database is byte-identical to the sequential traversal's.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.constraints.cc import CardinalityConstraint
 from repro.constraints.dc import DenialConstraint
 from repro.core.config import SolverConfig
-from repro.core.synthesizer import CExtensionResult, CExtensionSolver
+from repro.core.parallel_snowflake import (
+    edge_payload,
+    solve_batch,
+    solve_edge,
+)
+from repro.core.synthesizer import CExtensionResult
 from repro.errors import SchemaError
 from repro.relational.database import Database, ForeignKey
 from repro.relational.join import fk_join
@@ -41,7 +56,9 @@ class EdgeConstraints:
     overrides the capacity-implied default; ``options`` carries extra
     strategy knobs.  ``solver_overrides`` shadows individual
     :class:`SolverConfig` fields (backend, time_limit, mip_gap, …) for
-    this edge only.
+    this edge only.  ``serialize`` opts the edge out of batch scheduling:
+    it is always solved alone, in-process, even when it would be
+    conflict-free with its layer mates.
     """
 
     ccs: Sequence[CardinalityConstraint] = ()
@@ -50,6 +67,7 @@ class EdgeConstraints:
     strategy: Optional[str] = None
     options: Mapping[str, object] = field(default_factory=dict)
     solver_overrides: Mapping[str, object] = field(default_factory=dict)
+    serialize: bool = False
 
     def resolved_strategy(self) -> Tuple[str, Dict[str, object]]:
         """The ``(strategy, options)`` pair this edge solves with."""
@@ -85,80 +103,171 @@ class SnowflakeSynthesizer:
         self.config = config or SolverConfig()
 
     def _extended_view(
-        self, database: Database, name: str, completed: Dict[str, bool]
+        self,
+        database: Database,
+        name: str,
+        completed: Set[Tuple[str, str]],
     ) -> Relation:
         """``name``'s relation joined with every completed FK target.
 
-        Recursive: attributes of transitively completed dimensions are
-        pulled in too, enabling CCs that span multiple joins (the paper's
-        step-2 example over ``Students ⋈ Majors ⋈ Courses``).
+        Attributes of transitively completed dimensions are pulled in
+        too, enabling CCs that span multiple joins (the paper's step-2
+        example over ``Students ⋈ Majors ⋈ Courses``).  The traversal is
+        depth-first (matching the order the old recursive formulation
+        produced) but joins every reachable relation exactly once: on a
+        diamond FK graph — two completed paths into one dimension — the
+        shared dimension's attributes appear once instead of colliding,
+        and ladders of diamonds stay linear instead of exploding
+        exponentially with the number of re-walked paths.
         """
         view = database.relation(name)
-        for fk in database.outgoing(name):
-            if not completed.get(f"{fk.child}.{fk.column}"):
+        joined = {name}
+        stack = [
+            fk
+            for fk in reversed(database.outgoing(name))
+            if (fk.child, fk.column) in completed
+        ]
+        while stack:
+            fk = stack.pop()
+            if fk.parent in joined:
+                # Second completed path into an already-joined dimension:
+                # its attributes are in the view once already, so the
+                # duplicate path keeps only its (imputed) FK column.
                 continue
-            parent_view = self._extended_view(database, fk.parent, completed)
-            view = fk_join(view, parent_view, fk.column)
+            view = fk_join(view, database.relation(fk.parent), fk.column)
+            joined.add(fk.parent)
+            stack.extend(
+                out
+                for out in reversed(database.outgoing(fk.parent))
+                if (out.child, out.column) in completed
+            )
         return view
+
+    def _apply_step(
+        self, database: Database, fk: ForeignKey, step: CExtensionResult
+    ) -> None:
+        """Commit one solved edge: imputed FK column + extended parent."""
+        child = database.relation(fk.child)
+        fk_values = list(step.r1_hat.column(fk.column))
+        updated_child = child
+        if fk.column in child.schema:
+            updated_child = child.drop_column(fk.column)
+        updated_child = updated_child.with_column(
+            step.r1_hat.schema.spec(fk.column), fk_values
+        )
+        database.replace_relation(fk.child, updated_child)
+        database.replace_relation(fk.parent, step.r2_hat)
 
     def solve(
         self,
         database: Database,
         fact_table: str,
         constraints: Mapping[Tuple[str, str], EdgeConstraints],
+        *,
+        workers: Optional[int] = None,
+        allow_unreachable: bool = False,
     ) -> SnowflakeResult:
         """Impute every declared FK, BFS outward from ``fact_table``.
 
-        ``constraints`` maps ``(child, column)`` to that edge's CC/DC sets;
-        missing entries mean "no constraints" for the edge.
+        ``constraints`` maps ``(child, column)`` to that edge's CC/DC
+        sets; missing entries mean "no constraints" for the edge.  The
+        input ``database`` is never modified: the traversal runs on a
+        copy, returned in :attr:`SnowflakeResult.database`, so a failing
+        edge leaves the caller's state untouched.
+
+        ``workers`` (default: ``config.workers``) sizes the process pool
+        used to solve conflict-free edges of one BFS layer concurrently;
+        ``0``/``1`` keeps the traversal fully in-process.  Parallel runs
+        are byte-identical to sequential ones.  Declared FK edges the BFS
+        cannot reach would silently never be solved, so they raise
+        :class:`SchemaError` unless ``allow_unreachable=True`` opts into
+        an intentionally partial run.
         """
-        edges = database.bfs_edges(fact_table)
-        declared = {(fk.child, fk.column) for fk in edges}
+        layers = database.bfs_edge_layers(fact_table)
+        reachable = {
+            (fk.child, fk.column) for layer in layers for fk in layer
+        }
+        declared = {
+            (fk.child, fk.column) for fk in database.foreign_keys
+        }
+        # Constraints on a *declared* edge are always legitimate — on an
+        # unreachable one they simply go unused in a partial run.
         unknown = set(constraints) - declared
         if unknown:
             raise SchemaError(
                 f"constraints reference unknown FK edges {sorted(unknown)}"
             )
+        unreached = sorted(declared - reachable)
+        if unreached and not allow_unreachable:
+            raise SchemaError(
+                f"FK edges {unreached} are unreachable from fact table "
+                f"{fact_table!r} and would never be imputed; fix the FK "
+                "graph (or pass allow_unreachable=True for an "
+                "intentionally partial run)"
+            )
 
-        result = SnowflakeResult(database=database)
-        completed: Dict[str, bool] = {}
+        if workers is None:
+            workers = self.config.workers
+        serialized = {
+            key for key, ec in constraints.items() if ec.serialize
+        }
 
-        for fk in edges:
-            edge_constraints = constraints.get(
-                (fk.child, fk.column), EdgeConstraints()
-            )
-            child = database.relation(fk.child)
-            parent = database.relation(fk.parent)
-            # Build the extended R1 view for constraint evaluation, then
-            # solve; the FK values map 1:1 back onto the child relation
-            # because extension joins preserve row order and count.
-            extended = self._extended_view(database, fk.child, completed)
-            strategy, options = edge_constraints.resolved_strategy()
-            # Per-edge solver overrides shadow the global config for this
-            # edge only (e.g. one stubborn edge on the native backend
-            # with a time limit, the rest on HiGHS).
-            solver = CExtensionSolver(
-                edge_constraints.effective_config(self.config)
-            )
-            step = solver.solve(
-                extended,
-                parent,
-                fk_column=fk.column,
-                ccs=edge_constraints.ccs,
-                dcs=edge_constraints.dcs,
-                strategy=strategy,
-                strategy_options=options,
-            )
-            fk_values = list(step.r1_hat.column(fk.column))
-
-            updated_child = child
-            if fk.column in child.schema:
-                updated_child = child.drop_column(fk.column)
-            updated_child = updated_child.with_column(
-                step.r1_hat.schema.spec(fk.column), fk_values
-            )
-            database.replace_relation(fk.child, updated_child)
-            database.replace_relation(fk.parent, step.r2_hat)
-            completed[f"{fk.child}.{fk.column}"] = True
-            result.steps.append((fk, step))
+        work = database.copy()
+        result = SnowflakeResult(database=work)
+        completed: Set[Tuple[str, str]] = set()
+        pool: Optional[ProcessPoolExecutor] = None
+        try:
+            for layer in layers:
+                for batch in work.conflict_free_batches(
+                    layer, completed, serialize=serialized
+                ):
+                    constraints_of = {
+                        (fk.child, fk.column): constraints.get(
+                            (fk.child, fk.column), EdgeConstraints()
+                        )
+                        for fk in batch
+                    }
+                    if len(batch) < 2 or workers < 2:
+                        # In-process: solve edge by edge, committing each
+                        # before building the next extended view (edges
+                        # in one batch never read each other's writes, so
+                        # this matches the snapshot semantics below).
+                        steps = []
+                        for fk in batch:
+                            step = solve_edge(
+                                self._extended_view(
+                                    work, fk.child, completed
+                                ),
+                                work.relation(fk.parent),
+                                fk.column,
+                                constraints_of[(fk.child, fk.column)],
+                                self.config,
+                            )
+                            self._apply_step(work, fk, step)
+                            completed.add((fk.child, fk.column))
+                            steps.append(step)
+                        result.steps.extend(zip(batch, steps))
+                        continue
+                    # Fan out: every edge solves against the batch-start
+                    # snapshot; results merge back in BFS order.
+                    if pool is None:
+                        pool = ProcessPoolExecutor(max_workers=workers)
+                    payloads = [
+                        edge_payload(
+                            self._extended_view(work, fk.child, completed),
+                            work.relation(fk.parent),
+                            fk.column,
+                            constraints_of[(fk.child, fk.column)],
+                            self.config,
+                        )
+                        for fk in batch
+                    ]
+                    steps = solve_batch(payloads, pool)
+                    for fk, step in zip(batch, steps):
+                        self._apply_step(work, fk, step)
+                        completed.add((fk.child, fk.column))
+                    result.steps.extend(zip(batch, steps))
+        finally:
+            if pool is not None:
+                pool.shutdown()
         return result

@@ -11,12 +11,17 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.errors import SchemaError
 from repro.relational.relation import Relation
 
 __all__ = ["ForeignKey", "Database"]
+
+#: An FK edge's identity inside completion bookkeeping: ``(child, column)``.
+EdgeKey = Tuple[str, str]
 
 
 @dataclass(frozen=True)
@@ -42,6 +47,42 @@ class Database:
         if name in self._relations:
             raise SchemaError(f"relation {name!r} already exists")
         self._relations[name] = relation
+
+    def copy(self) -> "Database":
+        """A shallow copy: shared (immutable) relations, private edges.
+
+        :class:`Relation` objects are immutable by convention, so sharing
+        them is safe; ``replace_relation`` on the copy never touches the
+        original.  This is what lets the snowflake synthesizer run
+        transactionally — work on a copy, commit by returning it.
+        """
+        clone = Database()
+        clone._relations = dict(self._relations)
+        clone._foreign_keys = list(self._foreign_keys)
+        return clone
+
+    def identical_to(self, other: "Database") -> bool:
+        """Byte-level equality: relation names in order, FK edges,
+        schemas and column arrays.
+
+        The parallel snowflake scheduler's determinism contract —
+        ``workers=N`` output must satisfy ``identical_to`` against the
+        sequential traversal's.
+        """
+        if self.relation_names != other.relation_names:
+            return False
+        if self.foreign_keys != other.foreign_keys:
+            return False
+        for name in self.relation_names:
+            mine, theirs = self._relations[name], other._relations[name]
+            if mine.schema != theirs.schema:
+                return False
+            for column in mine.schema.names:
+                if not np.array_equal(
+                    mine.column(column), theirs.column(column)
+                ):
+                    return False
+        return True
 
     def replace_relation(self, name: str, relation: Relation) -> None:
         if name not in self._relations:
@@ -76,23 +117,128 @@ class Database:
     def outgoing(self, name: str) -> List[ForeignKey]:
         return [fk for fk in self._foreign_keys if fk.child == name]
 
-    def bfs_edges(self, fact_table: str) -> List[ForeignKey]:
+    def bfs_edges(
+        self, fact_table: str, with_depth: bool = False
+    ) -> List:
         """FK edges in BFS order from the fact table outward.
 
         This is the traversal order of the snowflake extension (Example
         5.6): first the fact table's own FKs, then FKs of the dimensions
-        reached, and so on.
+        reached, and so on.  With ``with_depth=True`` each element is a
+        ``(depth, ForeignKey)`` pair, where ``depth`` is the BFS depth of
+        the edge's *child* (the fact table sits at depth 0); depths are
+        non-decreasing along the list.
         """
         if fact_table not in self._relations:
             raise SchemaError(f"no relation named {fact_table!r}")
-        order: List[ForeignKey] = []
-        seen = {fact_table}
+        order: List[Tuple[int, ForeignKey]] = []
+        depth_of = {fact_table: 0}
         queue = deque([fact_table])
         while queue:
             current = queue.popleft()
+            depth = depth_of[current]
             for fk in self.outgoing(current):
-                order.append(fk)
+                order.append((depth, fk))
+                if fk.parent not in depth_of:
+                    depth_of[fk.parent] = depth + 1
+                    queue.append(fk.parent)
+        if with_depth:
+            return order
+        return [fk for _, fk in order]
+
+    def bfs_edge_layers(self, fact_table: str) -> List[List[ForeignKey]]:
+        """BFS edges grouped into per-depth layers (traversal order kept).
+
+        Edges in one layer all have children at the same BFS depth; the
+        parallel snowflake scheduler solves layers in order and looks for
+        concurrency only *within* a layer.
+        """
+        layers: List[List[ForeignKey]] = []
+        for depth, fk in self.bfs_edges(fact_table, with_depth=True):
+            while len(layers) <= depth:
+                layers.append([])
+            layers[depth].append(fk)
+        return [layer for layer in layers if layer]
+
+    def completed_closure(
+        self, name: str, completed: Set[EdgeKey]
+    ) -> Set[str]:
+        """Relations reachable from ``name`` through completed FK edges.
+
+        Exactly the relations whose attributes the extended view of
+        ``name`` pulls in (each joined once) — i.e. the *read set* of a
+        solve step on an edge owned by ``name``.
+        """
+        seen = {name}
+        queue = deque([name])
+        while queue:
+            current = queue.popleft()
+            for fk in self.outgoing(current):
+                if (fk.child, fk.column) not in completed:
+                    continue
                 if fk.parent not in seen:
                     seen.add(fk.parent)
                     queue.append(fk.parent)
-        return order
+        return seen
+
+    def conflict_free_batches(
+        self,
+        edges: Sequence[ForeignKey],
+        completed: Set[EdgeKey],
+        serialize: Iterable[EdgeKey] = (),
+    ) -> List[List[ForeignKey]]:
+        """Split ``edges`` into contiguous batches safe to solve together.
+
+        Solving edge ``child.column -> parent`` *writes* ``child`` and
+        ``parent`` (both get ``replace_relation``-ed) and *reads* the
+        relations of its extended view (:meth:`completed_closure` of the
+        child) plus the parent.  Two edges may share a batch only when
+        neither's writes touch the other's reads or writes; batches are
+        contiguous runs of the BFS order, so solving each batch's edges
+        concurrently from a snapshot and committing results in BFS order
+        is step-for-step identical to the sequential traversal.
+
+        ``completed`` is the set of edge keys already solved before this
+        batch sequence; read sets are recomputed against the simulated
+        completion state at each batch boundary, because completing an
+        edge can extend a later edge's view (and therefore its reads).
+        Edge keys listed in ``serialize`` always get a batch of their own
+        (the per-edge escape hatch for spec-driven workloads).
+        """
+        forced_solo = set(serialize)
+        simulated = set(completed)
+        batches: List[List[ForeignKey]] = []
+        batch: List[ForeignKey] = []
+        batch_reads: Set[str] = set()
+        batch_writes: Set[str] = set()
+
+        def flush() -> None:
+            nonlocal batch, batch_reads, batch_writes
+            if batch:
+                batches.append(batch)
+                simulated.update((fk.child, fk.column) for fk in batch)
+                batch = []
+                batch_reads = set()
+                batch_writes = set()
+
+        for fk in edges:
+            solo = (fk.child, fk.column) in forced_solo
+            reads = self.completed_closure(fk.child, simulated)
+            reads.add(fk.parent)
+            writes = {fk.child, fk.parent}
+            if batch and (
+                solo
+                or writes & (batch_reads | batch_writes)
+                or batch_writes & reads
+            ):
+                flush()
+                # The flushed batch may have extended this edge's view.
+                reads = self.completed_closure(fk.child, simulated)
+                reads.add(fk.parent)
+            batch.append(fk)
+            batch_reads |= reads
+            batch_writes |= writes
+            if solo:
+                flush()
+        flush()
+        return batches

@@ -16,7 +16,6 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.metrics import ErrorReport
 from repro.core.snowflake import EdgeConstraints, SnowflakeSynthesizer
 from repro.core.synthesizer import CExtensionResult
-from repro.errors import SchemaError
 from repro.relational.database import Database, ForeignKey
 from repro.relational.relation import Relation
 from repro.spec.model import SynthesisSpec
@@ -127,20 +126,12 @@ class SynthesisResult:
 def plan_edges(spec: SynthesisSpec, database: Database) -> List[ForeignKey]:
     """The FK-edge solve order: BFS outward from the fact table.
 
-    Raises when a declared edge is unreachable from the fact table —
-    such an edge would silently never be solved.
+    Purely a planner: the unreachable-edge invariant (a declared edge
+    the BFS cannot reach would silently never be solved) is owned and
+    enforced by :meth:`SnowflakeSynthesizer.solve`, which also offers
+    the ``allow_unreachable`` opt-out for intentionally partial runs.
     """
-    order = database.bfs_edges(spec.fact())
-    planned = {(fk.child, fk.column) for fk in order}
-    declared = {(e.child, e.column) for e in spec.edges}
-    unreachable = declared - planned
-    if unreachable:
-        raise SchemaError(
-            f"edges {sorted(unreachable)} are unreachable from fact table "
-            f"{spec.fact()!r}; declare fact_table explicitly or fix the "
-            "FK graph"
-        )
-    return order
+    return database.bfs_edges(spec.fact())
 
 
 def synthesize(spec: SynthesisSpec) -> SynthesisResult:
@@ -152,7 +143,6 @@ def synthesize(spec: SynthesisSpec) -> SynthesisResult:
     """
     spec.validate()
     database = spec.to_database()
-    plan_edges(spec, database)
 
     constraints = {
         (edge.child, edge.column): EdgeConstraints(
@@ -162,6 +152,7 @@ def synthesize(spec: SynthesisSpec) -> SynthesisResult:
             strategy=edge.strategy,
             options=edge.options,
             solver_overrides=edge.solver,
+            serialize=edge.serialize,
         )
         for edge in spec.edges
     }

@@ -72,12 +72,14 @@ class SpecBuilder:
         strategy: Optional[str] = None,
         options: Optional[Mapping[str, object]] = None,
         solver: Optional[Mapping[str, object]] = None,
+        serialize: bool = False,
     ) -> "SpecBuilder":
         """Declare an FK edge; constraints may be strings or objects.
 
         ``strategy``/``options`` pick and parameterise the Phase-II
         strategy for this edge; ``solver`` shadows individual global
-        solver knobs (``backend``, ``time_limit``, ``mip_gap``, …).
+        solver knobs (``backend``, ``time_limit``, ``mip_gap``, …);
+        ``serialize=True`` keeps the edge out of parallel batches.
         """
         self._spec.edges.append(
             EdgeSpec(
@@ -90,6 +92,7 @@ class SpecBuilder:
                 strategy=strategy,
                 options=options or {},
                 solver=solver or {},
+                serialize=serialize,
             )
         )
         return self

@@ -5,6 +5,11 @@ workload.toml``); JSON round-trips the exact same dictionary shape.
 Reading uses the stdlib ``tomllib``; writing uses a minimal emitter that
 covers the spec's shape (scalars, arrays of scalars, nested tables and
 arrays of tables) — not a general TOML writer.
+
+Parallelism knobs live in the same shapes as every other solver option:
+``workers = N`` in the global ``[options]`` table fans independent FK
+edges out on a process pool, and ``serialize = true`` on an individual
+``[[edges]]`` entry keeps that edge out of parallel batches.
 """
 
 from __future__ import annotations

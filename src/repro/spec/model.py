@@ -182,6 +182,8 @@ class EdgeSpec:
     knobs (e.g. ``soft_capacity``'s ``penalty``), and ``solver`` carries
     per-edge solver overrides (``backend``, ``time_limit``, ``mip_gap``,
     …) that shadow the spec's global solver block for this edge only.
+    ``serialize = true`` keeps this edge out of parallel batches when the
+    workload runs with ``workers > 1`` — the per-edge escape hatch.
     """
 
     child: str
@@ -193,6 +195,7 @@ class EdgeSpec:
     strategy: Optional[str] = None
     options: Mapping[str, object] = field(default_factory=dict)
     solver: Mapping[str, object] = field(default_factory=dict)
+    serialize: bool = False
 
     def __post_init__(self) -> None:
         self.ccs = _parse_constraints(self.ccs, parse_cc, "CC")
@@ -222,6 +225,8 @@ class EdgeSpec:
             out["options"] = dict(self.options)
         if self.solver:
             out["solver"] = dict(self.solver)
+        if self.serialize:
+            out["serialize"] = True
         return out
 
     @classmethod
@@ -233,7 +238,7 @@ class EdgeSpec:
         known = {
             "child", "column", "parent", "ccs", "dcs",
             "constraints", "constraints_file", "capacity", "strategy",
-            "options", "solver",
+            "options", "solver", "serialize",
         }
         unknown = set(data) - known
         if unknown:
@@ -246,6 +251,12 @@ class EdgeSpec:
                 raise SchemaError(f"an edge entry needs a {required!r}")
         ccs = list(data.get("ccs", []))
         dcs = list(data.get("dcs", []))
+        serialize = data.get("serialize", False)
+        if not isinstance(serialize, bool):
+            raise SchemaError(
+                f"edge {data['child']}.{data['column']}: 'serialize' must "
+                f"be a boolean, got {serialize!r}"
+            )
         edge = cls(
             child=data["child"],
             column=data["column"],
@@ -256,6 +267,7 @@ class EdgeSpec:
             strategy=data.get("strategy"),
             options=data.get("options", {}),
             solver=data.get("solver", {}),
+            serialize=serialize,
         )
         inline = data.get("constraints")
         if inline is not None:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.constraints.parser import parse_cc, parse_dc
 from repro.core.snowflake import EdgeConstraints, SnowflakeSynthesizer
-from repro.errors import SchemaError
+from repro.errors import ReproError, SchemaError
 from repro.relational.database import Database
 from repro.relational.join import fk_join
 from repro.relational.relation import Relation
@@ -51,18 +51,19 @@ class TestSnowflake:
     def test_all_fks_completed(self):
         db = _university()
         result = SnowflakeSynthesizer().solve(db, "Students", {})
-        students = db.relation("Students")
+        students = result.database.relation("Students")
         assert "major_id" in students.schema
         assert "course_id" in students.schema
-        assert "dept_id" in db.relation("Majors").schema
+        assert "dept_id" in result.database.relation("Majors").schema
         assert len(result.steps) == 3
 
     def test_fk_values_are_valid_references(self):
         db = _university()
-        SnowflakeSynthesizer().solve(db, "Students", {})
+        out = SnowflakeSynthesizer().solve(db, "Students", {}).database
         # joining must not raise
-        fk_join(db.relation("Students"), db.relation("Majors"), "major_id")
-        fk_join(db.relation("Majors"), db.relation("Departments"), "dept_id")
+        fk_join(out.relation("Students"), out.relation("Majors"), "major_id")
+        fk_join(out.relation("Majors"), out.relation("Departments"),
+                "dept_id")
 
     def test_edge_constraints_applied(self):
         db = _university()
@@ -72,8 +73,12 @@ class TestSnowflake:
             ),
         }
         result = SnowflakeSynthesizer().solve(db, "Students", constraints)
-        view = fk_join(db.relation("Students"), db.relation("Majors"), "major_id")
-        assert view.count(constraints[("Students", "major_id")].ccs[0].predicate) == 3
+        out = result.database
+        view = fk_join(out.relation("Students"), out.relation("Majors"),
+                       "major_id")
+        assert view.count(
+            constraints[("Students", "major_id")].ccs[0].predicate
+        ) == 3
 
     def test_multi_hop_cc_uses_accumulated_join(self):
         """Step-2 CCs may reference Majors attributes (paper's example)."""
@@ -86,9 +91,12 @@ class TestSnowflake:
                 ccs=[parse_cc("|MName == 'CS' & Credits == 4| = 2")]
             ),
         }
-        SnowflakeSynthesizer().solve(db, "Students", constraints)
-        view = fk_join(db.relation("Students"), db.relation("Majors"), "major_id")
-        view = fk_join(view, db.relation("Courses"), "course_id")
+        out = SnowflakeSynthesizer().solve(
+            db, "Students", constraints
+        ).database
+        view = fk_join(out.relation("Students"), out.relation("Majors"),
+                       "major_id")
+        view = fk_join(view, out.relation("Courses"), "course_id")
         assert view.count(
             constraints[("Students", "course_id")].ccs[0].predicate
         ) == 2
@@ -100,8 +108,12 @@ class TestSnowflake:
                 dcs=[parse_dc("not(t1.MName == 'CS' & t2.MName == 'Math')")]
             ),
         }
-        SnowflakeSynthesizer().solve(db, "Majors", constraints)
-        majors = db.relation("Majors")
+        # Rooting the traversal at Majors leaves the Students edges
+        # unreached — an intentionally partial run.
+        out = SnowflakeSynthesizer().solve(
+            db, "Majors", constraints, allow_unreachable=True
+        ).database
+        majors = out.relation("Majors")
         by_dept = {}
         for i in range(len(majors)):
             row = majors.row(i)
@@ -115,3 +127,131 @@ class TestSnowflake:
             SnowflakeSynthesizer().solve(
                 db, "Students", {("Students", "nope"): EdgeConstraints()}
             )
+
+    def test_input_database_never_mutated(self):
+        """solve works on a copy; the caller's database stays pristine."""
+        db = _university()
+        before = {
+            name: db.relation(name).schema.names
+            for name in db.relation_names
+        }
+        result = SnowflakeSynthesizer().solve(db, "Students", {})
+        for name, names in before.items():
+            assert db.relation(name).schema.names == names
+        assert "major_id" not in db.relation("Students").schema
+        assert "major_id" in result.database.relation("Students").schema
+
+    def test_failed_edge_leaves_input_untouched(self):
+        """A mid-traversal failure must not half-complete the input.
+
+        The second BFS edge carries a CC over an attribute that does not
+        exist, so edge 1 solves fine and edge 2 raises — before the fix,
+        the caller's Students relation kept edge 1's imputed column.
+        """
+        db = _university()
+        constraints = {
+            ("Students", "course_id"): EdgeConstraints(
+                ccs=[parse_cc("|NoSuchAttr == 'x'| = 1")]
+            ),
+        }
+        with pytest.raises(ReproError):
+            SnowflakeSynthesizer().solve(db, "Students", constraints)
+        assert "major_id" not in db.relation("Students").schema
+        assert "course_id" not in db.relation("Students").schema
+        assert db.relation("Majors").schema.names == ("mid", "MName")
+
+    def test_unreachable_edge_raises_naming_it(self):
+        """Declared FKs in a disconnected component must not be silently
+        skipped."""
+        db = _university()
+        db.add_relation(
+            "Buildings",
+            Relation.from_columns({"bid": [1], "Campus": ["North"]},
+                                  key="bid"),
+        )
+        db.add_relation(
+            "Rooms",
+            Relation.from_columns({"rid": [1, 2], "Size": [10, 20]},
+                                  key="rid"),
+        )
+        db.add_foreign_key("Rooms", "building_id", "Buildings")
+        with pytest.raises(SchemaError, match=r"Rooms.*building_id"):
+            SnowflakeSynthesizer().solve(db, "Students", {})
+        # The opt-out completes the reachable component only.
+        result = SnowflakeSynthesizer().solve(
+            db, "Students", {}, allow_unreachable=True
+        )
+        assert len(result.steps) == 3
+        assert "building_id" not in result.database.relation("Rooms").schema
+
+    def test_constraints_on_unreachable_edge_allowed_in_partial_run(self):
+        """A constraints dict built for the whole graph must not block an
+        intentionally partial run — declared edges are never 'unknown'."""
+        db = _university()
+        db.add_relation(
+            "Buildings",
+            Relation.from_columns({"bid": [1], "Campus": ["North"]},
+                                  key="bid"),
+        )
+        db.add_relation(
+            "Rooms",
+            Relation.from_columns({"rid": [1, 2], "Size": [10, 20]},
+                                  key="rid"),
+        )
+        db.add_foreign_key("Rooms", "building_id", "Buildings")
+        constraints = {
+            ("Students", "major_id"): EdgeConstraints(
+                ccs=[parse_cc("|Year == 1 & MName == 'CS'| = 3")]
+            ),
+            ("Rooms", "building_id"): EdgeConstraints(),
+        }
+        result = SnowflakeSynthesizer().solve(
+            db, "Students", constraints, allow_unreachable=True
+        )
+        assert len(result.steps) == 3
+        # Without the opt-out the unreached edge still raises.
+        with pytest.raises(SchemaError, match="unreachable"):
+            SnowflakeSynthesizer().solve(db, "Students", constraints)
+
+    def test_diamond_schema_joins_shared_dimension_once(self):
+        """Two completed paths into one dimension must not double-join
+        (or collide on) that dimension's attributes."""
+        db = Database()
+        db.add_relation(
+            "F",
+            Relation.from_columns(
+                {"fid": [1, 2, 3, 4], "W": [1, 2, 1, 2]}, key="fid"
+            ),
+        )
+        db.add_relation(
+            "A",
+            Relation.from_columns({"aid": [1, 2], "AN": ["a1", "a2"]},
+                                  key="aid"),
+        )
+        db.add_relation(
+            "B",
+            Relation.from_columns({"bid": [1, 2], "BN": ["b1", "b2"]},
+                                  key="bid"),
+        )
+        db.add_relation(
+            "D",
+            Relation.from_columns({"did": [1, 2], "DN": ["d1", "d2"]},
+                                  key="did"),
+        )
+        db.add_foreign_key("F", "a", "A")
+        db.add_foreign_key("F", "b", "B")
+        db.add_foreign_key("A", "d", "D")
+        db.add_foreign_key("B", "d2", "D")
+        synth = SnowflakeSynthesizer()
+        result = synth.solve(db, "F", {})
+        assert len(result.steps) == 4
+        completed = {
+            (fk.child, fk.column) for fk in result.database.foreign_keys
+        }
+        view = synth._extended_view(result.database, "F", completed)
+        assert list(view.schema.names).count("DN") == 1
+        # Joined FK columns stay in the view (they always did); D's
+        # attributes appear exactly once despite the two paths into D.
+        assert set(view.schema.names) == {
+            "fid", "W", "a", "b", "AN", "BN", "DN", "d", "d2",
+        }

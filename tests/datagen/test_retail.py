@@ -77,22 +77,23 @@ class TestEndToEnd:
         return data, constraints, result
 
     def test_all_three_edges_completed(self, solved):
-        data, _, result = solved
+        _, _, result = solved
         assert len(result.steps) == 3
-        assert "customer_id" in data.database.relation("Orders").schema
-        assert "supplier_id" in data.database.relation("Products").schema
+        out = result.database
+        assert "customer_id" in out.relation("Orders").schema
+        assert "supplier_id" in out.relation("Products").schema
 
     def test_fact_edge_ccs_exact(self, solved):
-        data, constraints, _ = solved
-        db = data.database
+        _, constraints, result = solved
+        db = result.database
         view = fk_join(db.relation("Orders"), db.relation("Customers"),
                        "customer_id")
         for cc in constraints[("Orders", "customer_id")].ccs:
             assert view.count(cc.predicate) == cc.target
 
     def test_multi_hop_ccs_exact(self, solved):
-        data, constraints, _ = solved
-        db = data.database
+        _, constraints, result = solved
+        db = result.database
         view = fk_join(db.relation("Orders"), db.relation("Customers"),
                        "customer_id")
         view = fk_join(
@@ -104,14 +105,14 @@ class TestEndToEnd:
             assert view.count(cc.predicate) == cc.target
 
     def test_supplier_dcs_hold(self, solved):
-        data, constraints, _ = solved
-        products = data.database.relation("Products")
+        _, constraints, result = solved
+        products = result.database.relation("Products")
         dcs = list(constraints[("Products", "supplier_id")].dcs)
         assert dc_error(products, "supplier_id", dcs) == 0.0
 
     def test_joins_are_well_formed(self, solved):
-        data, _, result = solved
-        db = data.database
+        _, _, result = solved
+        db = result.database
         fk_join(db.relation("Orders"), db.relation("Customers"), "customer_id")
         fk_join(db.relation("Products"), db.relation("Suppliers"),
                 "supplier_id")

@@ -73,3 +73,77 @@ class TestBfs:
     def test_bfs_unknown_fact_table(self):
         with pytest.raises(SchemaError):
             _university().bfs_edges("missing")
+
+    def test_bfs_with_depth_emits_child_depths(self):
+        db = _university()
+        pairs = [
+            (depth, fk.child, fk.parent)
+            for depth, fk in db.bfs_edges("Students", with_depth=True)
+        ]
+        assert pairs == [
+            (0, "Students", "Majors"),
+            (0, "Students", "Courses"),
+            (1, "Majors", "Departments"),
+        ]
+
+    def test_bfs_edge_layers_group_by_depth(self):
+        db = _university()
+        layers = db.bfs_edge_layers("Students")
+        assert [[fk.column for fk in layer] for layer in layers] == [
+            ["major_id", "course_id"],
+            ["dept_id"],
+        ]
+        # Flattening the layers reproduces the classic BFS order.
+        assert [fk for layer in layers for fk in layer] == db.bfs_edges(
+            "Students"
+        )
+
+
+class TestCopy:
+    def test_copy_isolates_replacements(self):
+        db = _university()
+        clone = db.copy()
+        clone.replace_relation(
+            "Majors",
+            Relation.from_columns({"mid": [9], "Name": ["Art"]}, key="mid"),
+        )
+        assert db.relation("Majors").column("mid").tolist() == [1]
+        assert clone.relation("Majors").column("mid").tolist() == [9]
+        assert clone.foreign_keys == db.foreign_keys
+
+    def test_copy_isolates_new_foreign_keys(self):
+        db = _university()
+        clone = db.copy()
+        clone.add_foreign_key("Courses", "dept_id", "Departments")
+        assert len(db.foreign_keys) == 3
+        assert len(clone.foreign_keys) == 4
+
+    def test_identical_to(self):
+        db = _university()
+        clone = db.copy()
+        assert db.identical_to(clone) and clone.identical_to(db)
+        clone.replace_relation(
+            "Majors",
+            Relation.from_columns({"mid": [1], "Name": ["Art"]}, key="mid"),
+        )
+        assert not db.identical_to(clone)
+        other = _university()
+        other.add_foreign_key("Courses", "dept_id", "Departments")
+        assert not db.identical_to(other)
+
+
+class TestCompletedClosure:
+    def test_closure_follows_only_completed_edges(self):
+        db = _university()
+        assert db.completed_closure("Students", set()) == {"Students"}
+        assert db.completed_closure(
+            "Students", {("Students", "major_id")}
+        ) == {"Students", "Majors"}
+        assert db.completed_closure(
+            "Students",
+            {("Students", "major_id"), ("Majors", "dept_id")},
+        ) == {"Students", "Majors", "Departments"}
+        # An edge completed elsewhere in the graph does not leak in.
+        assert db.completed_closure(
+            "Majors", {("Students", "major_id")}
+        ) == {"Majors"}

@@ -150,9 +150,13 @@ def specs(draw):
                     st.floats(0.0, 0.5, allow_nan=False,
                               exclude_max=False)
                 )
+        if draw(st.booleans()):
+            kwargs["serialize"] = True
         builder.edge("fact", f"fk{i}", name, **kwargs)
     if draw(st.booleans()):
         builder.options(backend=draw(st.sampled_from(["scipy", "native"])))
+    if draw(st.booleans()):
+        builder.options(workers=draw(st.integers(0, 4)))
     builder.fact_table("fact")
     return builder.build()
 
