@@ -14,10 +14,15 @@ Two report shapes are understood:
   and the snowflake traversal bench's sequential-vs-parallel cell): a
   regression is ``current < baseline / threshold``;
 * scale cells carrying ``wall_s``/``solve_s`` (the pipeline bench): a
-  regression is ``current > baseline * threshold``.
+  regression is ``current > baseline * threshold``;
+* lower-is-better scalars *inside* a kernel cell — ``wall_s``,
+  ``solve_s`` and the memory metric ``peak_rss_mb`` (the out-of-core
+  bench): a regression is ``current > baseline * threshold``, so a
+  memory blow-up fails the diff exactly like a slowdown.
 
 Compared reports: ``BENCH_relation.json``, ``BENCH_phase1.json``,
-``BENCH_pipeline.json``, ``BENCH_snowflake.json`` — any committed
+``BENCH_pipeline.json``, ``BENCH_snowflake.json``,
+``BENCH_outofcore.json`` — any committed
 ``benchmarks/baselines/BENCH_*.json`` is picked up automatically.
 Parallel-speedup cells are inherently core-count-sensitive; their
 baseline records the measuring machine's ``cores`` for context.
@@ -53,7 +58,9 @@ def _iter_metrics(
     """
     for rows_key, cell in report.get("rows", {}).items():
         for metric, payload in cell.items():
-            if isinstance(payload, dict) and "speedup" in payload:
+            if not isinstance(payload, dict):
+                continue
+            if "speedup" in payload:
                 yield (
                     rows_key,
                     f"{metric} speedup",
@@ -61,6 +68,17 @@ def _iter_metrics(
                     True,
                     payload.get("cores"),
                 )
+            # Lower-is-better scalars inside a kernel cell: wall-clock
+            # and memory (the out-of-core bench's peak_rss_mb).
+            for scalar in ("wall_s", "solve_s", "peak_rss_mb"):
+                if isinstance(payload.get(scalar), (int, float)):
+                    yield (
+                        rows_key,
+                        f"{metric} {scalar}",
+                        float(payload[scalar]),
+                        False,
+                        payload.get("cores"),
+                    )
         # Pipeline-shaped cells keep timing scalars next to the stage
         # table; those are the comparable metrics there.
         for metric in ("wall_s", "solve_s"):

@@ -1,0 +1,105 @@
+"""Microbenchmark for the out-of-core columnar backend.
+
+Synthesizes the :mod:`repro.datagen.outofcore` workload — a fact table
+with one FK edge and a CC per ``(Segment, Region)`` cell — on the chunked
+mmap backend inside a fixed RAM budget.  The measured run happens in a
+fresh subprocess (``python -m repro.bench.outofcore``) because peak RSS
+(``ru_maxrss``) is a process-lifetime high-water mark: measuring in the
+pytest process would charge this bench for every previously-imported
+module and cached dataset.
+
+Acceptance gates (both smoke and full):
+
+* every CC cell lands exactly on target (``cc_exact``);
+* peak RSS stays under the configured budget (``within_budget``).
+
+In full mode the fact table is 10M rows under a 4096 MiB budget; set
+``REPRO_BENCH_SMOKE=1`` (CI) for a 200k-row run under 1024 MiB.  An
+in-process equivalence check — numpy vs mmap output ``identical_to`` at a
+chunk size that splits combo groups — runs everywhere, every time.
+Emits ``BENCH_outofcore.json`` (wall-clock, per-stage seconds and
+``peak_rss_mb``) next to this file for ``compare_bench.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.datagen.outofcore import outofcore_spec
+from repro.spec.api import synthesize
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+ROWS = 200_000 if SMOKE else 10_000_000
+BUDGET_MB = 1024 if SMOKE else 4096
+CHUNK_ROWS = 65_536 if SMOKE else 262_144
+OUTPUT = Path(__file__).parent / "BENCH_outofcore.json"
+_SRC = Path(__file__).parent.parent / "src"
+
+
+def test_backend_equivalence_small():
+    """numpy and mmap synthesis are identical on the bench workload."""
+    base = synthesize(outofcore_spec(5_000, storage="numpy", seed=11))
+    alt = synthesize(
+        # 777 never divides a combo-partition boundary cleanly — groups
+        # straddle chunks, exercising the chunk-merge kernels.
+        outofcore_spec(5_000, storage="mmap", chunk_rows=777, seed=11)
+    )
+    assert base.database.identical_to(alt.database)
+
+
+def _run_subprocess(storage: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(_SRC)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    command = [
+        sys.executable, "-m", "repro.bench.outofcore",
+        "--rows", str(ROWS),
+        "--storage", storage,
+        "--chunk-rows", str(CHUNK_ROWS),
+        "--budget-mb", str(BUDGET_MB),
+    ]
+    completed = subprocess.run(
+        command, env=env, capture_output=True, text=True, check=True
+    )
+    return json.loads(completed.stdout)
+
+
+def test_microbench_outofcore():
+    report = _run_subprocess("mmap")
+
+    assert report["cc_exact"], "CC cells missed their targets"
+    assert report["within_budget"], (
+        f"peak RSS {report['peak_rss_mb']:.0f} MiB exceeded the "
+        f"{BUDGET_MB} MiB budget at {ROWS} rows"
+    )
+
+    OUTPUT.write_text(json.dumps({
+        "rows": {
+            str(ROWS): {
+                "outofcore_mmap": {
+                    "wall_s": report["wall_s"],
+                    "solve_s": report["solve_s"],
+                    "gen_s": report["gen_s"],
+                    "peak_rss_mb": report["peak_rss_mb"],
+                    "memory_budget_mb": BUDGET_MB,
+                    "chunk_rows": CHUNK_ROWS,
+                    "within_budget": report["within_budget"],
+                    "cc_exact": report["cc_exact"],
+                }
+            }
+        },
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }, indent=2) + "\n")
+
+    print(
+        f"\nOut-of-core microbench (BENCH_outofcore.json)\n"
+        f"{ROWS} rows, chunk_rows={CHUNK_ROWS}: wall {report['wall_s']:.1f}s "
+        f"(solve {report['solve_s']:.1f}s), peak RSS "
+        f"{report['peak_rss_mb']:.0f} MiB / budget {BUDGET_MB} MiB"
+    )

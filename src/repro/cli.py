@@ -126,14 +126,26 @@ def _spec_from_legacy_flags(args: argparse.Namespace) -> SynthesisSpec:
     return builder.build()
 
 
-def _with_workers(spec: SynthesisSpec, workers: Optional[int]) -> SynthesisSpec:
-    """Apply ``--workers``; bad values get the CLI's clean error path."""
-    if workers is None:
-        return spec
-    try:
-        return spec.with_options(workers=workers)
-    except ValueError as exc:
-        raise ReproError(f"--workers: {exc}") from None
+def _with_cli_options(
+    spec: SynthesisSpec, args: argparse.Namespace
+) -> SynthesisSpec:
+    """Apply the option-override flags (``--workers``, ``--storage``,
+    ``--chunk-rows``, ``--memory-budget-mb``); bad values get the CLI's
+    clean error path, naming the offending flag."""
+    overrides = (
+        ("--workers", "workers", args.workers),
+        ("--storage", "storage", args.storage or None),
+        ("--chunk-rows", "chunk_rows", args.chunk_rows),
+        ("--memory-budget-mb", "memory_budget_mb", args.memory_budget_mb),
+    )
+    for flag, knob, value in overrides:
+        if value is None:
+            continue
+        try:
+            spec = spec.with_options(**{knob: value})
+        except ValueError as exc:
+            raise ReproError(f"{flag}: {exc}") from None
+    return spec
 
 
 def _print_edge_reports(result: SynthesisResult) -> None:
@@ -183,7 +195,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
     if args.spec:
         spec = load_spec(Path(args.spec))
-        spec = _with_workers(spec, args.workers)
+        spec = _with_cli_options(spec, args)
         result = synthesize(spec)
         out.mkdir(parents=True, exist_ok=True)
         for name in result.database.relation_names:
@@ -214,7 +226,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         raise ReproError(
             f"solve needs either --spec or the legacy flags {missing}"
         )
-    spec = _with_workers(_spec_from_legacy_flags(args), args.workers)
+    spec = _with_cli_options(_spec_from_legacy_flags(args), args)
     result = synthesize(spec)
     edge = result.edges[0]
     errors = edge.errors
@@ -350,6 +362,17 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="solve independent snowflake FK edges on a "
                        "process pool of this size (overrides the spec's "
                        "workers option; output is identical either way)")
+    solve.add_argument("--storage", choices=("numpy", "mmap"), default="",
+                       help="relation storage backend: in-RAM numpy "
+                       "(default) or chunked on-disk column stores "
+                       "(out-of-core; identical output)")
+    solve.add_argument("--chunk-rows", type=int, default=None,
+                       dest="chunk_rows",
+                       help="rows per chunk for --storage mmap")
+    solve.add_argument("--memory-budget-mb", type=int, default=None,
+                       dest="memory_budget_mb",
+                       help="advisory peak-RSS budget recorded in the "
+                       "summary (enforced by the out-of-core benchmarks)")
     solve.set_defaults(func=_cmd_solve)
 
     disc = sub.add_parser(

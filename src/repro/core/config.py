@@ -31,6 +31,16 @@ class SolverConfig:
       solve; a limited solve keeps its best incumbent (``None`` = exact).
     * ``mip_gap`` — relative optimality gap accepted by the ILP solve
       (``None`` = solve to proven optimality).
+    * ``storage`` — ``"numpy"`` keeps every relation in RAM (the default,
+      byte-identical to earlier releases); ``"mmap"`` spills relations to
+      chunked on-disk column stores and streams the kernels chunk-by-chunk
+      (out-of-core synthesis; same output, bounded memory).
+    * ``chunk_rows`` — rows per chunk for the ``"mmap"`` storage backend.
+    * ``memory_budget_mb`` — advisory peak-RSS budget recorded alongside
+      results and enforced by the out-of-core benchmarks (``None`` = no
+      budget).
+    * ``storage_dir`` — directory for the on-disk column stores (``None``
+      = a temporary directory per relation).
     """
 
     backend: str = "scipy"
@@ -43,10 +53,20 @@ class SolverConfig:
     evaluate: bool = True
     time_limit: Optional[float] = None
     mip_gap: Optional[float] = None
+    storage: str = "numpy"
+    chunk_rows: int = 262_144
+    memory_budget_mb: Optional[int] = None
+    storage_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.backend not in ("scipy", "native"):
             raise ValueError(f"unknown backend {self.backend!r}")
+        if self.storage not in ("numpy", "mmap"):
+            raise ValueError(f"unknown storage backend {self.storage!r}")
+        if self.chunk_rows < 1:
+            raise ValueError("chunk_rows must be >= 1")
+        if self.memory_budget_mb is not None and self.memory_budget_mb <= 0:
+            raise ValueError("memory_budget_mb must be positive (or None)")
         if self.marginals not in ("all", "relevant", "none"):
             raise ValueError(f"unknown marginals mode {self.marginals!r}")
         if self.parallel_workers < 0:

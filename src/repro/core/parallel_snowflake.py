@@ -43,9 +43,13 @@ __all__ = [
 ]
 
 #: What crosses the process boundary for one edge: the extended view and
-#: the parent relation as ``(schema, column arrays)`` pairs, the FK
-#: column, the edge's constraint set and the already-resolved config.
-EdgePayload = Tuple[Schema, dict, Schema, dict, str, "EdgeConstraints", SolverConfig]
+#: the parent relation as ``(schema, columns)`` pairs — a dict of raw
+#: column arrays for in-RAM relations, or the relation's (picklable)
+#: :class:`~repro.relational.store.ColumnStore` for disk-backed ones,
+#: which ships only the store's directory path so worker memory stays
+#: chunk-bounded — plus the FK column, the edge's constraint set and the
+#: already-resolved config.
+EdgePayload = Tuple[Schema, object, Schema, object, str, "EdgeConstraints", SolverConfig]
 
 
 def solve_edge(
@@ -69,8 +73,16 @@ def solve_edge(
     )
 
 
-def _relation_payload(relation: Relation) -> Tuple[Schema, dict]:
-    """``(schema, columns)`` — raw arrays only, no factorization caches."""
+def _relation_payload(relation: Relation) -> Tuple[Schema, object]:
+    """``(schema, columns)`` — raw arrays only, no factorization caches.
+
+    Disk-backed relations ship their column store instead (it pickles as
+    a directory path and the worker re-opens the manifest), so the
+    payload — and the worker's resident set — stays chunk-sized however
+    large the relation is.
+    """
+    if relation.is_chunked:
+        return (relation.schema, relation.store)
     return (
         relation.schema,
         {name: relation.column(name) for name in relation.schema.names},

@@ -148,7 +148,10 @@ class SnowflakeSynthesizer:
     ) -> None:
         """Commit one solved edge: imputed FK column + extended parent."""
         child = database.relation(fk.child)
-        fk_values = list(step.r1_hat.column(fk.column))
+        # The solved FK column as an array — no per-value Python list
+        # (``with_column`` overlays it without copying the child's other
+        # columns, on either storage backend).
+        fk_values = step.r1_hat.column(fk.column)
         updated_child = child
         if fk.column in child.schema:
             updated_child = child.drop_column(fk.column)

@@ -53,6 +53,7 @@ from repro.phase2.fk_assignment import (
     MintPool,
     Phase2Result,
     Phase2Stats,
+    partition_by_combo,
     assign_invalid_fresh,
     color_partition,
     color_skipped_with_fresh,
@@ -174,7 +175,9 @@ def quota_coloring_phase2(
         r2, catalog, keys_by_combo, new_rows, stats
     )
 
-    partitions: Dict[tuple, List[int]] = assignment.group_by_combo()
+    partitions: Dict[tuple, List[int]] = partition_by_combo(
+        assignment, r1
+    )
 
     for combo in sorted(partitions.keys(), key=tuple_sort_key):
         rows = partitions[combo]

@@ -45,6 +45,7 @@ from repro.phase2.fk_assignment import (
     MintPool,
     Phase2Result,
     Phase2Stats,
+    partition_by_combo,
     assign_invalid_fresh,
     color_skipped_with_fresh,
     new_key_recorder,
@@ -176,7 +177,9 @@ def soft_capacity_phase2(
         r2, catalog, keys_by_combo, new_rows, stats
     )
 
-    partitions: Dict[tuple, List[int]] = assignment.group_by_combo()
+    partitions: Dict[tuple, List[int]] = partition_by_combo(
+        assignment, r1
+    )
 
     started = time.perf_counter()
     for combo in sorted(partitions.keys(), key=tuple_sort_key):

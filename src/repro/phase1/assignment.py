@@ -246,12 +246,20 @@ class ViewAssignment:
             out[attr] = decode[codes]
         return out
 
-    def group_by_combo(self) -> Dict[tuple, List[int]]:
+    def group_by_combo(
+        self, chunk_rows: Optional[int] = None
+    ) -> Dict[tuple, List[int]]:
         """Complete, valid rows grouped by their full B-combo.
 
         The Phase-II partitioning (Section 5.2) in one lexsort-and-split
         over the code matrix; row lists are ascending, matching the order
         the per-row ``setdefault`` loop used to produce.
+
+        ``chunk_rows`` bounds the working set: the code matrix is sorted
+        and split one block at a time, and per-combo row runs are merged
+        in ascending code-tuple order — the groups (content, row order
+        and combo order) are identical to the single-sort path, which a
+        stable lexsort also emits by ascending code tuple.
         """
         rows = np.flatnonzero(self.assigned_mask())
         if rows.size == 0:
@@ -259,6 +267,8 @@ class ViewAssignment:
         q = len(self.r2_attrs)
         if q == 0:
             return {(): rows.tolist()}
+        if chunk_rows is not None and chunk_rows < rows.size:
+            return self._group_by_combo_chunked(rows, chunk_rows)
         sub = self._codes[rows]
         # lexsort treats its *last* key as primary; reverse so attr 0 leads.
         order = np.lexsort(sub.T[::-1])
@@ -274,6 +284,32 @@ class ViewAssignment:
                 self._code_values[j][codes[j]] for j in range(q)
             )
             out[combo] = grouped_rows[start:bounds[g + 1]].tolist()
+        return out
+
+    def _group_by_combo_chunked(
+        self, rows: np.ndarray, chunk_rows: int
+    ) -> Dict[tuple, List[int]]:
+        """Chunk-merge variant of :meth:`group_by_combo`."""
+        q = len(self.r2_attrs)
+        groups: Dict[tuple, List[np.ndarray]] = {}
+        for start in range(0, rows.size, chunk_rows):
+            block = rows[start:start + chunk_rows]
+            sub = self._codes[block]
+            order = np.lexsort(sub.T[::-1])
+            ordered = sub[order]
+            change = (ordered[1:] != ordered[:-1]).any(axis=1)
+            starts = np.flatnonzero(np.concatenate(([True], change)))
+            grouped_rows = block[order]
+            bounds = np.append(starts, len(block))
+            for g, s in enumerate(starts):
+                sig = tuple(int(c) for c in ordered[s])
+                groups.setdefault(sig, []).append(
+                    grouped_rows[s:bounds[g + 1]]
+                )
+        out: Dict[tuple, List[int]] = {}
+        for sig in sorted(groups):
+            combo = tuple(self._code_values[j][sig[j]] for j in range(q))
+            out[combo] = np.concatenate(groups[sig]).tolist()
         return out
 
 

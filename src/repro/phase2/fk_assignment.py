@@ -43,7 +43,23 @@ __all__ = [
     "color_skipped_with_fresh",
     "assign_invalid_fresh",
     "new_key_recorder",
+    "partition_by_combo",
 ]
+
+
+def partition_by_combo(
+    assignment: ViewAssignment, r1: Relation
+) -> Dict[tuple, List[int]]:
+    """The Section-5.2 combo partitioning, chunk-aware.
+
+    Every Phase-II strategy partitions the completed view the same way;
+    when ``r1`` is disk-backed the assignment's code matrix is sorted one
+    ``r1.chunk_rows``-sized block at a time (identical output, bounded
+    working set).
+    """
+    return assignment.group_by_combo(
+        chunk_rows=r1.chunk_rows if r1.is_chunked else None
+    )
 
 
 class FreshKeyFactory:
@@ -289,8 +305,9 @@ def run_phase2(
     }
 
     # Partition the completed rows by their full B-combo — one
-    # lexsort-and-split over the assignment's code matrix.
-    partitions: Dict[tuple, List[int]] = assignment.group_by_combo()
+    # lexsort-and-split over the assignment's code matrix (chunked when
+    # R1 itself is).
+    partitions: Dict[tuple, List[int]] = partition_by_combo(assignment, r1)
 
     record_new_key = new_key_recorder(
         r2, catalog, keys_by_combo, new_r2_rows, stats
@@ -330,18 +347,28 @@ def run_phase2(
     elif partitioned:
         for combo in sorted(partitions.keys(), key=tuple_sort_key):
             rows = partitions[combo]
-            started = time.perf_counter()
-            graph = build_conflict_graph(r1, dcs, rows)
-            stats.edge_seconds += time.perf_counter() - started
-            stats.num_edges += graph.num_edges
-            stats.num_partitions += 1
-
             candidates = sorted(keys_by_combo.get(combo, []), key=sort_key)
             if not candidates:
                 raise ColoringError(
                     f"no candidate keys for combo {combo!r}; Phase I "
                     "assigned a combination absent from R2"
                 )
+            if not dcs:
+                # No DCs ⇒ the conflict graph is empty and largest-first
+                # visits the rows ascending, giving every one the first
+                # candidate — same content and insertion order as the
+                # coloring pass, without building the graph.
+                started = time.perf_counter()
+                coloring.update(dict.fromkeys(rows, candidates[0]))
+                stats.num_partitions += 1
+                stats.coloring_seconds += time.perf_counter() - started
+                continue
+            started = time.perf_counter()
+            graph = build_conflict_graph(r1, dcs, rows)
+            stats.edge_seconds += time.perf_counter() - started
+            stats.num_edges += graph.num_edges
+            stats.num_partitions += 1
+
             started = time.perf_counter()
             part_coloring, used_fresh = color_partition(
                 graph, candidates, pool, stats
@@ -409,8 +436,10 @@ def run_phase2(
     # ------------------------------------------------------------------
     # Materialise R1̂ and R2̂.
     # ------------------------------------------------------------------
-    missing = [row for row in range(assignment.n) if row not in coloring]
-    if missing:
+    if len(coloring) < assignment.n:
+        missing = [
+            row for row in range(assignment.n) if row not in coloring
+        ]
         raise ColoringError(f"{len(missing)} rows ended up uncolored")
     fk_values = [coloring[row] for row in range(assignment.n)]
     key_dtype = r2.schema.dtype(key_column)

@@ -13,30 +13,55 @@ from repro.relational.predicate import (
 )
 from repro.relational.relation import Relation
 from repro.relational.schema import ColumnSpec, Schema
+from repro.relational.store import (
+    DEFAULT_CHUNK_ROWS,
+    ColumnStore,
+    CompositeStore,
+    MmapColumnStore,
+    MmapStoreWriter,
+    NumpyColumnStore,
+    StorageOptions,
+)
 from repro.relational.types import CatDomain, Domain, Dtype, IntDomain, infer_dtype
-from repro.relational.csvio import read_csv, write_csv
+from repro.relational.csvio import (
+    infer_csv_schema,
+    read_csv,
+    read_csv_infer,
+    read_csv_store,
+    write_csv,
+)
 
 __all__ = [
     "CatDomain",
     "ColumnSpec",
+    "ColumnStore",
+    "CompositeStore",
     "Condition",
+    "DEFAULT_CHUNK_ROWS",
     "Database",
     "Domain",
     "Dtype",
     "ForeignKey",
     "IntDomain",
     "Interval",
+    "MmapColumnStore",
+    "MmapStoreWriter",
+    "NumpyColumnStore",
     "Predicate",
     "Relation",
     "Schema",
+    "StorageOptions",
     "TRUE_PREDICATE",
     "ValueSet",
     "condition_from_atom",
     "fk_join",
     "fk_join_naive",
+    "infer_csv_schema",
     "infer_dtype",
     "join_view_schema",
     "read_csv",
+    "read_csv_infer",
+    "read_csv_store",
     "sort_key",
     "tuple_sort_key",
     "write_csv",

@@ -1,68 +1,176 @@
 """CSV import/export for relations.
 
-Integer columns are parsed with :func:`int`; everything else is kept as a
-string.  The writer emits a plain header row followed by the data — enough
-to round-trip any relation the library produces.  Parsing is column-wise:
-each column converts in one ``map(int, …)`` / ``np.asarray`` pass, with a
-per-value rescan only on the error path (to report the offending line).
+Integer columns must be canonical base-10 literals (optional leading
+``-``, no underscores, whitespace or redundant leading zeros) so that a
+read→write round-trip preserves the cell text; everything else is kept as
+a string.  The writer emits a plain header row followed by the data —
+enough to round-trip any relation the library produces.
+
+Readers stream the file in fixed-size row blocks: the whole table is
+never held as a list-of-rows plus a transposed copy.  ``read_csv`` still
+returns an in-RAM relation (the arrays are the destination), but
+``read_csv_store`` spills each block straight into a chunked on-disk
+column store, keeping peak memory proportional to the block size.
 """
 
 from __future__ import annotations
 
 import csv
+import itertools
 from pathlib import Path
-from typing import List, Optional, Sequence, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.errors import SchemaError
 from repro.relational.relation import Relation
 from repro.relational.schema import ColumnSpec, Schema
+from repro.relational.store import DEFAULT_CHUNK_ROWS, MmapStoreWriter
 from repro.relational.types import Dtype
 
-__all__ = ["write_csv", "read_csv", "read_csv_infer"]
+__all__ = [
+    "write_csv",
+    "read_csv",
+    "read_csv_infer",
+    "read_csv_store",
+    "infer_csv_schema",
+]
+
+#: Rows per streaming block — small enough to bound memory, large enough
+#: to amortise the per-block numpy conversions.
+BLOCK_ROWS = 65_536
 
 
 def write_csv(relation: Relation, path: Union[str, Path]) -> None:
-    """Write a relation to ``path`` with a header row."""
+    """Write a relation to ``path`` with a header row.
+
+    Chunked relations are exported one chunk at a time; nothing beyond a
+    chunk of each column is materialised.
+    """
     path = Path(path)
     names = relation.schema.names
+    store = relation.store
     with path.open("w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(names)
-        writer.writerows(zip(*(relation.column(name) for name in names)))
+        for start, stop in store.chunk_bounds():
+            writer.writerows(
+                zip(*(store.column_slice(name, start, stop) for name in names))
+            )
 
 
-def _read_raw(path: Path) -> List[list]:
-    with path.open(newline="") as handle:
-        reader = csv.reader(handle)
-        header = next(reader, None)
-        if header is None:
-            raise SchemaError(f"{path} is empty")
-        return [header, list(reader)]
+def _is_canonical_int(text: str) -> bool:
+    """Whether ``text`` is exactly ``str(int(text))``.
+
+    Bare :func:`int` also accepts ``"1_000"``, ``" 3 "``, ``"+7"``,
+    ``"00"`` and non-ASCII digits — all of which would be silently
+    rewritten on the next export, so they are rejected here.
+    """
+    body = text[1:] if text.startswith("-") else text
+    if not body or not (body.isascii() and body.isdigit()):
+        return False
+    if len(body) > 1 and body[0] == "0":
+        return False
+    return not (text.startswith("-") and body == "0")
 
 
 def _int_column(
-    path: Path, name: str, values: Sequence[str]
+    path: Path,
+    name: str,
+    values: Sequence[str],
+    first_line: int = 2,
 ) -> np.ndarray:
+    """Parse one block of an integer column, strictly.
+
+    The happy path is a single ``map(int, …)`` pass plus a canonicality
+    sweep; only the error path rescans to locate the offending line.
+    """
     try:
-        return np.fromiter(map(int, values), dtype=np.int64, count=len(values))
+        parsed = np.fromiter(
+            map(int, values), dtype=np.int64, count=len(values)
+        )
     except ValueError:
-        for line_no, value in enumerate(values, start=2):
-            try:
-                int(value)
-            except ValueError:
+        parsed = None
+    if parsed is not None and all(map(_is_canonical_int, values)):
+        return parsed
+    for line_no, value in enumerate(values, start=first_line):
+        if not _is_canonical_int(value):
+            raise SchemaError(
+                f"{path}:{line_no}: column {name!r} "
+                f"expects an integer, got {value!r}"
+            )
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _open_reader(path: Path) -> Tuple[object, Iterator[List[str]], List[str]]:
+    handle = path.open(newline="")
+    reader = csv.reader(handle)
+    header = next(reader, None)
+    if header is None:
+        handle.close()
+        raise SchemaError(f"{path} is empty")
+    return handle, reader, header
+
+
+def _iter_blocks(
+    path: Path,
+    reader: Iterator[List[str]],
+    width: int,
+    block_rows: int,
+) -> Iterator[Tuple[int, List[List[str]]]]:
+    """Yield ``(first_line_no, rows)`` blocks, validating field counts."""
+    line_no = 2
+    while True:
+        rows = list(itertools.islice(reader, block_rows))
+        if not rows:
+            return
+        for offset, raw in enumerate(rows):
+            if len(raw) != width:
                 raise SchemaError(
-                    f"{path}:{line_no}: column {name!r} "
-                    f"expects an integer, got {value!r}"
-                ) from None
-        raise  # pragma: no cover - unreachable
+                    f"{path}:{line_no + offset}: expected {width} fields, "
+                    f"got {len(raw)}"
+                )
+        yield line_no, rows
+        line_no += len(rows)
+
+
+def _block_columns(
+    path: Path,
+    schema: Schema,
+    rows: List[List[str]],
+    first_line: int,
+) -> Dict[str, np.ndarray]:
+    columns: Dict[str, np.ndarray] = {}
+    for i, spec in enumerate(schema):
+        values = [row[i] for row in rows]
+        if spec.dtype is Dtype.INT:
+            columns[spec.name] = _int_column(
+                path, spec.name, values, first_line
+            )
+        else:
+            columns[spec.name] = np.asarray(values, dtype=object)
+    return columns
+
+
+def _check_header(path: Path, header: List[str], schema: Schema) -> None:
+    if tuple(header) != schema.names:
+        raise SchemaError(
+            f"{path} header {tuple(header)} does not match schema "
+            f"{schema.names}"
+        )
+
+
+def _with_key(schema: Schema, key: Optional[str]) -> Schema:
+    if key is not None:
+        return Schema(list(schema.columns), key=key)
+    return schema
 
 
 def read_csv(
     path: Union[str, Path],
     schema: Schema,
     key: Optional[str] = None,
+    block_rows: int = BLOCK_ROWS,
 ) -> Relation:
     """Read a relation from ``path`` using ``schema`` for types.
 
@@ -70,62 +178,105 @@ def read_csv(
     included); ``key`` overrides the schema's key when given.
     """
     path = Path(path)
-    header, raw_rows = _read_raw(path)
-    if tuple(header) != schema.names:
-        raise SchemaError(
-            f"{path} header {tuple(header)} does not match schema "
-            f"{schema.names}"
-        )
-    for line_no, raw in enumerate(raw_rows, start=2):
-        if len(raw) != len(schema):
-            raise SchemaError(
-                f"{path}:{line_no}: expected {len(schema)} fields, "
-                f"got {len(raw)}"
+    handle, reader, header = _open_reader(path)
+    with handle:
+        _check_header(path, header, schema)
+        parts: Dict[str, List[np.ndarray]] = {
+            spec.name: [] for spec in schema
+        }
+        for first_line, rows in _iter_blocks(
+            path, reader, len(schema), block_rows
+        ):
+            block = _block_columns(path, schema, rows, first_line)
+            for name, arr in block.items():
+                parts[name].append(arr)
+    columns = {
+        spec.name: (
+            np.concatenate(parts[spec.name])
+            if parts[spec.name]
+            else np.asarray(
+                [], dtype=np.int64 if spec.dtype is Dtype.INT else object
             )
-    raw_columns = list(zip(*raw_rows)) if raw_rows else [()] * len(schema)
-    columns = {}
-    for spec, values in zip(schema, raw_columns):
-        if spec.dtype is Dtype.INT:
-            columns[spec.name] = _int_column(path, spec.name, values)
-        else:
-            columns[spec.name] = np.asarray(values, dtype=object)
-    if key is not None:
-        schema = Schema(list(schema.columns), key=key)
-    return Relation(schema, columns)
+        )
+        for spec in schema
+    }
+    return Relation(_with_key(schema, key), columns)
+
+
+def read_csv_store(
+    path: Union[str, Path],
+    schema: Schema,
+    *,
+    key: Optional[str] = None,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    directory: Optional[Union[str, Path]] = None,
+    block_rows: int = BLOCK_ROWS,
+) -> Relation:
+    """Read a CSV straight into a chunked on-disk column store.
+
+    Each row block is parsed and appended to the store immediately;
+    nothing proportional to the file size stays in RAM.  ``directory``
+    of ``None`` uses a temporary directory tied to the relation's
+    lifetime.
+    """
+    path = Path(path)
+    handle, reader, header = _open_reader(path)
+    with handle:
+        _check_header(path, header, schema)
+        writer = MmapStoreWriter(
+            directory,
+            [
+                (spec.name, "int" if spec.dtype is Dtype.INT else "dict")
+                for spec in schema
+            ],
+            chunk_rows=chunk_rows,
+        )
+        for first_line, rows in _iter_blocks(
+            path, reader, len(schema), block_rows
+        ):
+            writer.append(_block_columns(path, schema, rows, first_line))
+    return Relation(_with_key(schema, key), writer.finalize())
+
+
+def infer_csv_schema(
+    path: Union[str, Path],
+    key: Optional[str] = None,
+    block_rows: int = BLOCK_ROWS,
+) -> Schema:
+    """Infer a schema from the data in one streaming pass.
+
+    A column whose every value is a canonical integer literal becomes
+    :attr:`Dtype.INT`; everything else (including a column with no rows)
+    stays a string.
+    """
+    path = Path(path)
+    handle, reader, header = _open_reader(path)
+    with handle:
+        int_ok = [True] * len(header)
+        saw_rows = False
+        for _, rows in _iter_blocks(path, reader, len(header), block_rows):
+            saw_rows = True
+            for i in range(len(header)):
+                if int_ok[i]:
+                    int_ok[i] = all(
+                        _is_canonical_int(row[i]) for row in rows
+                    )
+    specs = [
+        ColumnSpec(name, Dtype.INT if saw_rows and ok else Dtype.STR)
+        for name, ok in zip(header, int_ok)
+    ]
+    return Schema(specs, key=key)
 
 
 def read_csv_infer(
-    path: Union[str, Path], key: Optional[str] = None
+    path: Union[str, Path],
+    key: Optional[str] = None,
+    block_rows: int = BLOCK_ROWS,
 ) -> Relation:
     """Read a CSV inferring column types from the data.
 
-    A column whose every value parses as an integer becomes
-    :attr:`Dtype.INT`; everything else stays a string.  Used by the CLI,
-    where no schema object exists up front.
+    Inference and parsing are two streaming passes over the file.  Used
+    by the CLI, where no schema object exists up front.
     """
-    path = Path(path)
-    header, raw_rows = _read_raw(path)
-    for line_no, raw in enumerate(raw_rows, start=2):
-        if len(raw) != len(header):
-            raise SchemaError(
-                f"{path}:{line_no}: expected {len(header)} fields, "
-                f"got {len(raw)}"
-            )
-    raw_columns = list(zip(*raw_rows)) if raw_rows else [()] * len(header)
-    specs = []
-    columns = {}
-    for name, values in zip(header, raw_columns):
-        parsed: Optional[np.ndarray] = None
-        if values:
-            try:
-                parsed = np.fromiter(
-                    map(int, values), dtype=np.int64, count=len(values)
-                )
-            except ValueError:
-                parsed = None
-        dtype = Dtype.INT if parsed is not None else Dtype.STR
-        specs.append(ColumnSpec(name, dtype))
-        columns[name] = (
-            parsed if parsed is not None else np.asarray(values, dtype=object)
-        )
-    return Relation(Schema(specs, key=key), columns)
+    schema = infer_csv_schema(path, key=key, block_rows=block_rows)
+    return read_csv(path, schema, block_rows=block_rows)

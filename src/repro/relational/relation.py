@@ -5,11 +5,31 @@ for integer columns and ``object`` for categorical columns.  It supports the
 operations the paper's algorithms need: vectorised selection, projection,
 group-by counting, distinct-row enumeration and appends.  The engine plays
 the role Pandas played in the authors' implementation.
+
+Physical storage lives behind the :class:`~repro.relational.store.ColumnStore`
+contract.  The default :class:`~repro.relational.store.NumpyColumnStore`
+keeps every column in RAM exactly as before; a relation built on a chunked
+(disk-backed) store streams its masks, factorizations and group-by kernels
+chunk-by-chunk so peak memory stays bounded by the chunk size, not the row
+count.  Column arrays are frozen (``writeable=False``) — "immutable by
+convention" is what keeps ``codes()``/key-sorter caches sound, and the
+flag enforces it.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -17,6 +37,12 @@ from repro.errors import KeyLookupError, SchemaError
 from repro.relational.ordering import tuple_sort_key
 from repro.relational.predicate import Predicate
 from repro.relational.schema import ColumnSpec, Schema
+from repro.relational.store import (
+    ColumnStore,
+    CompositeStore,
+    MmapStoreWriter,
+    NumpyColumnStore,
+)
 from repro.relational.types import Dtype, infer_dtype
 
 __all__ = ["Relation"]
@@ -24,6 +50,10 @@ __all__ = ["Relation"]
 
 def _storage_dtype(dtype: Dtype) -> object:
     return np.int64 if dtype is Dtype.INT else object
+
+
+def _scalar(value: object) -> object:
+    return value.item() if isinstance(value, np.generic) else value
 
 
 def _factorize(arr: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -49,27 +79,68 @@ def _factorize(arr: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         return codes, np.asarray(list(first_seen), dtype=object)
 
 
-class Relation:
-    """An immutable-by-convention columnar table with a :class:`Schema`."""
+#: ``(uniques, slice_fn)`` — global sorted-or-stable uniques of a column
+#: plus a callable mapping ``(start, stop)`` to that range's global codes.
+_CodesInfo = Tuple[np.ndarray, Callable[[int, int], np.ndarray]]
 
-    def __init__(self, schema: Schema, columns: Mapping[str, np.ndarray]) -> None:
+
+class Relation:
+    """An immutable columnar table with a :class:`Schema`.
+
+    ``columns`` may be a plain mapping of column data (stored in RAM, the
+    historical behaviour) or any :class:`ColumnStore` — in particular a
+    chunked disk-backed store, in which case the relation never holds more
+    than a chunk of any column at a time for the streaming-capable
+    operations (``mask``, ``codes``, the group-by kernels, CSV export).
+    Operations with inherently materialised results (``take``,
+    ``where_mask``, ``concat``, ``append_rows``, ``copy``) return in-RAM
+    relations whatever the input backend.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        columns: Union[Mapping[str, np.ndarray], ColumnStore],
+    ) -> None:
         self.schema = schema
-        self._columns: Dict[str, np.ndarray] = {}
         # Per-column factorization codes and the key-column sorter,
-        # computed once on first use (the relation is immutable by
-        # convention, so neither goes stale).
+        # computed once on first use (the relation is immutable, so
+        # neither goes stale).
         self._code_cache: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
         self._key_sorter_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        if isinstance(columns, ColumnStore):
+            for spec in schema:
+                if spec.name not in columns.names:
+                    raise SchemaError(
+                        f"missing data for column {spec.name!r}"
+                    )
+            if tuple(columns.names) != schema.names:
+                columns = columns.select(schema.names)
+            self._store: ColumnStore = columns
+            self._n = columns.num_rows
+            if columns.is_chunked:
+                # Never materialise full columns of a disk-backed store.
+                self._columns: Dict[str, np.ndarray] = {}
+            else:
+                self._columns = {}
+                for name in schema.names:
+                    arr = columns.column(name)
+                    arr.setflags(write=False)
+                    self._columns[name] = arr
+            return
+        self._columns = {}
         lengths = set()
         for spec in schema:
             if spec.name not in columns:
                 raise SchemaError(f"missing data for column {spec.name!r}")
             arr = np.asarray(columns[spec.name], dtype=_storage_dtype(spec.dtype))
+            arr.setflags(write=False)
             self._columns[spec.name] = arr
             lengths.add(len(arr))
         if len(lengths) > 1:
             raise SchemaError(f"ragged columns: lengths {sorted(lengths)}")
         self._n = lengths.pop() if lengths else 0
+        self._store = NumpyColumnStore(self._columns)
 
     # ------------------------------------------------------------------
     # Constructors
@@ -92,7 +163,7 @@ class Relation:
         columns = {
             name: [row[i] for row in rows] for i, name in enumerate(names)
         }
-        return cls(schema, {n: np.asarray(v, dtype=_storage_dtype(schema.dtype(n))) for n, v in columns.items()})
+        return cls(schema, columns)
 
     @classmethod
     def from_dicts(
@@ -101,7 +172,7 @@ class Relation:
         """Build a relation from row dictionaries."""
         rows = list(rows)
         columns = {name: [row[name] for row in rows] for name in schema.names}
-        return cls(schema, {n: np.asarray(v, dtype=_storage_dtype(schema.dtype(n))) for n, v in columns.items()})
+        return cls(schema, columns)
 
     @classmethod
     def from_columns(
@@ -127,50 +198,143 @@ class Relation:
         )
 
     # ------------------------------------------------------------------
+    # Storage accessors
+    # ------------------------------------------------------------------
+    @property
+    def store(self) -> ColumnStore:
+        """The physical column store backing this relation."""
+        return self._store
+
+    @property
+    def is_chunked(self) -> bool:
+        """Whether this relation streams chunk-by-chunk from disk."""
+        return self._store.is_chunked
+
+    @property
+    def chunk_rows(self) -> int:
+        return self._store.chunk_rows
+
+    def chunk_bounds(self) -> Iterator[Tuple[int, int]]:
+        """Consecutive ``(start, stop)`` row ranges covering the rows
+        (a single range for in-RAM relations)."""
+        return self._store.chunk_bounds()
+
+    def to_store(
+        self,
+        chunk_rows: int,
+        directory: Optional[object] = None,
+    ) -> "Relation":
+        """A disk-backed copy of this relation (same schema and values).
+
+        Object columns are dictionary-encoded on disk; ``directory=None``
+        writes into a temporary directory whose lifetime is tied to the
+        returned relation's store.
+        """
+        writer = MmapStoreWriter(
+            directory,
+            [
+                (spec.name, "int" if spec.dtype is Dtype.INT else "dict")
+                for spec in self.schema
+            ],
+            chunk_rows=chunk_rows,
+        )
+        for start, stop in _strided_bounds(self._n, chunk_rows):
+            writer.append(
+                {
+                    name: self._store.column_slice(name, start, stop)
+                    for name in self.schema.names
+                }
+            )
+        return Relation(self.schema, writer.finalize())
+
+    # ------------------------------------------------------------------
     # Basic accessors
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return self._n
 
     def column(self, name: str) -> np.ndarray:
-        if name not in self._columns:
-            raise SchemaError(f"no column named {name!r}")
-        return self._columns[name]
+        """The full column as a read-only array.
+
+        On a chunked relation this materialises the column (one read per
+        call; nothing is cached, so the budget-conscious paths should
+        prefer ``mask``/``codes``/the group-by kernels, which stream).
+        """
+        arr = self._columns.get(name)
+        if arr is None:
+            if name not in self.schema:
+                raise SchemaError(f"no column named {name!r}")
+            arr = self._store.column(name)
+            arr.setflags(write=False)
+        return arr
 
     @property
     def columns(self) -> Dict[str, np.ndarray]:
-        return dict(self._columns)
+        return {name: self.column(name) for name in self.schema.names}
+
+    def _cell(self, name: str, i: int) -> object:
+        if name in self._columns:
+            return self._columns[name][i]
+        return self._store.column_slice(name, i, i + 1)[0]
 
     def row(self, i: int) -> dict:
-        return {name: self._columns[name][i] for name in self.schema.names}
+        return {name: self._cell(name, i) for name in self.schema.names}
 
     def row_tuple(self, i: int, names: Optional[Sequence[str]] = None) -> tuple:
         names = names if names is not None else self.schema.names
-        return tuple(self._columns[name][i] for name in names)
+        return tuple(self._cell(name, i) for name in names)
 
     def iter_rows(self) -> Iterator[dict]:
         names = self.schema.names
-        cols = [self._columns[name] for name in names]
-        for i in range(self._n):
-            yield {name: col[i] for name, col in zip(names, cols)}
+        for start, stop in self._store.chunk_bounds():
+            cols = [
+                self._store.column_slice(name, start, stop) for name in names
+            ]
+            for i in range(stop - start):
+                yield {name: col[i] for name, col in zip(names, cols)}
 
     def to_rows(self) -> List[tuple]:
         names = self.schema.names
-        cols = [self._columns[name] for name in names]
+        cols = [self.column(name) for name in names]
         return [tuple(col[i] for col in cols) for i in range(self._n)]
 
     # ------------------------------------------------------------------
     # Relational operations
     # ------------------------------------------------------------------
     def mask(self, predicate: Predicate) -> np.ndarray:
-        """Boolean selection mask for a predicate."""
+        """Boolean selection mask for a predicate.
+
+        Chunked relations evaluate condition-by-condition over column
+        slices; dictionary-encoded columns evaluate each condition once
+        on the (small) dictionary and gather the per-row answer through
+        the codes — no object column is ever materialised.
+        """
         self.schema.require(predicate.attributes)
-        return predicate.mask(self._columns, self._n)
+        if not self._store.is_chunked:
+            return predicate.mask(self._columns, self._n)
+        out = np.ones(self._n, dtype=bool)
+        for attr, cond in predicate.items:
+            values = self._store.dictionary(attr)
+            if values is not None:
+                lut = (
+                    cond.mask(np.asarray(values, dtype=object))
+                    if values
+                    else np.empty(0, dtype=bool)
+                )
+                for start, stop in self._store.chunk_bounds():
+                    codes = self._store.codes_slice(attr, start, stop)
+                    out[start:stop] &= lut[codes]
+            else:
+                for start, stop in self._store.chunk_bounds():
+                    out[start:stop] &= cond.mask(
+                        self._store.column_slice(attr, start, stop)
+                    )
+        return out
 
     def where_mask(self, mask: np.ndarray) -> "Relation":
         return Relation(
             self.schema,
-            {name: arr[mask] for name, arr in self._columns.items()},
+            {name: self.column(name)[mask] for name in self.schema.names},
         )
 
     def select(self, predicate: Predicate) -> "Relation":
@@ -183,12 +347,12 @@ class Relation:
         idx = np.asarray(indices, dtype=np.int64)
         return Relation(
             self.schema,
-            {name: arr[idx] for name, arr in self._columns.items()},
+            {name: self.column(name)[idx] for name in self.schema.names},
         )
 
     def project(self, names: Sequence[str]) -> "Relation":
         sub = self.schema.project(names)
-        return Relation(sub, {n: self._columns[n] for n in names})
+        return Relation(sub, self._store.select(names))
 
     def codes(self, name: str) -> Tuple[np.ndarray, np.ndarray]:
         """``(codes, uniques)`` factorization of one column, cached.
@@ -199,17 +363,67 @@ class Relation:
         column is scanned at most once per relation lifetime.  Codes from
         the ``np.unique`` fast path follow the sorted order of the
         values; the dict fallback only guarantees equal-value/equal-code.
+
+        Chunked relations factorize in two streaming passes (global
+        uniques, then per-chunk code mapping); dictionary-encoded columns
+        skip the first pass because the dictionary *is* the unique set.
+        The resulting code space is identical to the in-RAM one.
         """
-        if name not in self._columns:
+        if name not in self.schema:
             raise SchemaError(f"no column named {name!r}")
         entry = self._code_cache.get(name)
         if entry is None:
-            entry = _factorize(self._columns[name])
+            if self._store.is_chunked:
+                uniques, slice_fn = self._codes_info(name)
+                codes = np.empty(self._n, dtype=np.int64)
+                for start, stop in self._store.chunk_bounds():
+                    codes[start:stop] = slice_fn(start, stop)
+                entry = (codes, uniques)
+            else:
+                entry = _factorize(self.column(name))
             self._code_cache[name] = entry
         return entry
 
     # Backward-compatible private alias (pre-1.x internal name).
     _column_codes = codes
+
+    def _codes_info(self, name: str) -> _CodesInfo:
+        """Global uniques plus a per-range code mapper, without holding
+        full-column codes (unless they are already cached)."""
+        entry = self._code_cache.get(name)
+        if entry is not None:
+            codes, uniques = entry
+            return uniques, lambda a, b: codes[a:b]
+        store = self._store
+        if not store.is_chunked:
+            codes, uniques = self.codes(name)
+            return uniques, lambda a, b: codes[a:b]
+        values = store.dictionary(name)
+        if values is not None:
+            arr = np.asarray(values, dtype=object)
+            try:
+                perm = np.argsort(arr)
+            except TypeError:
+                # Unsortable dictionary: disk codes already satisfy
+                # equal-value/equal-code (first-seen order, matching the
+                # in-RAM dict fallback).
+                return arr, lambda a, b: store.codes_slice(name, a, b)
+            remap = np.empty(len(arr), dtype=np.int64)
+            remap[perm] = np.arange(len(arr), dtype=np.int64)
+            uniques = arr[perm]
+            return uniques, lambda a, b: remap[store.codes_slice(name, a, b)]
+        parts = [
+            np.unique(store.column_slice(name, a, b))
+            for a, b in store.chunk_bounds()
+        ]
+        uniques = (
+            np.unique(np.concatenate(parts))
+            if parts
+            else np.empty(0, dtype=np.int64)
+        )
+        return uniques, lambda a, b: np.searchsorted(
+            uniques, store.column_slice(name, a, b)
+        )
 
     def _group_slices(
         self, names: Sequence[str]
@@ -225,9 +439,11 @@ class Relation:
         n = self._n
         if n == 0:
             return [], np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
-        cols = [self._columns[name] for name in names]
-        if not cols:
+        if not names:
             return [()], np.arange(n, dtype=np.int64), np.zeros(1, dtype=np.int64)
+        if self._store.is_chunked:
+            return self._group_slices_chunked(names)
+        cols = [self.column(name) for name in names]
         codes = [self._column_codes(name)[0] for name in names]
         # lexsort treats its *last* key as primary; reverse so names[0] leads.
         order = np.lexsort(codes[::-1])
@@ -237,6 +453,52 @@ class Relation:
         first_rows = order[starts]
         keys = list(zip(*(col[first_rows].tolist() for col in cols)))
         return keys, order, starts
+
+    def _group_slices_chunked(
+        self, names: Sequence[str]
+    ) -> Tuple[List[tuple], np.ndarray, np.ndarray]:
+        """Chunk-merge variant of :meth:`_group_slices`.
+
+        Each chunk is lexsorted and split on *global* codes; per-group row
+        runs are then merged across chunks in ascending code-tuple order —
+        exactly the order (and content) one global lexsort would emit,
+        because a stable global lexsort lists groups by ascending code
+        tuple and rows within a group by ascending index.
+        """
+        infos = [self._codes_info(name) for name in names]
+        groups: Dict[tuple, List[np.ndarray]] = {}
+        for start, stop in self._store.chunk_bounds():
+            cols = [slice_fn(start, stop) for _, slice_fn in infos]
+            order = np.lexsort(cols[::-1])
+            stacked = np.vstack([c[order] for c in cols])
+            change = (stacked[:, 1:] != stacked[:, :-1]).any(axis=0)
+            starts = np.flatnonzero(np.concatenate(([True], change)))
+            bounds = np.append(starts, stop - start)
+            rows = order + start
+            for g, s in enumerate(starts):
+                sig = tuple(int(c) for c in stacked[:, s])
+                groups.setdefault(sig, []).append(rows[s:bounds[g + 1]])
+        keys: List[tuple] = []
+        starts_list: List[int] = []
+        order_parts: List[np.ndarray] = []
+        offset = 0
+        for sig in sorted(groups):
+            parts = groups[sig]
+            keys.append(
+                tuple(
+                    _scalar(uniques[c])
+                    for (uniques, _), c in zip(infos, sig)
+                )
+            )
+            starts_list.append(offset)
+            order_parts.extend(parts)
+            offset += sum(len(p) for p in parts)
+        order = (
+            np.concatenate(order_parts)
+            if order_parts
+            else np.empty(0, dtype=np.int64)
+        )
+        return keys, order, np.asarray(starts_list, dtype=np.int64)
 
     def distinct(self, names: Sequence[str]) -> List[tuple]:
         """Distinct value combinations, in canonical order.
@@ -251,25 +513,30 @@ class Relation:
         """Count rows per distinct combination of the given columns.
 
         When the product of column cardinalities is modest the counts come
-        from one ``np.bincount`` over fused codes — no sort at all; larger
-        key spaces fall back to the lexsort-and-split kernel.
+        from ``np.bincount`` over fused codes — no sort at all, and one
+        chunk at a time on disk-backed relations; larger key spaces fall
+        back to the (chunk-merging) lexsort-and-split kernel.
         """
         self.schema.require(names)
         n = self._n
         if n and names:
-            entries = [self._column_codes(name) for name in names]
+            infos = [self._codes_info(name) for name in names]
             cells = 1
-            for _, uniques in entries:
+            for uniques, _ in infos:
                 cells *= len(uniques)
             if 0 < cells <= max(4 * n, 1024):
-                combined = entries[0][0]
-                for codes, uniques in entries[1:]:
-                    combined = combined * len(uniques) + codes
-                counts = np.bincount(combined, minlength=cells)
+                counts = np.zeros(cells, dtype=np.int64)
+                for start, stop in self._store.chunk_bounds():
+                    combined = infos[0][1](start, stop)
+                    for uniques, slice_fn in infos[1:]:
+                        combined = combined * len(uniques) + slice_fn(
+                            start, stop
+                        )
+                    counts += np.bincount(combined, minlength=cells)
                 occupied = np.flatnonzero(counts)
                 key_columns = []
                 remainder = occupied
-                for codes, uniques in reversed(entries):
+                for uniques, _ in reversed(infos):
                     remainder, local = np.divmod(remainder, len(uniques))
                     key_columns.append(uniques[local].tolist())
                 keys = list(zip(*reversed(key_columns)))
@@ -294,7 +561,7 @@ class Relation:
     def group_counts_naive(self, names: Sequence[str]) -> Dict[tuple, int]:
         self.schema.require(names)
         counts: Dict[tuple, int] = {}
-        cols = [self._columns[name] for name in names]
+        cols = [self.column(name) for name in names]
         for i in range(self._n):
             key = tuple(col[i] for col in cols)
             counts[key] = counts.get(key, 0) + 1
@@ -303,14 +570,18 @@ class Relation:
     def group_indices_naive(self, names: Sequence[str]) -> Dict[tuple, np.ndarray]:
         self.schema.require(names)
         groups: Dict[tuple, list] = {}
-        cols = [self._columns[name] for name in names]
+        cols = [self.column(name) for name in names]
         for i in range(self._n):
             key = tuple(col[i] for col in cols)
             groups.setdefault(key, []).append(i)
         return {k: np.asarray(v, dtype=np.int64) for k, v in groups.items()}
 
     def with_column(self, spec: ColumnSpec, values: Sequence[object]) -> "Relation":
-        """A copy of this relation with one extra column appended."""
+        """A copy of this relation with one extra column appended.
+
+        On a chunked relation the existing columns stay on disk; only the
+        new column is held in RAM, overlaid via a composite store.
+        """
         if spec.name in self.schema:
             raise SchemaError(f"column {spec.name!r} already exists")
         if len(values) != self._n:
@@ -319,8 +590,19 @@ class Relation:
                 f"{self._n} rows"
             )
         schema = self.schema.extend([spec])
+        extra = np.asarray(values, dtype=_storage_dtype(spec.dtype))
+        if self._store.is_chunked:
+            extra.setflags(write=False)
+            parts = {
+                name: (self._store, name) for name in self.schema.names
+            }
+            parts[spec.name] = (
+                NumpyColumnStore({spec.name: extra}),
+                spec.name,
+            )
+            return Relation(schema, CompositeStore(parts))
         columns = dict(self._columns)
-        columns[spec.name] = np.asarray(values, dtype=_storage_dtype(spec.dtype))
+        columns[spec.name] = extra
         return Relation(schema, columns)
 
     def drop_column(self, name: str) -> "Relation":
@@ -341,21 +623,22 @@ class Relation:
                 [row[i] for row in rows],
                 dtype=_storage_dtype(self.schema.dtype(name)),
             )
-            columns[name] = np.concatenate([self._columns[name], extra])
+            columns[name] = np.concatenate([self.column(name), extra])
         return Relation(self.schema, columns)
 
     def concat(self, other: "Relation") -> "Relation":
         if other.schema.names != self.schema.names:
             raise SchemaError("cannot concat relations with different schemas")
         columns = {
-            name: np.concatenate([self._columns[name], other._columns[name]])
+            name: np.concatenate([self.column(name), other.column(name)])
             for name in self.schema.names
         }
         return Relation(self.schema, columns)
 
     def copy(self) -> "Relation":
         return Relation(
-            self.schema, {n: arr.copy() for n, arr in self._columns.items()}
+            self.schema,
+            {name: self.column(name).copy() for name in self.schema.names},
         )
 
     # ------------------------------------------------------------------
@@ -364,7 +647,7 @@ class Relation:
     def _key_column(self) -> np.ndarray:
         if self.schema.key is None:
             raise SchemaError("relation has no key column")
-        return self._columns[self.schema.key]
+        return self.column(self.schema.key)
 
     def key_index(self) -> Dict[object, int]:
         """Map each key value to its row index (key column required)."""
@@ -464,3 +747,8 @@ class Relation:
         ]
         suffix = [] if self._n <= limit else [f"... ({self._n - limit} more rows)"]
         return "\n".join([header, sep, *body, *suffix])
+
+
+def _strided_bounds(n: int, step: int) -> Iterator[Tuple[int, int]]:
+    for start in range(0, n, max(step, 1)):
+        yield start, min(start + step, n)

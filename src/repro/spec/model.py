@@ -21,10 +21,15 @@ from repro.constraints.parser import parse_cc, parse_dc
 from repro.constraints.textio import format_cc, format_dc
 from repro.core.config import SolverConfig
 from repro.errors import SchemaError
-from repro.relational.csvio import read_csv_infer
+from repro.relational.csvio import (
+    infer_csv_schema,
+    read_csv_infer,
+    read_csv_store,
+)
 from repro.relational.database import Database
 from repro.relational.relation import Relation
 from repro.relational.schema import ColumnSpec, Schema
+from repro.relational.store import StorageOptions
 from repro.relational.types import Dtype
 
 __all__ = ["RelationSpec", "EdgeSpec", "SynthesisSpec"]
@@ -74,18 +79,50 @@ class RelationSpec:
                 "(columns, csv or relation)"
             )
 
-    def build(self, base_dir: Optional[Path] = None) -> Relation:
-        """Materialise the relation this spec describes."""
+    def build(
+        self,
+        base_dir: Optional[Path] = None,
+        storage: Optional[StorageOptions] = None,
+    ) -> Relation:
+        """Materialise the relation this spec describes.
+
+        With an ``"mmap"`` :class:`StorageOptions` the result is backed by
+        a chunked on-disk column store; a CSV source streams straight from
+        the file to disk without ever materialising the table.  The values
+        (and therefore the synthesis output) are identical either way.
+        """
+        spill = storage is not None and storage.storage == "mmap"
         if self.relation is not None:
+            if spill and not self.relation.is_chunked:
+                return self.relation.to_store(
+                    storage.chunk_rows,
+                    storage.relation_directory(self.name),
+                )
             return self.relation
         if self.csv is not None:
             path = Path(self.csv)
             if not path.is_absolute() and base_dir is not None:
                 path = Path(base_dir) / path
+            if spill and not self.dtypes:
+                schema = infer_csv_schema(path, key=self.key)
+                return read_csv_store(
+                    path,
+                    schema,
+                    chunk_rows=storage.chunk_rows,
+                    directory=storage.relation_directory(self.name),
+                )
             built = read_csv_infer(path, key=self.key)
         else:
             built = Relation.from_columns(dict(self.columns), key=self.key)
-        return self._apply_dtypes(built)
+        built = self._apply_dtypes(built)
+        if spill:
+            # Inline columns and dtype-overridden CSVs are small; convert
+            # after the (identical) in-RAM build so overrides keep their
+            # lenient coercion semantics on both backends.
+            built = built.to_store(
+                storage.chunk_rows, storage.relation_directory(self.name)
+            )
+        return built
 
     def _apply_dtypes(self, relation: Relation) -> Relation:
         if not self.dtypes:
@@ -428,12 +465,26 @@ class SynthesisSpec:
             )
         return roots[0]
 
+    def storage_options(self) -> Optional[StorageOptions]:
+        """The relation-storage policy implied by the solver options
+        (``None`` for the default all-in-RAM backend)."""
+        if self.options.storage == "numpy":
+            return None
+        return StorageOptions(
+            storage=self.options.storage,
+            chunk_rows=self.options.chunk_rows,
+            directory=self.options.storage_dir,
+        )
+
     def to_database(self) -> Database:
         """Materialise every relation and declare every FK edge."""
         self.validate()
+        storage = self.storage_options()
         database = Database()
         for spec in self.relations:
-            database.add_relation(spec.name, spec.build(self.base_dir))
+            database.add_relation(
+                spec.name, spec.build(self.base_dir, storage)
+            )
         for edge in self.edges:
             database.add_foreign_key(edge.child, edge.column, edge.parent)
         return database

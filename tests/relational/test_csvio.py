@@ -1,9 +1,16 @@
 """CSV round-tripping."""
 
+import numpy as np
 import pytest
 
 from repro.errors import SchemaError
-from repro.relational.csvio import read_csv, read_csv_infer, write_csv
+from repro.relational.csvio import (
+    infer_csv_schema,
+    read_csv,
+    read_csv_infer,
+    read_csv_store,
+    write_csv,
+)
 from repro.relational.relation import Relation
 from repro.relational.schema import ColumnSpec, Schema
 from repro.relational.types import Dtype
@@ -53,3 +60,57 @@ def test_ragged_rows_rejected_with_line_number(tmp_path):
     path.write_text("a,b,c\n1,2,3\n4,5\n7,8,9\n")
     with pytest.raises(SchemaError, match="ragged.csv:3"):
         read_csv_infer(path)
+
+
+def test_block_streaming_matches_single_pass(tmp_path, relation):
+    path = tmp_path / "persons.csv"
+    write_csv(relation, path)
+    loaded = read_csv(path, relation.schema, block_rows=1)
+    assert loaded.to_rows() == relation.to_rows()
+    inferred = read_csv_infer(path, key="pid", block_rows=1)
+    assert inferred.to_rows() == relation.to_rows()
+
+
+def test_read_csv_store_streams_to_disk(tmp_path, relation):
+    path = tmp_path / "persons.csv"
+    write_csv(relation, path)
+    disk = read_csv_store(
+        path, relation.schema, chunk_rows=1,
+        directory=tmp_path / "store", block_rows=1,
+    )
+    assert disk.is_chunked
+    assert disk.to_rows() == relation.to_rows()
+    assert (tmp_path / "store" / "manifest.json").exists()
+
+
+INVALID_INT_LITERALS = ["1_000", " 3", "3 ", "+7", "00", "-0", "٣", "1e3"]
+
+
+@pytest.mark.parametrize("literal", INVALID_INT_LITERALS)
+def test_non_canonical_int_literal_rejected(tmp_path, literal):
+    """Strict parsing: only canonical base-10 ASCII integers pass."""
+    path = tmp_path / "strict.csv"
+    path.write_text(f"pid,Age\n1,30\n2,{literal}\n")
+    schema = Schema(
+        [ColumnSpec("pid", Dtype.INT), ColumnSpec("Age", Dtype.INT)],
+        key="pid",
+    )
+    with pytest.raises(SchemaError, match="strict.csv:3"):
+        read_csv(path, schema)
+
+
+@pytest.mark.parametrize("literal", INVALID_INT_LITERALS)
+def test_inference_demotes_non_canonical_ints_to_str(tmp_path, literal):
+    path = tmp_path / "strict.csv"
+    path.write_text(f"pid,Age\n1,30\n2,{literal}\n")
+    schema = infer_csv_schema(path, key="pid")
+    assert schema.dtype("Age") is Dtype.STR
+    assert schema.dtype("pid") is Dtype.INT
+
+
+def test_canonical_negative_ints_accepted(tmp_path):
+    path = tmp_path / "neg.csv"
+    path.write_text("pid,Delta\n1,-30\n2,0\n3,-1\n")
+    loaded = read_csv_infer(path, key="pid")
+    assert loaded.schema.dtype("Delta") is Dtype.INT
+    assert np.array_equal(loaded.column("Delta"), [-30, 0, -1])

@@ -1,0 +1,224 @@
+"""Unit tests for the column-store backends and chunked relation kernels."""
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import (
+    ColumnSpec,
+    CompositeStore,
+    Dtype,
+    MmapColumnStore,
+    MmapStoreWriter,
+    NumpyColumnStore,
+    Relation,
+    Schema,
+    StorageOptions,
+)
+from repro.relational.predicate import Interval, Predicate, ValueSet
+
+
+def _sample_relation(n=500, seed=0):
+    rng = np.random.default_rng(seed)
+    schema = Schema(
+        [
+            ColumnSpec("id", Dtype.INT),
+            ColumnSpec("cat", Dtype.STR),
+            ColumnSpec("v", Dtype.INT),
+        ],
+        key="id",
+    )
+    return Relation(
+        schema,
+        {
+            "id": np.arange(n),
+            "cat": np.asarray(
+                [f"k{int(i) % 7}" for i in rng.integers(0, 50, n)],
+                dtype=object,
+            ),
+            "v": rng.integers(0, 20, n),
+        },
+    )
+
+
+class TestMmapStore:
+    def test_roundtrip_values(self, tmp_path):
+        rel = _sample_relation()
+        disk = rel.to_store(chunk_rows=64, directory=tmp_path / "s")
+        assert disk.is_chunked and disk.chunk_rows == 64
+        for name in rel.schema.names:
+            assert np.array_equal(rel.column(name), disk.column(name))
+
+    def test_column_files_are_real_npy(self, tmp_path):
+        rel = _sample_relation(100)
+        disk = rel.to_store(chunk_rows=32, directory=tmp_path / "s")
+        manifest = json.loads((tmp_path / "s" / "manifest.json").read_text())
+        by_name = {c["name"]: c for c in manifest["columns"]}
+        loaded = np.load(tmp_path / "s" / by_name["id"]["file"])
+        assert np.array_equal(loaded, rel.column("id"))
+        # Dictionary-encoded column: codes on disk + dictionary in the
+        # manifest reconstruct the values.
+        codes = np.load(tmp_path / "s" / by_name["cat"]["file"])
+        decode = np.asarray(manifest["dictionaries"]["cat"], dtype=object)
+        assert np.array_equal(decode[codes], rel.column("cat"))
+
+    def test_pickles_as_directory_path(self, tmp_path):
+        rel = _sample_relation(50)
+        disk = rel.to_store(chunk_rows=16, directory=tmp_path / "s")
+        clone = pickle.loads(pickle.dumps(disk.store))
+        assert isinstance(clone, MmapColumnStore)
+        assert np.array_equal(clone.column("cat"), rel.column("cat"))
+
+    def test_empty_relation(self, tmp_path):
+        rel = Relation.empty(_sample_relation(1).schema)
+        disk = rel.to_store(chunk_rows=4, directory=tmp_path / "s")
+        assert len(disk) == 0
+        assert disk.group_counts(("cat", "v")) == {}
+        assert disk.distinct(("cat",)) == []
+        assert list(disk.store.chunk_bounds()) == []
+
+    def test_not_a_store_errors(self, tmp_path):
+        with pytest.raises(SchemaError):
+            MmapColumnStore(tmp_path)
+
+    def test_writer_rejects_ragged_blocks(self, tmp_path):
+        writer = MmapStoreWriter(
+            tmp_path / "s", [("a", "int"), ("b", "int")], chunk_rows=8
+        )
+        with pytest.raises(SchemaError):
+            writer.append({"a": [1, 2], "b": [1]})
+
+    def test_writer_rejects_unserialisable_dictionary(self, tmp_path):
+        writer = MmapStoreWriter(tmp_path / "s", [("a", "dict")])
+        values = np.empty(1, dtype=object)
+        values[0] = frozenset({"t"})  # hashable but not JSON-serialisable
+        writer.append({"a": values})
+        with pytest.raises(SchemaError):
+            writer.finalize()
+
+    def test_temp_directory_lifecycle(self):
+        rel = _sample_relation(20)
+        disk = rel.to_store(chunk_rows=8)  # no directory: temp-owned
+        directory = disk.store.directory
+        assert (directory / "manifest.json").exists()
+        assert np.array_equal(disk.column("id"), rel.column("id"))
+
+
+class TestChunkedKernels:
+    @pytest.mark.parametrize("chunk_rows", [1, 7, 64, 10_000])
+    def test_group_kernels_match_in_ram(self, chunk_rows):
+        rel = _sample_relation()
+        disk = rel.to_store(chunk_rows=chunk_rows)
+        for names in [("cat",), ("v",), ("cat", "v"), ("v", "cat"), ()]:
+            assert rel.group_counts(names) == disk.group_counts(names)
+            ram, ooc = rel.group_indices(names), disk.group_indices(names)
+            assert list(ram) == list(ooc)
+            for key in ram:
+                assert np.array_equal(ram[key], ooc[key])
+            assert rel.distinct(names) == disk.distinct(names)
+
+    def test_codes_match_in_ram(self):
+        rel = _sample_relation()
+        disk = rel.to_store(chunk_rows=37)
+        for name in ("cat", "v"):
+            ram_codes, ram_uniques = rel.codes(name)
+            ooc_codes, ooc_uniques = disk.codes(name)
+            assert np.array_equal(ram_codes, ooc_codes)
+            assert np.array_equal(ram_uniques, ooc_uniques)
+
+    def test_mask_streams_through_dictionary(self):
+        rel = _sample_relation()
+        disk = rel.to_store(chunk_rows=37)
+        predicate = Predicate(
+            {"cat": ValueSet(frozenset({"k1", "k3"})), "v": Interval(3, 15)}
+        )
+        assert np.array_equal(rel.mask(predicate), disk.mask(predicate))
+
+    def test_key_lookup_and_rows(self):
+        rel = _sample_relation()
+        disk = rel.to_store(chunk_rows=37)
+        lookups = [5, 499, 0, 123]
+        assert np.array_equal(
+            rel.key_positions(lookups), disk.key_positions(lookups)
+        )
+        assert rel.row(17) == disk.row(17)
+        assert rel.row_tuple(3) == disk.row_tuple(3)
+
+    def test_with_column_overlays_without_rewriting(self, tmp_path):
+        rel = _sample_relation(64)
+        disk = rel.to_store(chunk_rows=16, directory=tmp_path / "s")
+        extra = np.arange(64) * 3
+        grown = disk.with_column(ColumnSpec("w", Dtype.INT), extra)
+        assert grown.is_chunked
+        assert isinstance(grown.store, CompositeStore)
+        assert np.array_equal(grown.column("w"), extra)
+        # The original column files were not rewritten.
+        assert set(p.name for p in (tmp_path / "s").iterdir()) == {
+            "manifest.json", "col_0.npy", "col_1.npy", "col_2.npy",
+        }
+
+    def test_project_and_drop_stay_chunked(self):
+        rel = _sample_relation()
+        disk = rel.to_store(chunk_rows=37)
+        projected = disk.project(["v", "cat"])
+        assert projected.is_chunked
+        assert projected.schema.names == ("v", "cat")
+        assert projected.group_counts(("v",)) == rel.group_counts(("v",))
+        assert disk.drop_column("v").schema.names == ("id", "cat")
+
+    def test_csv_export_matches(self, tmp_path):
+        from repro.relational import write_csv
+
+        rel = _sample_relation(100)
+        disk = rel.to_store(chunk_rows=9)
+        ram_csv, ooc_csv = tmp_path / "ram.csv", tmp_path / "ooc.csv"
+        write_csv(rel, ram_csv)
+        write_csv(disk, ooc_csv)
+        assert ram_csv.read_text() == ooc_csv.read_text()
+
+
+class TestFrozenColumns:
+    def test_columns_are_read_only(self):
+        rel = _sample_relation(10)
+        with pytest.raises(ValueError):
+            rel.column("v")[0] = 99
+        with pytest.raises(ValueError):
+            rel.columns["cat"][0] = "x"
+
+    def test_projection_shares_frozen_arrays(self):
+        rel = _sample_relation(10)
+        projected = rel.project(["v"])
+        with pytest.raises(ValueError):
+            projected.column("v")[0] = 99
+
+
+class TestStorageOptions:
+    def test_validation(self):
+        with pytest.raises(SchemaError):
+            StorageOptions(storage="feather")
+        with pytest.raises(SchemaError):
+            StorageOptions(chunk_rows=0)
+
+    def test_relation_directory(self, tmp_path):
+        options = StorageOptions(storage="mmap", directory=str(tmp_path))
+        assert options.relation_directory("events") == tmp_path / "events"
+        assert StorageOptions().relation_directory("events") is None
+
+
+class TestNumpyStoreContract:
+    def test_single_chunk(self):
+        store = NumpyColumnStore({"a": np.arange(5)})
+        assert not store.is_chunked
+        assert list(store.chunk_bounds()) == [(0, 5)]
+        with pytest.raises(SchemaError):
+            store.codes_slice("a", 0, 5)
+        assert store.dictionary("a") is None
+
+    def test_composite_rejects_ragged_parts(self):
+        a = NumpyColumnStore({"a": np.arange(5)})
+        b = NumpyColumnStore({"b": np.arange(6)})
+        with pytest.raises(SchemaError):
+            CompositeStore({"a": (a, "a"), "b": (b, "b")})
