@@ -14,6 +14,12 @@ Subcommands:
   two-table flags (``--r1 … --r2 … --fk …``), which build the equivalent
   one-edge spec under the hood;
 * ``evaluate`` — score an already-completed pair of CSVs;
+* ``serve`` — run the synthesis job server: an HTTP API over async
+  jobs with a dependency-keyed edge cache, so re-submitted specs
+  re-solve only edited edges (:mod:`repro.service`)::
+
+      repro-synth serve --jobs-dir jobs/ --port 8321
+
 * ``discover`` — mine FK denial constraints from a *completed* pair of
   CSVs (:mod:`repro.extensions.discovery`) and emit a runnable spec with
   the mined DCs inlined::
@@ -166,8 +172,12 @@ def _print_edge_reports(result: SynthesisResult) -> None:
             line += f" | overflow {edge.total_overflow}"
         line += (
             f" | +{edge.num_new_parent_tuples} parent tuples, "
-            f"{edge.total_seconds:.3f}s"
+            f"solve {edge.total_seconds:.3f}s"
         )
+        if edge.wall_seconds:
+            line += f" wall {edge.wall_seconds:.3f}s"
+        if edge.cache_hit:
+            line += " (cached)"
         print(line)
 
 
@@ -310,6 +320,32 @@ def _relative_to(path: Path, base: Path) -> str:
         return str(path)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import JobManager, ServiceServer
+
+    manager = JobManager(
+        Path(args.jobs_dir),
+        cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+        worker_budget=args.worker_budget,
+    )
+    resumed = manager.resume_pending()
+    if resumed:
+        print(f"resumed {len(resumed)} interrupted job(s): "
+              + ", ".join(resumed))
+    server = ServiceServer(manager, host=args.host, port=args.port)
+    print(
+        f"repro-synth service on http://{args.host}:{args.port or '?'} "
+        f"(jobs in {manager.jobs_dir}, cache "
+        f"{manager.cache.directory}, worker budget "
+        f"{args.worker_budget}) — Ctrl-C to stop"
+    )
+    try:
+        server.run_forever()
+    finally:
+        manager.close()
+    return 0
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     r1_hat = read_csv_infer(Path(args.r1), key=args.r1_key or None)
     r2_hat = read_csv_infer(Path(args.r2), key=args.r2_key)
@@ -404,6 +440,23 @@ def _build_parser() -> argparse.ArgumentParser:
                       dest="observed_capacity",
                       help="cap keys at the max usage observed in --r1")
     disc.set_defaults(func=_cmd_discover)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the synthesis job server (HTTP API + edge cache)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8321,
+                       help="0 binds an ephemeral port")
+    serve.add_argument("--jobs-dir", required=True, dest="jobs_dir",
+                       help="durable job state (specs, events, results)")
+    serve.add_argument("--cache-dir", default="", dest="cache_dir",
+                       help="edge-result cache / checkpoint directory "
+                       "(default: <jobs-dir>/cache)")
+    serve.add_argument("--worker-budget", type=int, default=2,
+                       dest="worker_budget",
+                       help="max jobs synthesizing concurrently")
+    serve.set_defaults(func=_cmd_serve)
 
     ev = sub.add_parser("evaluate", help="score a completed database")
     ev.add_argument("--r1", required=True)

@@ -22,7 +22,15 @@ pool leg of that scheduler:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+import time
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.config import SolverConfig
 from repro.core.synthesizer import CExtensionResult, CExtensionSolver
@@ -59,10 +67,17 @@ def solve_edge(
     constraints: "EdgeConstraints",
     config: SolverConfig,
 ) -> CExtensionResult:
-    """Solve one FK edge with its per-edge strategy and solver overrides."""
+    """Solve one FK edge with its per-edge strategy and solver overrides.
+
+    The result's :attr:`~repro.core.synthesizer.SolveReport.wall_seconds`
+    is stamped here, around the whole per-edge solve (phases plus
+    evaluation), so both the sequential path and the pool workers report
+    the edge's true wall clock wherever it ran.
+    """
+    started = time.perf_counter()
     strategy, options = constraints.resolved_strategy()
     solver = CExtensionSolver(constraints.effective_config(config))
-    return solver.solve(
+    result = solver.solve(
         extended,
         parent,
         fk_column=fk_column,
@@ -71,6 +86,8 @@ def solve_edge(
         strategy=strategy,
         strategy_options=options,
     )
+    result.report.wall_seconds = time.perf_counter() - started
+    return result
 
 
 def _relation_payload(relation: Relation) -> Tuple[Schema, object]:
@@ -135,12 +152,30 @@ def solve_edge_payload(payload: EdgePayload) -> CExtensionResult:
 def solve_batch(
     payloads: Sequence[EdgePayload],
     executor: Optional["Executor"] = None,
+    on_result: Optional[Callable[[int, CExtensionResult], None]] = None,
 ) -> List[CExtensionResult]:
     """Solve a conflict-free batch, preserving payload (= BFS) order.
 
     With no executor — or a single-edge batch, where fan-out buys
-    nothing — the batch is solved in-process.
+    nothing — the batch is solved in-process.  ``on_result`` is the
+    progress-callback hook: it fires with ``(batch_index, result)`` as
+    each edge's result lands (in batch order), which is what streams
+    per-edge progress events out of a long parallel batch instead of
+    one notification at the barrier.
     """
     if executor is None or len(payloads) < 2:
-        return [solve_edge_payload(payload) for payload in payloads]
-    return list(executor.map(solve_edge_payload, payloads))
+        results = []
+        for index, payload in enumerate(payloads):
+            result = solve_edge_payload(payload)
+            if on_result is not None:
+                on_result(index, result)
+            results.append(result)
+        return results
+    results = []
+    for index, result in enumerate(
+        executor.map(solve_edge_payload, payloads)
+    ):
+        if on_result is not None:
+            on_result(index, result)
+        results.append(result)
+    return results

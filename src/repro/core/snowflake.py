@@ -27,7 +27,16 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.constraints.cc import CardinalityConstraint
 from repro.constraints.dc import DenialConstraint
@@ -147,19 +156,38 @@ class SnowflakeSynthesizer:
         self, database: Database, fk: ForeignKey, step: CExtensionResult
     ) -> None:
         """Commit one solved edge: imputed FK column + extended parent."""
+        self.commit_edge(
+            database,
+            fk,
+            step.r1_hat.schema.spec(fk.column),
+            step.r1_hat.column(fk.column),
+            step.r2_hat,
+        )
+
+    @staticmethod
+    def commit_edge(
+        database: Database,
+        fk: ForeignKey,
+        fk_spec,
+        fk_values,
+        r2_hat: Relation,
+    ) -> None:
+        """Commit an edge result given as its raw parts.
+
+        This is the splice point the service layer's edge-result cache
+        uses: a cached edge carries exactly ``(fk column spec, fk value
+        array, completed parent relation)``, and committing those parts
+        is byte-identical to committing the full solver result they came
+        from.  The FK column overlays the child without copying its other
+        columns, on either storage backend.
+        """
         child = database.relation(fk.child)
-        # The solved FK column as an array — no per-value Python list
-        # (``with_column`` overlays it without copying the child's other
-        # columns, on either storage backend).
-        fk_values = step.r1_hat.column(fk.column)
         updated_child = child
         if fk.column in child.schema:
             updated_child = child.drop_column(fk.column)
-        updated_child = updated_child.with_column(
-            step.r1_hat.schema.spec(fk.column), fk_values
-        )
+        updated_child = updated_child.with_column(fk_spec, fk_values)
         database.replace_relation(fk.child, updated_child)
-        database.replace_relation(fk.parent, step.r2_hat)
+        database.replace_relation(fk.parent, r2_hat)
 
     def solve(
         self,
@@ -169,6 +197,7 @@ class SnowflakeSynthesizer:
         *,
         workers: Optional[int] = None,
         allow_unreachable: bool = False,
+        on_event: Optional[Callable[[Dict[str, object]], None]] = None,
     ) -> SnowflakeResult:
         """Impute every declared FK, BFS outward from ``fact_table``.
 
@@ -185,6 +214,15 @@ class SnowflakeSynthesizer:
         cannot reach would silently never be solved, so they raise
         :class:`SchemaError` unless ``allow_unreachable=True`` opts into
         an intentionally partial run.
+
+        ``on_event`` is the progress hook the serving layer builds on: it
+        receives ``{"type": "edge_started", ...}`` before each edge's
+        solve and ``{"type": "edge_solved", ..., "wall_s", "solve_s"}``
+        as each result lands (streamed mid-batch on parallel runs, via
+        :func:`repro.core.parallel_snowflake.solve_batch`'s
+        ``on_result`` hook).  Exceptions from the callback propagate and
+        abort the traversal — the transactional copy keeps the caller's
+        database intact.
         """
         layers = database.bfs_edge_layers(fact_table)
         reachable = {
@@ -215,6 +253,35 @@ class SnowflakeSynthesizer:
             key for key, ec in constraints.items() if ec.serialize
         }
 
+        total_edges = sum(len(layer) for layer in layers)
+        solved_count = 0
+
+        def emit(kind: str, fk: ForeignKey, **extra: object) -> None:
+            if on_event is None:
+                return
+            event: Dict[str, object] = {
+                "type": kind,
+                "edge": f"{fk.child}.{fk.column} -> {fk.parent}",
+                "child": fk.child,
+                "column": fk.column,
+                "parent": fk.parent,
+                "total_edges": total_edges,
+            }
+            event.update(extra)
+            on_event(event)
+
+        def emit_solved(fk: ForeignKey, step: CExtensionResult) -> None:
+            nonlocal solved_count
+            solved_count += 1
+            emit(
+                "edge_solved",
+                fk,
+                index=solved_count,
+                wall_s=step.report.wall_seconds,
+                solve_s=step.report.total_seconds,
+                new_parent_tuples=step.phase2.stats.num_new_r2_tuples,
+            )
+
         work = database.copy()
         result = SnowflakeResult(database=work)
         completed: Set[Tuple[str, str]] = set()
@@ -237,6 +304,7 @@ class SnowflakeSynthesizer:
                         # this matches the snapshot semantics below).
                         steps = []
                         for fk in batch:
+                            emit("edge_started", fk)
                             step = solve_edge(
                                 self._extended_view(
                                     work, fk.child, completed
@@ -248,6 +316,7 @@ class SnowflakeSynthesizer:
                             )
                             self._apply_step(work, fk, step)
                             completed.add((fk.child, fk.column))
+                            emit_solved(fk, step)
                             steps.append(step)
                         result.steps.extend(zip(batch, steps))
                         continue
@@ -255,17 +324,27 @@ class SnowflakeSynthesizer:
                     # snapshot; results merge back in BFS order.
                     if pool is None:
                         pool = ProcessPoolExecutor(max_workers=workers)
-                    payloads = [
-                        edge_payload(
-                            self._extended_view(work, fk.child, completed),
-                            work.relation(fk.parent),
-                            fk.column,
-                            constraints_of[(fk.child, fk.column)],
-                            self.config,
+                    payloads = []
+                    for fk in batch:
+                        emit("edge_started", fk)
+                        payloads.append(
+                            edge_payload(
+                                self._extended_view(
+                                    work, fk.child, completed
+                                ),
+                                work.relation(fk.parent),
+                                fk.column,
+                                constraints_of[(fk.child, fk.column)],
+                                self.config,
+                            )
                         )
-                        for fk in batch
-                    ]
-                    steps = solve_batch(payloads, pool)
+                    steps = solve_batch(
+                        payloads,
+                        pool,
+                        on_result=lambda i, step: emit_solved(
+                            batch[i], step
+                        ),
+                    )
                     for fk, step in zip(batch, steps):
                         self._apply_step(work, fk, step)
                         completed.add((fk.child, fk.column))

@@ -43,11 +43,18 @@ logger = logging.getLogger(__name__)
 
 @dataclass
 class SolveReport:
-    """Stage timings plus (optionally) the error report."""
+    """Stage timings plus (optionally) the error report.
+
+    ``wall_seconds`` is the edge's end-to-end wall clock — solve plus
+    evaluation plus per-edge bookkeeping — measured wherever the solve
+    actually ran (in the worker process for parallel traversals), while
+    ``total_seconds`` is the pure Phase-I + Phase-II solve time.
+    """
 
     phase1_seconds: float = 0.0
     phase2_seconds: float = 0.0
     evaluate_seconds: float = 0.0
+    wall_seconds: float = 0.0
     errors: Optional[ErrorReport] = None
 
     @property

@@ -122,17 +122,26 @@ def generate_events(
             [("eid", "int"), ("Segment", "dict"), ("Load", "int")],
             chunk_rows=chunk_rows,
         )
-    for index, start in enumerate(range(0, config.rows, GEN_BLOCK_ROWS)):
-        stop = min(start + GEN_BLOCK_ROWS, config.rows)
-        eid, codes, load = _event_block(config, index, start, stop)
-        segment_counts += np.bincount(codes, minlength=config.segments)
-        segment = labels[codes]
+    try:
+        for index, start in enumerate(
+            range(0, config.rows, GEN_BLOCK_ROWS)
+        ):
+            stop = min(start + GEN_BLOCK_ROWS, config.rows)
+            eid, codes, load = _event_block(config, index, start, stop)
+            segment_counts += np.bincount(codes, minlength=config.segments)
+            segment = labels[codes]
+            if writer is not None:
+                writer.append(
+                    {"eid": eid, "Segment": segment, "Load": load}
+                )
+            else:
+                parts["eid"].append(eid)
+                parts["Segment"].append(segment)
+                parts["Load"].append(load)
+    except BaseException:
         if writer is not None:
-            writer.append({"eid": eid, "Segment": segment, "Load": load})
-        else:
-            parts["eid"].append(eid)
-            parts["Segment"].append(segment)
-            parts["Load"].append(load)
+            writer.discard()
+        raise
     if writer is not None:
         return Relation(schema, writer.finalize()), segment_counts
     columns = {

@@ -231,10 +231,16 @@ def read_csv_store(
             ],
             chunk_rows=chunk_rows,
         )
-        for first_line, rows in _iter_blocks(
-            path, reader, len(schema), block_rows
-        ):
-            writer.append(_block_columns(path, schema, rows, first_line))
+        try:
+            for first_line, rows in _iter_blocks(
+                path, reader, len(schema), block_rows
+            ):
+                writer.append(
+                    _block_columns(path, schema, rows, first_line)
+                )
+        except BaseException:
+            writer.discard()
+            raise
     return Relation(_with_key(schema, key), writer.finalize())
 
 

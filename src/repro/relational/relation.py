@@ -18,6 +18,8 @@ flag enforces it.
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from typing import (
     Callable,
     Dict,
@@ -108,6 +110,7 @@ class Relation:
         # neither goes stale).
         self._code_cache: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
         self._key_sorter_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._content_hash: Optional[str] = None
         if isinstance(columns, ColumnStore):
             for spec in schema:
                 if spec.name not in columns.names:
@@ -238,14 +241,68 @@ class Relation:
             ],
             chunk_rows=chunk_rows,
         )
-        for start, stop in _strided_bounds(self._n, chunk_rows):
-            writer.append(
-                {
-                    name: self._store.column_slice(name, start, stop)
-                    for name in self.schema.names
-                }
+        try:
+            for start, stop in _strided_bounds(self._n, chunk_rows):
+                writer.append(
+                    {
+                        name: self._store.column_slice(name, start, stop)
+                        for name in self.schema.names
+                    }
+                )
+            return Relation(self.schema, writer.finalize())
+        except BaseException:
+            writer.discard()
+            raise
+
+    # ------------------------------------------------------------------
+    # Content identity
+    # ------------------------------------------------------------------
+    def content_hash(self) -> str:
+        """A stable hex digest of this relation's schema and data.
+
+        Two relations with equal schemas and equal column values hash
+        identically whatever backs them — inline columns, a CSV load or
+        a chunked on-disk store (values stream chunk-by-chunk, so the
+        digest never materialises a disk-backed column).  This is the
+        relational half of the dependency-keyed edge cache: an edge's
+        fingerprint starts from the content hashes of the relations its
+        solve reads.  Memoized — relations are immutable.
+        """
+        if self._content_hash is not None:
+            return self._content_hash
+        digest = hashlib.sha256()
+        digest.update(f"key={self.schema.key!r}".encode())
+        for spec in self.schema:
+            digest.update(
+                f"|col={spec.name!r}:{spec.dtype.value}"
+                f":{spec.domain!r}".encode()
             )
-        return Relation(self.schema, writer.finalize())
+        for name in self.schema.names:
+            digest.update(f"|data={name!r}".encode())
+            is_int = self.schema.dtype(name) is Dtype.INT
+            for start, stop in self._store.chunk_bounds():
+                chunk = self._store.column_slice(name, start, stop)
+                if is_int:
+                    digest.update(
+                        np.ascontiguousarray(
+                            chunk, dtype="<i8"
+                        ).tobytes()
+                    )
+                else:
+                    for value in chunk.tolist():
+                        value = _scalar(value)
+                        # Length-prefixed, type-tagged encoding: no
+                        # separator collisions, and 5 ≠ "5".
+                        if isinstance(value, str):
+                            raw = value.encode("utf-8", "surrogatepass")
+                            tag = b"s"
+                        else:
+                            raw = repr(value).encode()
+                            tag = b"o"
+                        digest.update(tag + struct.pack("<q", len(raw)))
+                        digest.update(raw)
+        self._content_hash = digest.hexdigest()
+        return self._content_hash
 
     # ------------------------------------------------------------------
     # Basic accessors

@@ -29,6 +29,7 @@ the payload-slicing pattern of :mod:`repro.phase2.parallel`.
 from __future__ import annotations
 
 import json
+import shutil
 import struct
 import tempfile
 from dataclasses import dataclass
@@ -392,6 +393,16 @@ class MmapStoreWriter:
             self._owned = tempfile.TemporaryDirectory(prefix="repro-store-")
             directory = self._owned.name
         self._directory = Path(directory)
+        if self._owned is None and self._directory.is_dir() and any(
+            self._directory.iterdir()
+        ):
+            # Silently overwriting would mix this run's chunk files with
+            # whatever lived there (another store, a previous run's
+            # spill) and corrupt both.
+            raise SchemaError(
+                f"store directory {self._directory} already exists and is "
+                "not empty; remove it or choose a different storage_dir"
+            )
         self._directory.mkdir(parents=True, exist_ok=True)
         self._chunk_rows = chunk_rows
         self._columns: List[Tuple[str, str]] = []
@@ -471,6 +482,25 @@ class MmapStoreWriter:
             )
         self._num_rows += lengths.pop() if lengths else 0
 
+    def discard(self) -> None:
+        """Abandon a partially-written store and remove its files.
+
+        The abort-path counterpart of :meth:`finalize`: an aborted spill
+        must not leave a half-written directory behind — it would both
+        leak disk and trip the collision check on the next run.  No-op
+        after :meth:`finalize` (never deletes a live store).
+        """
+        if self._finalized:
+            return
+        self._finalized = True
+        for handle in self._handles.values():
+            handle.close()
+        if self._owned is not None:
+            self._owned.cleanup()
+            self._owned = None
+        else:
+            shutil.rmtree(self._directory, ignore_errors=True)
+
     def finalize(self) -> MmapColumnStore:
         """Patch headers, write the manifest, and open the store."""
         if self._finalized:
@@ -486,6 +516,9 @@ class MmapStoreWriter:
                 dictionaries[name] = [_json_safe(v) for v in values]
                 json.dumps(dictionaries[name])
             except TypeError:
+                # Un-finalize so the caller's discard() still removes
+                # the half-written directory instead of no-opping.
+                self._finalized = False
                 raise SchemaError(
                     f"column {name!r} holds values the on-disk store "
                     "cannot serialise; use the in-RAM backend"

@@ -1,0 +1,151 @@
+"""A stdlib client for the synthesis service's HTTP API.
+
+>>> client = ServiceClient("http://127.0.0.1:8321")
+>>> job_id = client.submit(path="examples/specs/university.toml")
+>>> client.wait(job_id)["state"]
+'done'
+>>> client.result(job_id)["cache_hits"]
+0
+
+Pure ``urllib`` — importable anywhere the library is, no extra
+dependencies, and the protocol is plain JSON so any other HTTP client
+works just as well.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import ReproError
+from repro.spec.model import SynthesisSpec
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(ReproError):
+    """The server answered with an error status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """Talk to a running ``repro-synth serve`` instance."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return json.loads(response.read().decode())
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode()).get(
+                    "error", exc.reason
+                )
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                message = str(exc.reason)
+            raise ServiceError(exc.code, message) from None
+
+    # -- API -----------------------------------------------------------
+
+    def health(self) -> Dict[str, object]:
+        return self._request("GET", "/healthz")
+
+    def submit(
+        self,
+        spec: Optional[SynthesisSpec] = None,
+        *,
+        path: Optional[Union[str, Path]] = None,
+        text: Optional[str] = None,
+        fmt: str = "toml",
+        name: Optional[str] = None,
+    ) -> str:
+        """Submit a spec object, file, or source text; returns a job id.
+
+        Note a file submission ships the file's *text*: relations the
+        spec loads from CSV paths must be resolvable on the server
+        (absolute paths, or a server run from the same directory).
+        """
+        sources = sum(x is not None for x in (spec, path, text))
+        if sources != 1:
+            raise ReproError("pass exactly one of spec=, path=, text=")
+        if spec is not None:
+            payload: Dict[str, object] = {"spec": spec.to_dict()}
+        elif path is not None:
+            path = Path(path)
+            fmt = "json" if path.suffix.lower() == ".json" else "toml"
+            payload = _text_payload(path.read_text(), fmt)
+        else:
+            payload = _text_payload(text, fmt)
+        if name is not None:
+            payload["name"] = name
+        return str(self._request("POST", "/jobs", payload)["job_id"])
+
+    def jobs(self) -> List[Dict[str, object]]:
+        return list(self._request("GET", "/jobs")["jobs"])
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def events(
+        self, job_id: str, since: int = 0
+    ) -> Tuple[List[Dict[str, object]], int]:
+        """Progress events from cursor ``since`` + the next cursor."""
+        out = self._request("GET", f"/jobs/{job_id}/events?since={since}")
+        return list(out["events"]), int(out["next"])
+
+    def result(self, job_id: str) -> Dict[str, object]:
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 300.0,
+        poll: float = 0.1,
+    ) -> Dict[str, object]:
+        """Poll until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in ("done", "failed", "cancelled"):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']} after {timeout}s"
+                )
+            time.sleep(poll)
+
+
+def _text_payload(text: str, fmt: str) -> Dict[str, object]:
+    if fmt == "toml":
+        return {"spec_toml": text}
+    if fmt == "json":
+        return {"spec": json.loads(text)}
+    raise ReproError(f"unknown spec format {fmt!r}")

@@ -1,0 +1,255 @@
+"""A thin stdlib-``asyncio`` HTTP front end over :class:`JobManager`.
+
+No web framework — the protocol surface is five JSON endpoints, small
+enough to parse by hand on ``asyncio.start_server``:
+
+========  ============================  =======================================
+method    path                          meaning
+========  ============================  =======================================
+GET       ``/healthz``                  liveness + cache stats
+POST      ``/jobs``                     submit (``{"spec_toml": ...}`` or
+                                        ``{"spec": {...}}``) → ``{"job_id"}``
+GET       ``/jobs``                     list all jobs
+GET       ``/jobs/<id>``                one job's status
+GET       ``/jobs/<id>/events?since=N`` progress events from cursor ``N``
+GET       ``/jobs/<id>/result``         finished job's summary
+POST      ``/jobs/<id>/cancel``         stop after the current edge
+========  ============================  =======================================
+
+Handlers run manager calls in the default thread-pool executor so a
+slow spec parse never stalls the event loop; the synthesis itself
+already runs on the manager's worker threads.  Errors map to JSON
+bodies: 404 for unknown jobs/paths, 409 for a result that isn't ready,
+400 for bad requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import ReproError
+from repro.service.jobs import JobManager, JobNotFound
+
+__all__ = ["ServiceServer"]
+
+_MAX_BODY = 64 * 1024 * 1024
+
+
+class _BadRequest(ReproError):
+    """Malformed request — reported as HTTP 400."""
+
+
+class ServiceServer:
+    """Serve one :class:`JobManager` over HTTP.
+
+    ``port=0`` binds an ephemeral port (read :attr:`port` after
+    :meth:`start`).  :meth:`start` runs the server on a daemon thread
+    with its own event loop — the mode tests, the example tour and the
+    CLI's ``serve`` verb all use; :meth:`stop` shuts it down.
+    """
+
+    def __init__(
+        self,
+        manager: JobManager,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.manager = manager
+        self.host = host
+        self.port = port
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def _serve(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started.set()
+        async with self._server:
+            await self._server.serve_forever()
+
+    def start(self) -> "ServiceServer":
+        """Bind and serve on a background thread; returns self."""
+
+        def runner() -> None:
+            self._loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(self._loop)
+            try:
+                self._loop.run_until_complete(self._serve())
+            except asyncio.CancelledError:
+                pass
+            finally:
+                self._loop.close()
+
+        self._thread = threading.Thread(
+            target=runner, daemon=True, name="repro-serve"
+        )
+        self._thread.start()
+        if not self._started.wait(10):
+            raise ReproError("service server failed to start within 10s")
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._loop is None:
+            return
+
+        def shutdown() -> None:
+            for task in asyncio.all_tasks(self._loop):
+                task.cancel()
+
+        self._loop.call_soon_threadsafe(shutdown)
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def run_forever(self) -> None:
+        """Serve on the calling thread until interrupted (CLI mode)."""
+        try:
+            asyncio.run(self._serve())
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            pass
+
+    # -- request handling ----------------------------------------------
+
+    async def _handle(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            status, payload = await self._respond(reader)
+        except _BadRequest as exc:
+            status, payload = 400, {"error": str(exc)}
+        except JobNotFound as exc:
+            status, payload = 404, {"error": str(exc)}
+        except ReproError as exc:
+            status, payload = 409, {"error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - server boundary
+            status, payload = 500, {
+                "error": f"{type(exc).__name__}: {exc}"
+            }
+        body = json.dumps(payload).encode()
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  409: "Conflict", 500: "Internal Server Error"}
+        head = (
+            f"HTTP/1.1 {status} {reason.get(status, 'Error')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        try:
+            writer.write(head.encode() + body)
+            await writer.drain()
+        finally:
+            writer.close()
+
+    async def _respond(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[int, Dict[str, object]]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        parts = request_line.split(" ")
+        if len(parts) != 3:
+            raise _BadRequest(f"malformed request line {request_line!r}")
+        method, target, _version = parts
+        content_length = 0
+        while True:
+            line = (await reader.readline()).decode("latin-1").strip()
+            if not line:
+                break
+            key, _, value = line.partition(":")
+            if key.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise _BadRequest("bad Content-Length") from None
+        if content_length > _MAX_BODY:
+            raise _BadRequest(f"body exceeds {_MAX_BODY} bytes")
+        body = (
+            await reader.readexactly(content_length)
+            if content_length
+            else b""
+        )
+        split = urlsplit(target)
+        segments = [s for s in split.path.split("/") if s]
+        query = parse_qs(split.query)
+        return await self._route(method, segments, query, body)
+
+    async def _route(
+        self,
+        method: str,
+        segments: list,
+        query: Dict[str, list],
+        body: bytes,
+    ) -> Tuple[int, Dict[str, object]]:
+        loop = asyncio.get_running_loop()
+        manager = self.manager
+
+        if method == "GET" and segments == ["healthz"]:
+            return 200, {"status": "ok", "cache": manager.cache.stats()}
+
+        if segments[:1] != ["jobs"]:
+            raise JobNotFound(f"unknown path /{'/'.join(segments)}")
+
+        if len(segments) == 1:
+            if method == "POST":
+                text, fmt, name = _parse_submission(body)
+                try:
+                    job_id = await loop.run_in_executor(
+                        None,
+                        lambda: manager.submit_text(
+                            text, fmt=fmt, name=name
+                        ),
+                    )
+                except ReproError as exc:
+                    # A spec that fails to parse is the client's fault.
+                    raise _BadRequest(str(exc)) from None
+                return 200, {"job_id": job_id}
+            if method == "GET":
+                return 200, {"jobs": manager.list_jobs()}
+            raise _BadRequest(f"unsupported method {method} on /jobs")
+
+        job_id = segments[1]
+        tail = segments[2:]
+        if not tail and method == "GET":
+            return 200, manager.status(job_id)
+        if tail == ["events"] and method == "GET":
+            since = int(query.get("since", ["0"])[0])
+            events, next_seq = manager.events(job_id, since)
+            return 200, {"events": events, "next": next_seq}
+        if tail == ["result"] and method == "GET":
+            return 200, await loop.run_in_executor(
+                None, manager.result, job_id
+            )
+        if tail == ["cancel"] and method == "POST":
+            return 200, manager.cancel(job_id)
+        raise JobNotFound(
+            f"unknown endpoint {method} /jobs/{job_id}/{'/'.join(tail)}"
+        )
+
+
+def _parse_submission(body: bytes) -> Tuple[str, str, Optional[str]]:
+    """Extract (spec text, format, job name) from a POST /jobs body."""
+    try:
+        payload = json.loads(body.decode() or "{}")
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise _BadRequest(f"body is not JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise _BadRequest("body must be a JSON object")
+    name = payload.get("name")
+    if "spec_toml" in payload:
+        return str(payload["spec_toml"]), "toml", name
+    if "spec" in payload:
+        return json.dumps(payload["spec"]), "json", name
+    raise _BadRequest("body needs a 'spec' (JSON) or 'spec_toml' field")

@@ -1,0 +1,384 @@
+"""Asynchronous synthesis jobs over the cache-aware engine.
+
+:class:`JobManager` is the server's heart, usable directly from Python
+without any HTTP in between.  Submitting a :class:`SynthesisSpec` (or a
+spec file's text) creates a *job directory* under ``jobs_dir`` —
+``spec.json``/``spec.toml``, ``status.json``, an append-only
+``events.jsonl``, and on success ``result/`` with ``summary.json`` plus
+one CSV per completed relation — and runs the spec on a worker thread.
+A bounded worker budget (a semaphore) caps how many jobs synthesize
+concurrently; each running job drives the existing process-pool
+snowflake scheduler with its own ``options.workers`` setting.
+
+All jobs share one :class:`~repro.service.cache.EdgeCache`, so a
+re-submitted spec re-solves only the edges whose read-closure changed,
+and a job interrupted by a crash (or :meth:`JobManager.cancel`) resumes
+from its per-edge checkpoints: :meth:`resume_pending` re-queues every
+job found ``queued``/``running`` on disk, and the re-run splices each
+already-solved edge from the cache.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import uuid
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import ReproError
+from repro.relational.csvio import write_csv
+from repro.service.cache import EdgeCache
+from repro.service.engine import SynthesisCancelled, run_spec
+from repro.spec.io import load_spec
+from repro.spec.model import SynthesisSpec
+
+__all__ = ["JobManager", "JobNotFound", "JOB_STATES"]
+
+#: Every state a job can report.  ``queued`` and ``running`` are the
+#: non-terminal ones — what :meth:`JobManager.resume_pending` re-queues
+#: after a crash.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+_TERMINAL = ("done", "failed", "cancelled")
+
+
+class JobNotFound(ReproError):
+    """No job with the requested id."""
+
+
+class _Job:
+    """One submission's full lifecycle, mirrored to its directory."""
+
+    def __init__(
+        self, job_id: str, directory: Path, name: str, spec_file: str
+    ) -> None:
+        self.id = job_id
+        self.directory = directory
+        self.name = name
+        self.spec_file = spec_file
+        self.state = "queued"
+        self.submitted_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.error: Optional[str] = None
+        self.total_edges = 0
+        self.edges_done = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.events: List[Dict[str, object]] = []
+        self.cancel_event = threading.Event()
+        self.done_event = threading.Event()
+        self.thread: Optional[threading.Thread] = None
+        self.lock = threading.Lock()
+
+    def status(self) -> Dict[str, object]:
+        with self.lock:
+            out: Dict[str, object] = {
+                "id": self.id,
+                "name": self.name,
+                "state": self.state,
+                "spec_file": self.spec_file,
+                "submitted_at": self.submitted_at,
+                "started_at": self.started_at,
+                "finished_at": self.finished_at,
+                "total_edges": self.total_edges,
+                "edges_done": self.edges_done,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "num_events": len(self.events),
+            }
+            if self.error is not None:
+                out["error"] = self.error
+            return out
+
+    def write_status(self) -> None:
+        payload = json.dumps(self.status(), indent=2)
+        tmp = self.directory / "status.json.tmp"
+        tmp.write_text(payload)
+        tmp.replace(self.directory / "status.json")
+
+    def record_event(self, event: Dict[str, object]) -> None:
+        with self.lock:
+            event = dict(event)
+            event["seq"] = len(self.events)
+            event["ts"] = time.time()
+            self.events.append(event)
+            self.total_edges = int(event.get("total_edges", self.total_edges))
+            if event["type"] in ("edge_solved", "edge_cached"):
+                self.edges_done = int(event.get("index", self.edges_done))
+            # The engine stamps running hit/miss counters into every
+            # event, already including the event itself.
+            if "cache_hits" in event:
+                self.cache_hits = int(event["cache_hits"])
+                self.cache_misses = int(event["cache_misses"])
+            line = json.dumps(event)
+        with (self.directory / "events.jsonl").open("a") as handle:
+            handle.write(line + "\n")
+
+
+class JobManager:
+    """Run synthesis jobs on worker threads with durable state.
+
+    ``worker_budget`` bounds how many jobs run concurrently —
+    submissions beyond it queue until a slot frees.  ``cache_dir``
+    defaults to ``jobs_dir / "cache"``; point several managers (or
+    successive server processes) at the same directory to share
+    checkpoints across restarts.
+    """
+
+    def __init__(
+        self,
+        jobs_dir: Union[str, Path],
+        *,
+        cache_dir: Optional[Union[str, Path]] = None,
+        worker_budget: int = 2,
+    ) -> None:
+        if worker_budget < 1:
+            raise ReproError("worker_budget must be >= 1")
+        self.jobs_dir = Path(jobs_dir)
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self.cache = EdgeCache(
+            Path(cache_dir) if cache_dir is not None
+            else self.jobs_dir / "cache"
+        )
+        self._budget = threading.BoundedSemaphore(worker_budget)
+        self._jobs: Dict[str, _Job] = {}
+        self._lock = threading.Lock()
+        self._load_existing()
+
+    # -- submission ----------------------------------------------------
+
+    def submit(
+        self, spec: SynthesisSpec, *, name: Optional[str] = None
+    ) -> str:
+        """Queue a programmatic spec; returns the job id.
+
+        The spec is serialized into the job directory (relation data
+        inlined), and the job runs from that file — so what executes is
+        exactly what a crash-resume would re-load.
+        """
+        text = json.dumps(spec.to_dict(), indent=2)
+        return self.submit_text(
+            text, fmt="json", name=name or spec.name or None
+        )
+
+    def submit_text(
+        self,
+        text: str,
+        *,
+        fmt: str = "toml",
+        name: Optional[str] = None,
+    ) -> str:
+        """Queue a spec given as TOML or JSON source text."""
+        if fmt not in ("toml", "json"):
+            raise ReproError(f"unknown spec format {fmt!r}")
+        job_id = uuid.uuid4().hex[:12]
+        directory = self.jobs_dir / job_id
+        directory.mkdir(parents=True)
+        spec_file = f"spec.{fmt}"
+        (directory / spec_file).write_text(text)
+        # Parse eagerly: a malformed spec fails at submit time, with the
+        # parse error in the caller's lap instead of a failed job.
+        spec = load_spec(directory / spec_file)
+        job = _Job(
+            job_id, directory, name or spec.name or job_id, spec_file
+        )
+        with self._lock:
+            self._jobs[job_id] = job
+        job.write_status()
+        self._start(job, spec)
+        return job_id
+
+    def _start(self, job: _Job, spec: SynthesisSpec) -> None:
+        job.thread = threading.Thread(
+            target=self._run, args=(job, spec), daemon=True,
+            name=f"repro-job-{job.id}",
+        )
+        job.thread.start()
+
+    def _run(self, job: _Job, spec: SynthesisSpec) -> None:
+        with self._budget:
+            if job.cancel_event.is_set():
+                self._finish(job, "cancelled")
+                return
+            with job.lock:
+                job.state = "running"
+                job.started_at = time.time()
+            job.write_status()
+            try:
+                result = run_spec(
+                    spec,
+                    cache=self.cache,
+                    on_event=job.record_event,
+                    should_cancel=job.cancel_event.is_set,
+                )
+                self._write_result(job, result)
+                self._finish(job, "done")
+            except SynthesisCancelled:
+                self._finish(job, "cancelled")
+            except Exception as exc:  # noqa: BLE001 - job boundary
+                with job.lock:
+                    job.error = f"{type(exc).__name__}: {exc}"
+                self._finish(job, "failed")
+
+    def _write_result(self, job: _Job, result) -> None:
+        out = job.directory / "result"
+        out.mkdir(exist_ok=True)
+        summary = result.summary()
+        summary["cache_hits"] = sum(
+            1 for edge in result.edges if edge.cache_hit
+        )
+        summary["cache_misses"] = sum(
+            1 for edge in result.edges if not edge.cache_hit
+        )
+        (out / "summary.json").write_text(json.dumps(summary, indent=2))
+        for name in result.database.relation_names:
+            write_csv(result.relation(name), out / f"{name}.csv")
+
+    def _finish(self, job: _Job, state: str) -> None:
+        with job.lock:
+            job.state = state
+            job.finished_at = time.time()
+        job.write_status()
+        job.done_event.set()
+
+    # -- queries -------------------------------------------------------
+
+    def _job(self, job_id: str) -> _Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise JobNotFound(f"no job {job_id!r}")
+        return job
+
+    def list_jobs(self) -> List[Dict[str, object]]:
+        with self._lock:
+            jobs = list(self._jobs.values())
+        return [
+            job.status()
+            for job in sorted(jobs, key=lambda j: j.submitted_at)
+        ]
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        return self._job(job_id).status()
+
+    def events(
+        self, job_id: str, since: int = 0
+    ) -> Tuple[List[Dict[str, object]], int]:
+        """Events with ``seq >= since`` plus the next cursor value."""
+        job = self._job(job_id)
+        with job.lock:
+            events = [dict(e) for e in job.events[since:]]
+            next_seq = len(job.events)
+        return events, next_seq
+
+    def result(self, job_id: str) -> Dict[str, object]:
+        """The finished job's summary (raises unless state is done)."""
+        job = self._job(job_id)
+        status = job.status()
+        if status["state"] != "done":
+            raise ReproError(
+                f"job {job_id!r} has no result (state: {status['state']})"
+            )
+        summary = json.loads(
+            (job.directory / "result" / "summary.json").read_text()
+        )
+        summary["result_dir"] = str(job.directory / "result")
+        return summary
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        """Ask a job to stop after its current edge; returns its status."""
+        job = self._job(job_id)
+        job.cancel_event.set()
+        return job.status()
+
+    def wait(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> Dict[str, object]:
+        """Block until the job reaches a terminal state (or timeout)."""
+        job = self._job(job_id)
+        if not job.done_event.wait(timeout):
+            raise TimeoutError(
+                f"job {job_id!r} still {job.status()['state']} after "
+                f"{timeout}s"
+            )
+        return job.status()
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Cancel every live job and wait for the worker threads."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+        for job in jobs:
+            job.cancel_event.set()
+        for job in jobs:
+            if job.thread is not None:
+                job.thread.join(timeout)
+
+    # -- crash recovery ------------------------------------------------
+
+    def _load_existing(self) -> None:
+        """Adopt job directories left by a previous process.
+
+        Terminal jobs become queryable again (status, events, result);
+        interrupted ones stay in their recorded state until
+        :meth:`resume_pending` re-runs them.
+        """
+        for directory in sorted(self.jobs_dir.iterdir()):
+            status_path = directory / "status.json"
+            if not status_path.is_file():
+                continue
+            try:
+                status = json.loads(status_path.read_text())
+            except json.JSONDecodeError:
+                continue
+            job = _Job(
+                status["id"],
+                directory,
+                status.get("name", status["id"]),
+                status.get("spec_file", "spec.json"),
+            )
+            job.state = status.get("state", "failed")
+            job.submitted_at = status.get("submitted_at", 0.0)
+            job.started_at = status.get("started_at")
+            job.finished_at = status.get("finished_at")
+            job.error = status.get("error")
+            job.total_edges = status.get("total_edges", 0)
+            job.edges_done = status.get("edges_done", 0)
+            job.cache_hits = status.get("cache_hits", 0)
+            job.cache_misses = status.get("cache_misses", 0)
+            events_path = directory / "events.jsonl"
+            if events_path.is_file():
+                job.events = [
+                    json.loads(line)
+                    for line in events_path.read_text().splitlines()
+                    if line.strip()
+                ]
+            if job.state in _TERMINAL:
+                job.done_event.set()
+            with self._lock:
+                self._jobs[job.id] = job
+
+    def resume_pending(self) -> List[str]:
+        """Re-run every adopted job stuck in a non-terminal state.
+
+        The re-run starts the traversal over but hits the shared cache
+        for every edge the interrupted run checkpointed, so it fast-
+        forwards to where the crash happened and completes from there.
+        """
+        resumed = []
+        with self._lock:
+            stuck = [
+                job for job in self._jobs.values()
+                if job.state not in _TERMINAL and job.thread is None
+            ]
+        for job in stuck:
+            spec = load_spec(job.directory / job.spec_file)
+            with job.lock:
+                job.state = "queued"
+                job.finished_at = None
+                job.error = None
+            job.write_status()
+            self._start(job, spec)
+            resumed.append(job.id)
+        return resumed

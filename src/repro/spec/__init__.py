@@ -15,19 +15,27 @@ from repro.spec.api import (
 )
 from repro.spec.builder import SpecBuilder
 from repro.spec.discover import discover_spec
+from repro.spec.fingerprint import (
+    RESULT_OPTION_FIELDS,
+    edge_fingerprints,
+    result_options,
+)
 from repro.spec.io import load_spec, save_spec, toml_dumps
 from repro.spec.model import EdgeSpec, RelationSpec, SynthesisSpec
 
 __all__ = [
     "EdgeReport",
     "EdgeSpec",
+    "RESULT_OPTION_FIELDS",
     "RelationSpec",
     "SpecBuilder",
     "SynthesisResult",
     "SynthesisSpec",
     "discover_spec",
+    "edge_fingerprints",
     "load_spec",
     "plan_edges",
+    "result_options",
     "save_spec",
     "synthesize",
     "toml_dumps",

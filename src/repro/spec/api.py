@@ -10,7 +10,10 @@ and a JSON-serialisable summary, whatever pipeline ran underneath.
 
 from __future__ import annotations
 
+import shutil
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.metrics import ErrorReport
@@ -20,7 +23,15 @@ from repro.relational.database import Database, ForeignKey
 from repro.relational.relation import Relation
 from repro.spec.model import SynthesisSpec
 
-__all__ = ["EdgeReport", "SynthesisResult", "plan_edges", "synthesize"]
+__all__ = [
+    "EdgeReport",
+    "SynthesisResult",
+    "edge_constraint_map",
+    "edge_report",
+    "plan_edges",
+    "spill_guard",
+    "synthesize",
+]
 
 
 @dataclass
@@ -44,6 +55,14 @@ class EdgeReport:
     total_overflow: int = 0
     #: The per-edge solver overrides that shadowed the global options.
     solver_overrides: Dict[str, object] = field(default_factory=dict)
+    #: End-to-end wall clock of the edge's solve, measured wherever it
+    #: ran (in the worker process for parallel traversals) — vs
+    #: :attr:`total_seconds`, the pure Phase-I + Phase-II solve time.
+    wall_seconds: float = 0.0
+    #: ``True`` when the service layer spliced this edge from its
+    #: edge-result cache instead of solving it; timings then describe
+    #: the original (cached) solve.
+    cache_hit: bool = False
 
     @property
     def total_seconds(self) -> float:
@@ -57,10 +76,14 @@ class EdgeReport:
             "num_dcs": self.num_dcs,
             "phase1_s": round(self.phase1_seconds, 4),
             "phase2_s": round(self.phase2_seconds, 4),
+            "solve_s": round(self.total_seconds, 4),
+            "wall_s": round(self.wall_seconds, 4),
             "new_parent_tuples": self.num_new_parent_tuples,
             "conflict_edges": self.num_conflict_edges,
             "partitions": self.num_partitions,
         }
+        if self.cache_hit:
+            out["cache_hit"] = True
         if self.total_overflow:
             out["total_overflow"] = self.total_overflow
         if self.solver_overrides:
@@ -71,6 +94,47 @@ class EdgeReport:
             out["max_cc_error"] = round(self.errors.max_cc_error, 4)
             out["dc_error"] = round(self.errors.dc_error, 4)
         return out
+
+    def as_payload(self) -> Dict[str, object]:
+        """A lossless JSON-serialisable form (vs the rounded
+        :meth:`as_dict` summary) — what the edge-result cache persists
+        next to each entry so hits can replay the original report."""
+        out: Dict[str, object] = {
+            "child": self.child,
+            "column": self.column,
+            "parent": self.parent,
+            "strategy": self.strategy,
+            "num_ccs": self.num_ccs,
+            "num_dcs": self.num_dcs,
+            "phase1_seconds": self.phase1_seconds,
+            "phase2_seconds": self.phase2_seconds,
+            "num_new_parent_tuples": self.num_new_parent_tuples,
+            "num_conflict_edges": self.num_conflict_edges,
+            "num_partitions": self.num_partitions,
+            "total_overflow": self.total_overflow,
+            "solver_overrides": dict(self.solver_overrides),
+            "wall_seconds": self.wall_seconds,
+        }
+        if self.errors is not None:
+            out["errors"] = {
+                "per_cc": [float(e) for e in self.errors.per_cc],
+                "dc_error": float(self.errors.dc_error),
+            }
+        return out
+
+    @classmethod
+    def from_payload(
+        cls, data: Dict[str, object], *, cache_hit: bool = False
+    ) -> "EdgeReport":
+        """Rebuild a report persisted by :meth:`as_payload`."""
+        data = dict(data)
+        errors = data.pop("errors", None)
+        if errors is not None:
+            errors = ErrorReport(
+                per_cc=list(errors["per_cc"]),
+                dc_error=errors["dc_error"],
+            )
+        return cls(errors=errors, cache_hit=cache_hit, **data)
 
 
 @dataclass
@@ -123,6 +187,37 @@ class SynthesisResult:
         }
 
 
+@contextmanager
+def spill_guard(spec: SynthesisSpec):
+    """Remove spill directories a failed run created under its
+    ``storage_dir``.
+
+    With the mmap backend and a named ``storage_dir``, each relation
+    spills into ``storage_dir/<name>``.  When the guarded block raises,
+    every child directory that appeared during the block is deleted (and
+    ``storage_dir`` itself, if the block created it and it emptied out)
+    — pre-existing contents are never touched.  Without a named storage
+    directory this is a no-op: temp-dir spills already clean themselves
+    up with the store's lifetime.
+    """
+    storage = spec.storage_options()
+    root: Optional[Path] = None
+    if storage is not None and storage.directory is not None:
+        root = Path(storage.directory)
+    existed = root is not None and root.exists()
+    before = {p.name for p in root.iterdir()} if existed else set()
+    try:
+        yield
+    except BaseException:
+        if root is not None and root.exists():
+            for child in root.iterdir():
+                if child.name not in before:
+                    shutil.rmtree(child, ignore_errors=True)
+            if not existed and not any(root.iterdir()):
+                root.rmdir()
+        raise
+
+
 def plan_edges(spec: SynthesisSpec, database: Database) -> List[ForeignKey]:
     """The FK-edge solve order: BFS outward from the fact table.
 
@@ -134,17 +229,11 @@ def plan_edges(spec: SynthesisSpec, database: Database) -> List[ForeignKey]:
     return database.bfs_edges(spec.fact())
 
 
-def synthesize(spec: SynthesisSpec) -> SynthesisResult:
-    """Execute a declarative workload end to end.
-
-    Builds the database, plans the edge order, and solves every FK edge
-    with its declared constraint sets and Phase-II strategy.  Two-table
-    workloads are simply one-edge snowflakes.
-    """
-    spec.validate()
-    database = spec.to_database()
-
-    constraints = {
+def edge_constraint_map(
+    spec: SynthesisSpec,
+) -> Dict[Tuple[str, str], EdgeConstraints]:
+    """``(child, column) → EdgeConstraints`` for every declared edge."""
+    return {
         (edge.child, edge.column): EdgeConstraints(
             ccs=edge.ccs,
             dcs=edge.dcs,
@@ -156,35 +245,54 @@ def synthesize(spec: SynthesisSpec) -> SynthesisResult:
         )
         for edge in spec.edges
     }
-    flake = SnowflakeSynthesizer(spec.options).solve(
-        database, spec.fact(), constraints
+
+
+def edge_report(
+    fk: ForeignKey,
+    step: CExtensionResult,
+    constraints: EdgeConstraints,
+) -> EdgeReport:
+    """The compact report for one solved edge."""
+    strategy, _ = constraints.resolved_strategy()
+    return EdgeReport(
+        child=fk.child,
+        column=fk.column,
+        parent=fk.parent,
+        strategy=strategy,
+        num_ccs=len(constraints.ccs),
+        num_dcs=len(constraints.dcs),
+        phase1_seconds=step.report.phase1_seconds,
+        phase2_seconds=step.report.phase2_seconds,
+        num_new_parent_tuples=step.phase2.stats.num_new_r2_tuples,
+        num_conflict_edges=step.phase2.stats.num_edges,
+        num_partitions=step.phase2.stats.num_partitions,
+        errors=step.report.errors,
+        total_overflow=step.phase2.stats.total_overflow,
+        solver_overrides=dict(constraints.solver_overrides),
+        wall_seconds=step.report.wall_seconds,
     )
+
+
+def synthesize(spec: SynthesisSpec) -> SynthesisResult:
+    """Execute a declarative workload end to end.
+
+    Builds the database, plans the edge order, and solves every FK edge
+    with its declared constraint sets and Phase-II strategy.  Two-table
+    workloads are simply one-edge snowflakes.
+    """
+    spec.validate()
+    with spill_guard(spec):
+        database = spec.to_database()
+        constraints = edge_constraint_map(spec)
+        flake = SnowflakeSynthesizer(spec.options).solve(
+            database, spec.fact(), constraints
+        )
 
     result = SynthesisResult(spec=spec, database=flake.database)
     for fk, step in flake.steps:
         edge_constraints = constraints.get(
             (fk.child, fk.column), EdgeConstraints()
         )
-        strategy, _ = edge_constraints.resolved_strategy()
-        num_ccs = len(edge_constraints.ccs)
-        num_dcs = len(edge_constraints.dcs)
         result.steps.append((fk, step))
-        result.edges.append(
-            EdgeReport(
-                child=fk.child,
-                column=fk.column,
-                parent=fk.parent,
-                strategy=strategy,
-                num_ccs=num_ccs,
-                num_dcs=num_dcs,
-                phase1_seconds=step.report.phase1_seconds,
-                phase2_seconds=step.report.phase2_seconds,
-                num_new_parent_tuples=step.phase2.stats.num_new_r2_tuples,
-                num_conflict_edges=step.phase2.stats.num_edges,
-                num_partitions=step.phase2.stats.num_partitions,
-                errors=step.report.errors,
-                total_overflow=step.phase2.stats.total_overflow,
-                solver_overrides=dict(edge_constraints.solver_overrides),
-            )
-        )
+        result.edges.append(edge_report(fk, step, edge_constraints))
     return result

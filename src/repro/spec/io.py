@@ -20,6 +20,8 @@ import tomllib
 from pathlib import Path
 from typing import List, Mapping, Union
 
+import numpy as np
+
 from repro.errors import ParseError
 from repro.spec.model import SynthesisSpec
 
@@ -35,13 +37,20 @@ def _key(key: str) -> str:
 
 
 def _value(value: object) -> str:
+    if isinstance(value, np.generic):
+        # np.float64 subclasses float, so without this unwrap its repr
+        # ("np.float64(2.5)") would land verbatim in the file; np.int64
+        # and np.bool_ would be rejected outright.
+        value = value.item()
     if isinstance(value, bool):
         return "true" if value else "false"
     if isinstance(value, (int, float)):
         return repr(value)
     if isinstance(value, str):
         return json.dumps(value)
-    if isinstance(value, (list, tuple)):
+    if isinstance(value, Path):
+        return json.dumps(str(value))
+    if isinstance(value, (list, tuple, np.ndarray)):
         return "[" + ", ".join(_value(v) for v in value) + "]"
     raise ParseError(f"cannot emit {value!r} as a TOML value")
 
@@ -96,12 +105,26 @@ def load_spec(path: Union[str, Path]) -> SynthesisSpec:
     return SynthesisSpec.from_dict(data, base_dir=path.parent.resolve())
 
 
+def _json_default(value: object) -> object:
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, Path):
+        return str(value)
+    raise TypeError(
+        f"cannot emit {value!r} as a JSON value"
+    )
+
+
 def save_spec(spec: SynthesisSpec, path: Union[str, Path]) -> Path:
     """Write a spec to ``.toml`` (default) or ``.json``."""
     path = Path(path)
     data = spec.to_dict()
     if path.suffix.lower() == ".json":
-        path.write_text(json.dumps(data, indent=2) + "\n")
+        path.write_text(
+            json.dumps(data, indent=2, default=_json_default) + "\n"
+        )
     else:
         path.write_text(toml_dumps(data))
     return path

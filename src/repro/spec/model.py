@@ -531,6 +531,10 @@ class SynthesisSpec:
         options = data.get("options", {})
         if not isinstance(options, Mapping):
             raise SchemaError("'options' must be a table of solver knobs")
+        for field in ("relations", "edges"):
+            value = data.get(field, [])
+            if not isinstance(value, Sequence) or isinstance(value, str):
+                raise SchemaError(f"'{field}' must be an array of tables")
         valid = set(SolverConfig.__dataclass_fields__)
         bad = set(options) - valid
         if bad:

@@ -106,6 +106,58 @@ class TestMmapStore:
         assert (directory / "manifest.json").exists()
         assert np.array_equal(disk.column("id"), rel.column("id"))
 
+    def test_colliding_directory_is_rejected(self, tmp_path):
+        target = tmp_path / "spill"
+        _sample_relation(20).to_store(chunk_rows=8, directory=target)
+        with pytest.raises(SchemaError, match="already exists"):
+            MmapStoreWriter(target, [("a", "int")])
+        # An empty pre-existing directory is fine (mkdir -p semantics).
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        writer = MmapStoreWriter(empty, [("a", "int")])
+        writer.append({"a": np.asarray([1, 2], dtype=np.int64)})
+        writer.finalize()
+
+    def test_discard_removes_partial_named_directory(self, tmp_path):
+        target = tmp_path / "partial"
+        writer = MmapStoreWriter(target, [("a", "int"), ("b", "dict")])
+        writer.append(
+            {
+                "a": np.asarray([1, 2], dtype=np.int64),
+                "b": np.asarray(["x", "y"], dtype=object),
+            }
+        )
+        writer.discard()
+        assert not target.exists()
+        # The collision check no longer trips: the path is reusable.
+        MmapStoreWriter(target, [("a", "int")]).finalize()
+
+    def test_discard_after_finalize_keeps_store(self, tmp_path):
+        target = tmp_path / "live"
+        writer = MmapStoreWriter(target, [("a", "int")])
+        writer.append({"a": np.asarray([3, 1], dtype=np.int64)})
+        store = writer.finalize()
+        writer.discard()  # no-op: never deletes a live store
+        assert (target / "manifest.json").exists()
+        np.testing.assert_array_equal(
+            store.column("a"), np.asarray([3, 1], dtype=np.int64)
+        )
+
+    def test_aborted_to_store_cleans_up(self, tmp_path):
+        rel = _sample_relation(20)
+        target = tmp_path / "abort"
+        values = np.empty(1, dtype=object)
+        values[0] = frozenset({"t"})  # finalize() rejects this dictionary
+        bad = Relation(
+            Schema([ColumnSpec("c", Dtype.STR)]), {"c": values}
+        )
+        with pytest.raises(SchemaError):
+            bad.to_store(chunk_rows=8, directory=target)
+        assert not target.exists()
+        # A later run can claim the same storage_dir.
+        disk = rel.to_store(chunk_rows=8, directory=target)
+        assert np.array_equal(disk.column("id"), rel.column("id"))
+
 
 class TestChunkedKernels:
     @pytest.mark.parametrize("chunk_rows", [1, 7, 64, 10_000])

@@ -1,0 +1,144 @@
+"""HTTP front end + client: one live server on an ephemeral port."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import (
+    JobManager,
+    ServiceClient,
+    ServiceError,
+    ServiceServer,
+)
+from repro.spec import SpecBuilder, toml_dumps
+
+
+def tiny_spec(shift=0):
+    return (
+        SpecBuilder("http-spec")
+        .relation(
+            "F",
+            columns={
+                "fid": list(range(4)),
+                "W": [(v + shift) % 2 for v in range(4)],
+            },
+            key="fid",
+        )
+        .relation("D", columns={"did": [1, 2], "X": [0, 1]}, key="did")
+        .edge("F", "fk_d", "D")
+        .fact_table("F")
+        .build()
+    )
+
+
+@pytest.fixture
+def server(tmp_path):
+    manager = JobManager(tmp_path / "jobs", worker_budget=1)
+    srv = ServiceServer(manager, port=0)
+    srv.start()
+    try:
+        yield srv
+    finally:
+        srv.stop()
+        manager.close()
+
+
+@pytest.fixture
+def client(server):
+    return ServiceClient(server.address)
+
+
+class TestEndpoints:
+    def test_health(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert "cache" in health
+
+    def test_submit_json_spec_full_lifecycle(self, client):
+        job_id = client.submit(tiny_spec(), name="lifecycle")
+        status = client.wait(job_id, timeout=120)
+        assert status["state"] == "done"
+        assert status["name"] == "lifecycle"
+        assert status["edges_done"] == status["total_edges"] == 1
+        events, next_seq = client.events(job_id)
+        assert [e["type"] for e in events] == [
+            "edge_started", "edge_solved",
+        ]
+        assert next_seq == 2
+        result = client.result(job_id)
+        assert result["cache_misses"] == 1
+        assert result["relations"] == {"F": 4, "D": 2}
+
+    def test_submit_toml_text(self, client):
+        job_id = client.submit(text=toml_dumps(tiny_spec().to_dict()))
+        assert client.wait(job_id, timeout=120)["state"] == "done"
+
+    def test_warm_resubmission_reports_hits(self, client):
+        client.wait(client.submit(tiny_spec()), timeout=120)
+        warm = client.wait(client.submit(tiny_spec()), timeout=120)
+        assert warm["cache_hits"] == 1
+        assert warm["cache_misses"] == 0
+
+    def test_jobs_listing(self, client):
+        job_id = client.submit(tiny_spec())
+        client.wait(job_id, timeout=120)
+        assert job_id in {entry["id"] for entry in client.jobs()}
+
+    def test_cancel_endpoint(self, client):
+        job_id = client.submit(tiny_spec())
+        assert client.cancel(job_id)["id"] == job_id
+        final = client.wait(job_id, timeout=120)
+        # The tiny solve may beat the cancel flag; both are terminal.
+        assert final["state"] in ("cancelled", "done")
+
+
+class TestErrors:
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client.status("nope")
+        assert exc.value.status == 404
+
+    def test_result_of_failed_job_is_409(self, client):
+        bad = (
+            SpecBuilder("orphan")
+            .relation("A", columns={"aid": [1]}, key="aid")
+            .relation("B", columns={"bid": [1]}, key="bid")
+            .relation("C", columns={"cid": [1]}, key="cid")
+            .edge("B", "fk_c", "C")
+            .fact_table("A")
+            .build()
+        )
+        job_id = client.submit(bad)
+        status = client.wait(job_id, timeout=120)
+        assert status["state"] == "failed"
+        assert "unreachable" in status["error"]
+        with pytest.raises(ServiceError) as exc:
+            client.result(job_id)
+        assert exc.value.status == 409
+
+    def test_malformed_submission_is_400(self, server):
+        request = urllib.request.Request(
+            f"{server.address}/jobs",
+            data=b"not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(request)
+        assert exc.value.code == 400
+        body = json.loads(exc.value.read())
+        assert "error" in body
+
+    def test_invalid_spec_is_400(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client.submit(text="relations = 3", fmt="toml")
+        assert exc.value.status == 400
+
+    def test_unknown_route_is_404(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client._request("GET", "/nope")
+        assert exc.value.status == 404

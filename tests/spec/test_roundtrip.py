@@ -157,6 +157,22 @@ def specs(draw):
         builder.options(backend=draw(st.sampled_from(["scipy", "native"])))
     if draw(st.booleans()):
         builder.options(workers=draw(st.integers(0, 4)))
+    if draw(st.booleans()):
+        builder.options(
+            storage=draw(st.sampled_from(["numpy", "mmap"])),
+            chunk_rows=draw(st.integers(1, 1 << 20)),
+        )
+    if draw(st.booleans()):
+        builder.options(memory_budget_mb=draw(st.integers(1, 4096)))
+    if draw(st.booleans()):
+        builder.options(
+            storage_dir=draw(
+                st.text(string.ascii_lowercase + "/_-", min_size=1,
+                        max_size=12).filter(
+                    lambda s: not s.startswith("/") and ".." not in s
+                )
+            )
+        )
     builder.fact_table("fact")
     return builder.build()
 
@@ -178,6 +194,48 @@ def test_spec_file_round_trip_identity(tmp_path_factory, spec, fmt):
         ]
         assert original.ccs == reloaded.ccs
         assert original.dcs == reloaded.dcs
+
+
+def test_numpy_scalar_options_survive_toml_round_trip(tmp_path):
+    """np.float64/np.int64/np.bool_ values emit as plain TOML scalars.
+
+    Numeric knobs computed with numpy land in specs as numpy scalars;
+    ``np.float64`` subclasses ``float``, so before the ``np.generic``
+    unwrap its ``repr`` ("np.float64(2.5)") was written verbatim —
+    silent file corruption, caught only on reload.
+    """
+    import numpy as np
+
+    spec = (
+        SpecBuilder("npscalars")
+        .relation("fact", columns={"fid": [1, 2, 3]}, key="fid")
+        .relation("dim", columns={"k": [0, 1]}, key="k")
+        .edge(
+            "fact",
+            "fk",
+            "dim",
+            capacity=int(np.int64(2)),
+            solver={
+                "time_limit": np.float64(2.5),
+                "mip_gap": np.float64(0.125),
+                "force_ilp": np.bool_(True),
+            },
+        )
+        .fact_table("fact")
+        .options(workers=np.int64(3), time_limit=np.float64(9.5))
+        .build()
+    )
+    for fmt in ("toml", "json"):
+        path = tmp_path / f"spec.{fmt}"
+        save_spec(spec, path)
+        assert "np.float64" not in path.read_text()
+        loaded = load_spec(path)
+        assert loaded.options.workers == 3
+        assert loaded.options.time_limit == 9.5
+        edge = loaded.edges[0]
+        assert edge.solver["time_limit"] == 2.5
+        assert edge.solver["mip_gap"] == 0.125
+        assert edge.solver["force_ilp"] is True
 
 
 def test_spec_dict_round_trip_is_stable():

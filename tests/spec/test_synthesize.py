@@ -124,6 +124,55 @@ class TestSnowflake:
             synthesize(spec)
 
 
+class TestEdgeTimings:
+    @staticmethod
+    def _two_dim_spec(**options):
+        builder = (
+            SpecBuilder("timing")
+            .relation(
+                "F",
+                columns={"fid": list(range(6)), "W": [v % 3 for v in range(6)]},
+                key="fid",
+            )
+            .relation("D0", columns={"k0": [0, 1], "X0": [0, 1]}, key="k0")
+            .relation("D1", columns={"k1": [0, 1, 2], "X1": [0, 1, 2]}, key="k1")
+            .edge("F", "fk0", "D0")
+            .edge("F", "fk1", "D1")
+            .fact_table("F")
+        )
+        if options:
+            builder.options(**options)
+        return builder.build()
+
+    def test_sequential_run_populates_wall_seconds(self):
+        result = synthesize(self._two_dim_spec())
+        assert len(result.edges) == 2
+        for edge in result.edges:
+            assert edge.wall_seconds > 0.0
+            summary = edge.as_dict()
+            assert summary["wall_s"] > 0.0
+            assert summary["solve_s"] >= 0.0
+
+    def test_parallel_run_populates_wall_seconds(self):
+        result = synthesize(self._two_dim_spec(workers=2))
+        assert len(result.edges) == 2
+        for edge in result.edges:
+            assert edge.wall_seconds > 0.0
+            assert "wall_s" in edge.as_dict()
+
+    def test_cli_solve_prints_timings(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main([
+            "solve", "--spec", str(UNIVERSITY_SPEC),
+            "--out", str(tmp_path / "out"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "solve " in out
+        assert "wall " in out
+
+
 class TestStageRegistry:
     def test_builtins_listed(self):
         assert {
