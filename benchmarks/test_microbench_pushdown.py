@@ -1,0 +1,99 @@
+"""Microbenchmark for the SQL-pushdown kernel executors.
+
+Runs ``python -m repro.bench.pushdown`` once per engine — chunked-mmap
+numpy (the out-of-core baseline), sqlite, and duckdb where installed —
+in fresh subprocesses so the engines never share page caches or table
+registrations, then cross-checks the kernels' output checksums and
+emits ``BENCH_pushdown.json`` for ``compare_bench.py``.
+
+Cells carry lower-is-better ``wall_s`` per ``(kernel, engine)`` pair;
+the diff against the committed baseline catches pushdown slowdowns the
+same way the out-of-core bench catches memory blow-ups.  The ≥2×
+speedup gate applies to duckdb's DC kernel in full mode only: sqlite's
+row-at-a-time VM wins on the self-join but owes nothing on scans, and
+smoke runs (``REPRO_BENCH_SMOKE=1``, CI) are too small to gate on.
+
+In full mode the child relation is 1M rows (the paper's Table-1 scale);
+smoke mode runs 200k.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.relational.executor import duckdb_available
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+ROWS = 200_000 if SMOKE else 1_000_000
+CHUNK_ROWS = 65_536
+OUTPUT = Path(__file__).parent / "BENCH_pushdown.json"
+_SRC = Path(__file__).parent.parent / "src"
+
+KERNELS = ("group_counts", "dc_error", "fk_join")
+
+
+def _run_subprocess(executor: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(_SRC)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    command = [
+        sys.executable, "-m", "repro.bench.pushdown",
+        "--rows", str(ROWS),
+        "--executor", executor,
+        "--chunk-rows", str(CHUNK_ROWS),
+    ]
+    completed = subprocess.run(
+        command, env=env, capture_output=True, text=True, check=True
+    )
+    return json.loads(completed.stdout)
+
+
+def test_microbench_pushdown():
+    engines = ["numpy", "sqlite"] + (
+        ["duckdb"] if duckdb_available() else []
+    )
+    reports = {engine: _run_subprocess(engine) for engine in engines}
+
+    # Byte-identity, spot-checked cheaply: every engine must agree on
+    # every output checksum before any timing is worth recording.
+    base = reports["numpy"]["checksums"]
+    for engine in engines[1:]:
+        assert reports[engine]["checksums"] == base, engine
+
+    cells = {}
+    for kernel in KERNELS:
+        for engine in engines:
+            cells[f"{kernel}_{engine}"] = {
+                "wall_s": reports[engine][f"{kernel}_s"],
+            }
+        cells[f"{kernel}_numpy"]["register_s"] = reports["numpy"][
+            "register_s"
+        ]
+    OUTPUT.write_text(json.dumps({
+        "rows": {str(ROWS): cells},
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }, indent=2) + "\n")
+
+    lines = [f"\nSQL-pushdown microbench ({ROWS} rows, BENCH_pushdown.json)"]
+    for kernel in KERNELS:
+        timings = ", ".join(
+            f"{engine} {reports[engine][f'{kernel}_s']:.2f}s"
+            for engine in engines
+        )
+        lines.append(f"  {kernel}: {timings}")
+    print("\n".join(lines))
+
+    if not SMOKE and "duckdb" in engines:
+        speedup = (
+            reports["numpy"]["dc_error_s"]
+            / max(reports["duckdb"]["dc_error_s"], 1e-9)
+        )
+        assert speedup >= 2.0, (
+            f"duckdb dc_error pushdown only {speedup:.2f}x vs numpy"
+        )

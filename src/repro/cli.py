@@ -136,13 +136,15 @@ def _with_cli_options(
     spec: SynthesisSpec, args: argparse.Namespace
 ) -> SynthesisSpec:
     """Apply the option-override flags (``--workers``, ``--storage``,
-    ``--chunk-rows``, ``--memory-budget-mb``); bad values get the CLI's
-    clean error path, naming the offending flag."""
+    ``--chunk-rows``, ``--memory-budget-mb``, ``--executor``); bad
+    values get the CLI's clean error path, naming the offending flag."""
     overrides = (
         ("--workers", "workers", args.workers),
         ("--storage", "storage", args.storage or None),
         ("--chunk-rows", "chunk_rows", args.chunk_rows),
         ("--memory-budget-mb", "memory_budget_mb", args.memory_budget_mb),
+        ("--executor", "executor", args.executor or None),
+        ("--sql-min-rows", "sql_min_rows", args.sql_min_rows),
     )
     for flag, knob, value in overrides:
         if value is None:
@@ -170,6 +172,8 @@ def _print_edge_reports(result: SynthesisResult) -> None:
             )
         if edge.total_overflow:
             line += f" | overflow {edge.total_overflow}"
+        if edge.executor != "numpy":
+            line += f" | exec={edge.executor}"
         line += (
             f" | +{edge.num_new_parent_tuples} parent tuples, "
             f"solve {edge.total_seconds:.3f}s"
@@ -409,6 +413,15 @@ def _build_parser() -> argparse.ArgumentParser:
                        dest="memory_budget_mb",
                        help="advisory peak-RSS budget recorded in the "
                        "summary (enforced by the out-of-core benchmarks)")
+    solve.add_argument("--executor", choices=("numpy", "duckdb", "sqlite"),
+                       default="",
+                       help="kernel executor: in-process numpy (default) "
+                       "or SQL pushdown to embedded DuckDB/SQLite "
+                       "(identical output)")
+    solve.add_argument("--sql-min-rows", type=int, default=None,
+                       dest="sql_min_rows",
+                       help="only push a relation's kernels to SQL once "
+                       "it has at least this many rows")
     solve.set_defaults(func=_cmd_solve)
 
     disc = sub.add_parser(

@@ -7,66 +7,58 @@
   violation.
 
 Both are computed on the *final* relations — after Phase II may have grown
-``R2̂`` — exactly as the paper evaluates.
+``R2̂`` — exactly as the paper evaluates.  Every measure dispatches through
+a :class:`~repro.relational.executor.KernelExecutor` (numpy by default),
+so evaluation can run on the same SQL backend as the solve.
 """
 
 from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.constraints.cc import CardinalityConstraint, count_ccs
-from repro.constraints.dc import (
-    DenialConstraint,
-    count_violating_tuples,
-    violating_members,
-)
-from repro.relational.join import fk_join
+from repro.constraints.cc import CardinalityConstraint
+from repro.constraints.dc import DenialConstraint, count_violating_tuples
+from repro.relational.executor import NUMPY_EXECUTOR, KernelExecutor
 from repro.relational.relation import Relation
 
 __all__ = ["cc_errors", "dc_error", "dc_error_naive", "ErrorReport", "evaluate"]
 
 
 def cc_errors(
-    join_view: Relation, ccs: Sequence[CardinalityConstraint]
+    join_view: Relation,
+    ccs: Sequence[CardinalityConstraint],
+    executor: Optional[KernelExecutor] = None,
 ) -> List[float]:
     """Per-CC relative errors over a (materialised) join view.
 
-    All CCs are counted in one fused pass over the view's cached column
-    codes (:func:`repro.constraints.cc.count_ccs`).
+    All CCs are counted in one fused pass — over the view's cached column
+    codes (:func:`repro.constraints.cc.count_ccs`) on the numpy executor,
+    or as a single multi-aggregate SQL query on a SQL executor.
     """
+    executor = executor or NUMPY_EXECUTOR
     return [
         abs(achieved - cc.target) / max(10, cc.target)
-        for cc, achieved in zip(ccs, count_ccs(join_view, ccs))
+        for cc, achieved in zip(ccs, executor.count_ccs(join_view, ccs))
     ]
 
 
 def dc_error(
-    r1_hat: Relation, fk_column: str, dcs: Sequence[DenialConstraint]
+    r1_hat: Relation,
+    fk_column: str,
+    dcs: Sequence[DenialConstraint],
+    executor: Optional[KernelExecutor] = None,
 ) -> float:
     """Fraction of R1̂ tuples participating in some DC violation.
 
-    Column-wise evaluation: FK groups come from the vectorised
-    :meth:`Relation.group_indices`, and row dicts are materialised only
-    for multi-member groups and only over the attributes the DCs mention
-    (plus whatever the k-ary scan needs) — never the full relation.
+    The numpy executor materialises row dicts only for multi-member FK
+    groups and only over the attributes the DCs mention; a SQL executor
+    counts the distinct members of violating pairs with one self-join
+    query per DC.
     """
-    if len(r1_hat) == 0 or not dcs:
-        return 0.0
-    attrs = sorted(
-        set().union(*(dc.attributes for dc in dcs)) & set(r1_hat.schema.names)
-    )
-    cols = {attr: r1_hat.column(attr) for attr in attrs}
-    violating = 0
-    for members in r1_hat.group_indices([fk_column]).values():
-        if len(members) < 2:
-            continue
-        group_rows = [
-            {attr: cols[attr][i] for attr in attrs} for i in members.tolist()
-        ]
-        violating += len(violating_members(group_rows, dcs))
-    return violating / len(r1_hat)
+    executor = executor or NUMPY_EXECUTOR
+    return executor.dc_error(r1_hat, fk_column, dcs)
 
 
 def dc_error_naive(
@@ -119,10 +111,12 @@ def evaluate(
     fk_column: str,
     ccs: Sequence[CardinalityConstraint],
     dcs: Sequence[DenialConstraint],
+    executor: Optional[KernelExecutor] = None,
 ) -> ErrorReport:
     """Full error report on a synthesized database."""
-    join_view = fk_join(r1_hat, r2_hat, fk_column)
+    executor = executor or NUMPY_EXECUTOR
+    join_view = executor.fk_join(r1_hat, r2_hat, fk_column)
     return ErrorReport(
-        per_cc=cc_errors(join_view, ccs),
-        dc_error=dc_error(r1_hat, fk_column, dcs),
+        per_cc=cc_errors(join_view, ccs, executor=executor),
+        dc_error=dc_error(r1_hat, fk_column, dcs, executor=executor),
     )

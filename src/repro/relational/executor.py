@@ -1,0 +1,263 @@
+"""Pluggable kernel executors for the relational operations.
+
+Every call-site of the relational kernels — ``group_counts`` /
+``distinct`` grouping, the FK join behind extended views, the CC
+counting pass and the DC error measure, and Phase II's combo
+partitioning — dispatches through a :class:`KernelExecutor`.  Two
+implementations exist:
+
+* :class:`NumpyExecutor` — the library's own columnar kernels, exactly
+  the code paths every earlier release ran (the default);
+* :class:`~repro.relational.sql_backend.SQLExecutor` — compiles the
+  same fixed, well-typed query workload onto an embedded relational
+  engine (DuckDB, or stdlib SQLite when DuckDB is not installed), the
+  compile-to-relational-semantics discipline the DMR-XPath lineage
+  applies to tree queries.
+
+The contract is *byte identity*: for any input, every executor returns
+exactly what :class:`NumpyExecutor` returns — same values, same
+canonical ordering (:mod:`repro.relational.ordering`), same error
+messages on bad inputs.  That contract is also what makes partial
+pushdown sound: a SQL executor may delegate any individual call it
+cannot express (mixed-type object columns, k-ary DCs) back to the numpy
+kernels without the caller noticing.
+
+``executor = "numpy" | "duckdb" | "sqlite"`` is a
+:class:`~repro.core.config.SolverConfig` knob;
+:func:`executor_from_config` resolves it (sharing SQL executors so
+registered relations are reused across pipeline stages), and
+``sql_min_rows`` sets the per-relation auto-selection threshold —
+relations below it take the numpy kernels even under a SQL executor,
+so only e.g. large disk-resident ``MmapColumnStore`` relations ride
+the database engine.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.constraints.cc import CardinalityConstraint
+    from repro.constraints.dc import DenialConstraint
+    from repro.core.config import SolverConfig
+    from repro.phase1.assignment import ViewAssignment
+    from repro.relational.relation import Relation
+
+__all__ = [
+    "EXECUTOR_NAMES",
+    "KernelExecutor",
+    "NumpyExecutor",
+    "NUMPY_EXECUTOR",
+    "duckdb_available",
+    "available_engines",
+    "executor_from_config",
+]
+
+#: The valid values of the ``executor`` configuration knob.
+EXECUTOR_NAMES = ("numpy", "duckdb", "sqlite")
+
+
+def duckdb_available() -> bool:
+    """Whether the optional ``duckdb`` package is importable."""
+    try:  # pragma: no cover - trivially environment-dependent
+        import duckdb  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def available_engines() -> Tuple[str, ...]:
+    """The executor names usable in this environment."""
+    names = ["numpy"]
+    if duckdb_available():
+        names.append("duckdb")
+    names.append("sqlite")  # stdlib, always present
+    return tuple(names)
+
+
+class KernelExecutor:
+    """The kernel dispatch interface.
+
+    ``name`` identifies the executor in configuration and reports;
+    :meth:`engine_for` reports which engine actually runs for one
+    relation (SQL executors fall back to numpy below their row
+    threshold), which is what the per-edge observability records.
+    """
+
+    name: str = "abstract"
+
+    def engine_for(self, relation: "Relation") -> str:
+        """The engine that executes kernels over this relation."""
+        raise NotImplementedError
+
+    def group_counts(
+        self, relation: "Relation", names: Sequence[str]
+    ) -> Dict[tuple, int]:
+        raise NotImplementedError
+
+    def distinct(
+        self, relation: "Relation", names: Sequence[str]
+    ) -> List[tuple]:
+        raise NotImplementedError
+
+    def fk_join(
+        self,
+        r1: "Relation",
+        r2: "Relation",
+        fk_column: str,
+        output_columns: Optional[Sequence[str]] = None,
+    ) -> "Relation":
+        raise NotImplementedError
+
+    def count_ccs(
+        self,
+        relation: "Relation",
+        ccs: Sequence["CardinalityConstraint"],
+    ) -> List[int]:
+        raise NotImplementedError
+
+    def dc_error(
+        self,
+        r1_hat: "Relation",
+        fk_column: str,
+        dcs: Sequence["DenialConstraint"],
+    ) -> float:
+        raise NotImplementedError
+
+    def group_by_combo(
+        self, assignment: "ViewAssignment", relation: "Relation"
+    ) -> Dict[tuple, List[int]]:
+        """Phase II's combo partitioning over a view assignment.
+
+        ``relation`` is the (possibly disk-backed) child relation; its
+        chunking governs the numpy kernel's working-set bound.
+        """
+        raise NotImplementedError
+
+
+class NumpyExecutor(KernelExecutor):
+    """The library's own columnar kernels — the defining implementation.
+
+    Every other executor is tested for byte identity against this one;
+    its methods simply call the kernels the call-sites used to invoke
+    directly, so ``executor = "numpy"`` is the historical behaviour to
+    the byte.
+    """
+
+    name = "numpy"
+
+    def engine_for(self, relation: "Relation") -> str:
+        return "numpy"
+
+    def group_counts(
+        self, relation: "Relation", names: Sequence[str]
+    ) -> Dict[tuple, int]:
+        return relation.group_counts(names)
+
+    def distinct(
+        self, relation: "Relation", names: Sequence[str]
+    ) -> List[tuple]:
+        return relation.distinct(names)
+
+    def fk_join(
+        self,
+        r1: "Relation",
+        r2: "Relation",
+        fk_column: str,
+        output_columns: Optional[Sequence[str]] = None,
+    ) -> "Relation":
+        from repro.relational.join import fk_join
+
+        return fk_join(r1, r2, fk_column, output_columns)
+
+    def count_ccs(
+        self,
+        relation: "Relation",
+        ccs: Sequence["CardinalityConstraint"],
+    ) -> List[int]:
+        from repro.constraints.cc import count_ccs
+
+        return count_ccs(relation, ccs)
+
+    def dc_error(
+        self,
+        r1_hat: "Relation",
+        fk_column: str,
+        dcs: Sequence["DenialConstraint"],
+    ) -> float:
+        from repro.constraints.dc import violating_members
+
+        if len(r1_hat) == 0 or not dcs:
+            return 0.0
+        attrs = sorted(
+            set().union(*(dc.attributes for dc in dcs))
+            & set(r1_hat.schema.names)
+        )
+        cols = {attr: r1_hat.column(attr) for attr in attrs}
+        violating = 0
+        for members in r1_hat.group_indices([fk_column]).values():
+            if len(members) < 2:
+                continue
+            group_rows = [
+                {attr: cols[attr][i] for attr in attrs}
+                for i in members.tolist()
+            ]
+            violating += len(violating_members(group_rows, dcs))
+        return violating / len(r1_hat)
+
+    def group_by_combo(
+        self, assignment: "ViewAssignment", relation: "Relation"
+    ) -> Dict[tuple, List[int]]:
+        return assignment.group_by_combo(
+            chunk_rows=relation.chunk_rows if relation.is_chunked else None
+        )
+
+
+#: The shared default executor (stateless, safe to share everywhere).
+NUMPY_EXECUTOR = NumpyExecutor()
+
+# SQL executors are shared per (engine, threshold): a relation
+# registered while building an extended view is still registered when
+# the same relation's CCs are counted two stages later.
+_SQL_EXECUTORS: Dict[Tuple[str, int], KernelExecutor] = {}
+_SQL_LOCK = threading.Lock()
+
+
+def executor_from_config(
+    config: Optional["SolverConfig"],
+) -> KernelExecutor:
+    """Resolve a configuration's ``executor`` knob to an executor.
+
+    ``"numpy"`` (or no config) returns the shared
+    :data:`NUMPY_EXECUTOR`.  SQL executors are cached per
+    ``(engine, sql_min_rows)`` pair and shared process-wide, so every
+    pipeline stage of a solve reuses one embedded connection — and the
+    relations already registered with it.  Raises
+    :class:`~repro.errors.ReproError` when the requested engine is not
+    available in this environment (``duckdb`` not installed).
+    """
+    name = getattr(config, "executor", "numpy")
+    if name == "numpy":
+        return NUMPY_EXECUTOR
+    if name not in EXECUTOR_NAMES:
+        raise ReproError(
+            f"unknown executor {name!r} (known: {', '.join(EXECUTOR_NAMES)})"
+        )
+    if name == "duckdb" and not duckdb_available():
+        raise ReproError(
+            "executor 'duckdb' requires the optional duckdb package; "
+            "install it (pip install duckdb) or use executor 'sqlite'"
+        )
+    min_rows = int(getattr(config, "sql_min_rows", 0))
+    key = (name, min_rows)
+    with _SQL_LOCK:
+        executor = _SQL_EXECUTORS.get(key)
+        if executor is None:
+            from repro.relational.sql_backend import SQLExecutor
+
+            executor = SQLExecutor(engine=name, min_rows=min_rows)
+            _SQL_EXECUTORS[key] = executor
+    return executor

@@ -16,7 +16,12 @@ from repro.errors import KeyLookupError, SchemaError
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 
-__all__ = ["fk_join", "fk_join_naive", "join_view_schema"]
+__all__ = [
+    "fk_join",
+    "fk_join_naive",
+    "join_view_schema",
+    "materialize_fk_join",
+]
 
 
 def join_view_schema(
@@ -71,7 +76,7 @@ def fk_join(
             f"FK {exc} — no matching key in R2"
         ) from None
 
-    return _materialize(r1, r2, fk_column, r2_rows, output_columns)
+    return materialize_fk_join(r1, r2, fk_column, r2_rows, output_columns)
 
 
 def fk_join_naive(
@@ -95,16 +100,25 @@ def fk_join_naive(
             f"FK value {exc.args[0]!r} has no matching key in R2"
         ) from None
 
-    return _materialize(r1, r2, fk_column, r2_rows, output_columns)
+    return materialize_fk_join(r1, r2, fk_column, r2_rows, output_columns)
 
 
-def _materialize(
+def materialize_fk_join(
     r1: Relation,
     r2: Relation,
     fk_column: str,
     r2_rows: np.ndarray,
-    output_columns: Optional[Sequence[str]],
+    output_columns: Optional[Sequence[str]] = None,
 ) -> Relation:
+    """Build the join view from an already-computed row mapping.
+
+    ``r2_rows[i]`` is the ``R2`` row joined to ``R1`` row ``i``.  This is
+    the executor seam: every join strategy — the sorted-key
+    ``searchsorted`` above, the per-row dict reference, or a SQL backend
+    that computed the mapping with a relational join — materialises its
+    result through this one function, so the output relation is
+    byte-identical whichever engine found the row mapping.
+    """
     schema = join_view_schema(r1, r2, fk_column, include_fk=True)
     columns = {}
     for spec in schema:

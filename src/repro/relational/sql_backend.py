@@ -1,0 +1,657 @@
+"""SQL pushdown executor: the relational kernels on an embedded engine.
+
+:class:`SQLExecutor` implements the :class:`~repro.relational.executor
+.KernelExecutor` interface by compiling each kernel call to SQL over an
+embedded database — DuckDB when installed, stdlib SQLite otherwise.
+The synthesis workload is a small, fixed query family (GROUP BY counts,
+one FK equi-join per edge, conjunctive/disjunctive selections, an
+arity-2 self-join for DC violations), which maps directly onto the
+engines' optimised paths.
+
+Byte identity with the numpy kernels is the design invariant, achieved
+by never letting the engine see anything but ``int64``:
+
+* every registered column is either the relation's dictionary *codes*
+  (sharing :meth:`~repro.relational.relation.Relation.codes_info` — the
+  exact factorizations the numpy kernels use) or, for disk-backed
+  integer columns, the raw stored values (the ``.npy`` layout DuckDB
+  can scan zero-copy via :meth:`~repro.relational.store.MmapColumnStore
+  .raw_mmap`);
+* predicates are translated to code-set tests by evaluating the
+  condition once per dictionary value — the same per-unique evaluation
+  the numpy kernels broadcast through cached codes;
+* results are decoded back through the same dictionaries, so returned
+  keys/combos are the very objects the numpy kernels return, and NULLs
+  and SQL string semantics never enter the picture (an empty-string
+  category is just another dictionary code).
+
+Any call the translator cannot express (k-ary DCs, unsortable mixed
+dictionaries, exotic atom values) is *delegated* to the numpy executor
+— always sound, because both executors are output-identical by
+contract.  ``stats`` counts pushed vs delegated calls so tests can
+assert that pushdown genuinely happened.
+"""
+
+from __future__ import annotations
+
+import math
+import sqlite3
+import threading
+import weakref
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError, SchemaError
+from repro.constraints.dc import _OPS, BinaryAtom, UnaryAtom
+from repro.relational.executor import NUMPY_EXECUTOR, KernelExecutor
+from repro.relational.join import materialize_fk_join
+from repro.relational.ordering import tuple_sort_key
+from repro.relational.predicate import codes_in_sql
+
+__all__ = ["SQLExecutor"]
+
+
+def _strictly_increasing(values: Sequence[object]) -> bool:
+    try:
+        return all(a < b for a, b in zip(values, values[1:]))
+    except TypeError:
+        return False
+
+
+def _plain(value: object) -> object:
+    return value.item() if isinstance(value, np.generic) else value
+
+
+class _Column:
+    """One registered column: its SQL name, storage mode and dictionary.
+
+    ``mode`` is ``"code"`` (the SQL column holds dictionary codes;
+    ``values[code]`` decodes) or ``"raw"`` (a disk-backed integer column
+    registered as its stored values; decoding is the identity).  For raw
+    columns ``values`` is filled lazily, only when a predicate needs the
+    distinct-value list.
+    """
+
+    __slots__ = ("sql", "mode", "values")
+
+    def __init__(self, sql: str, mode: str, values: Optional[list]) -> None:
+        self.sql = sql
+        self.mode = mode
+        self.values = values
+
+
+class _Table:
+    """A registered relation: table name, columns, auxiliary tables."""
+
+    __slots__ = ("name", "ref", "cols", "valmaps", "arrays")
+
+    def __init__(self, name: str, ref: "weakref.ref") -> None:
+        self.name = name
+        self.ref = ref
+        self.cols: Dict[str, _Column] = {}
+        self.valmaps: Dict[str, str] = {}
+        self.arrays: list = []  # keeps zero-copy registrations alive
+
+
+class SQLExecutor(KernelExecutor):
+    """Kernel execution by SQL pushdown onto DuckDB or SQLite."""
+
+    def __init__(self, engine: str = "sqlite", min_rows: int = 0) -> None:
+        if engine not in ("duckdb", "sqlite"):
+            raise ReproError(f"unknown SQL engine {engine!r}")
+        self.name = engine
+        self._engine = engine
+        self._min_rows = int(min_rows)
+        self._lock = threading.RLock()
+        self._con = None
+        self._tables: Dict[int, _Table] = {}
+        self._counter = 0
+        #: pushed = kernel calls answered by SQL; delegated = calls the
+        #: translator handed back to the numpy executor.
+        self.stats = {"pushed": 0, "delegated": 0}
+
+    # ------------------------------------------------------------------
+    # Engine plumbing
+    # ------------------------------------------------------------------
+    def _connection(self):
+        if self._con is None:
+            if self._engine == "duckdb":
+                import duckdb
+
+                self._con = duckdb.connect(":memory:")
+            else:
+                # "" = private temp-file database: spills to disk past the
+                # page cache instead of growing the process RSS, and is
+                # deleted automatically when the connection closes.
+                con = sqlite3.connect("", check_same_thread=False)
+                con.isolation_level = None
+                con.execute("PRAGMA journal_mode=OFF")
+                con.execute("PRAGMA synchronous=OFF")
+                con.execute("PRAGMA cache_size=-65536")
+                con.execute("PRAGMA temp_store=MEMORY")
+                self._con = con
+        return self._con
+
+    def _sql(self, query: str, params=None):
+        con = self._connection()
+        if params is None:
+            return con.execute(query)
+        return con.execute(query, params)
+
+    def _next_name(self, prefix: str) -> str:
+        name = f"{prefix}{self._counter}"
+        self._counter += 1
+        return name
+
+    # ------------------------------------------------------------------
+    # Relation registration
+    # ------------------------------------------------------------------
+    def engine_for(self, relation) -> str:
+        return self._engine if len(relation) >= self._min_rows else "numpy"
+
+    def _register(self, relation) -> _Table:
+        key = id(relation)
+        entry = self._tables.get(key)
+        if entry is not None and entry.ref() is relation:
+            return entry
+        if entry is not None:  # id() reuse after garbage collection
+            self._drop(self._tables.pop(key))
+        self._purge()
+        table = self._build_table(relation)
+        self._tables[key] = table
+        return table
+
+    def _purge(self) -> None:
+        dead = [k for k, t in self._tables.items() if t.ref() is None]
+        for k in dead:
+            self._drop(self._tables.pop(k))
+
+    def _drop(self, table: _Table) -> None:
+        try:
+            self._sql(f"DROP TABLE IF EXISTS {table.name}")
+            if self._engine == "duckdb":
+                self._sql(f"DROP VIEW IF EXISTS {table.name}")
+            for vm in table.valmaps.values():
+                self._sql(f"DROP TABLE IF EXISTS {vm}")
+        except Exception:  # pragma: no cover - connection already gone
+            pass
+        table.arrays.clear()
+
+    def _build_table(self, relation) -> _Table:
+        table = _Table(self._next_name("rt"), weakref.ref(relation))
+        store = relation._store
+        chunked = relation.is_chunked
+        slicers = []
+        for i, name in enumerate(relation.schema.names):
+            sql_name = f"c{i}"
+            if chunked and store.dictionary(name) is None:
+                # Disk-backed integer column: register the stored int64
+                # values as-is (DuckDB can scan the .npy mmap zero-copy).
+                table.cols[name] = _Column(sql_name, "raw", None)
+                slicers.append(
+                    lambda a, b, name=name: store.column_slice(name, a, b)
+                )
+            else:
+                uniques, slice_fn = relation.codes_info(name)
+                table.cols[name] = _Column(
+                    sql_name, "code", uniques.tolist()
+                )
+                slicers.append(slice_fn)
+        if self._engine == "duckdb" and self._try_duckdb_register(
+            relation, table, slicers
+        ):
+            return table
+        names = [table.cols[n].sql for n in relation.schema.names]
+        defs = ", ".join(f"{n} INTEGER" for n in names)
+        sep = ", " if names else ""
+        self._sql(
+            f"CREATE TABLE {table.name} "
+            f"(rowpos INTEGER PRIMARY KEY{sep}{defs})"
+        )
+        marks = ", ".join("?" * (len(names) + 1))
+        insert = f"INSERT INTO {table.name} VALUES ({marks})"
+        con = self._connection()
+        con.execute("BEGIN")
+        try:
+            for a, b in relation.chunk_bounds():
+                data = [slice_fn(a, b).tolist() for slice_fn in slicers]
+                con.executemany(insert, zip(range(a, b), *data))
+            con.execute("COMMIT")
+        except BaseException:
+            con.execute("ROLLBACK")
+            raise
+        return table
+
+    def _try_duckdb_register(self, relation, table, slicers) -> bool:
+        """Zero-copy registration of numpy arrays with DuckDB.
+
+        Disk-backed integer columns come in as read-only ``np.memmap``
+        views over the store's ``.npy`` files; everything else as the
+        (cached) code arrays.  Falls back to row inserts when this
+        DuckDB build does not accept dict-of-ndarray registration.
+        """
+        try:
+            arrays = {"rowpos": np.arange(len(relation), dtype=np.int64)}
+            store = relation._store
+            for name, slice_fn in zip(relation.schema.names, slicers):
+                col = table.cols[name]
+                arr = None
+                if col.mode == "raw":
+                    raw_mmap = getattr(store, "raw_mmap", None)
+                    if raw_mmap is not None:
+                        arr = raw_mmap(name)
+                if arr is None:
+                    parts = [
+                        slice_fn(a, b) for a, b in relation.chunk_bounds()
+                    ]
+                    arr = (
+                        np.concatenate(parts)
+                        if parts
+                        else np.empty(0, dtype=np.int64)
+                    )
+                arrays[col.sql] = np.ascontiguousarray(arr, dtype=np.int64)
+            con = self._connection()
+            reg = self._next_name("reg")
+            con.register(reg, arrays)
+            con.execute(f"CREATE VIEW {table.name} AS SELECT * FROM {reg}")
+            table.arrays.append(arrays)
+            return True
+        except Exception:
+            return False
+
+    # ------------------------------------------------------------------
+    # Value/condition translation helpers
+    # ------------------------------------------------------------------
+    def _column_values(self, relation, table, name) -> Optional[list]:
+        """The distinct-value list of a column (code ``i`` → value)."""
+        col = table.cols[name]
+        if col.values is None:
+            try:
+                col.values = relation.codes_info(name)[0].tolist()
+            except Exception:  # pragma: no cover - defensive
+                return None
+        return col.values
+
+    def _decoder(self, relation, table, name):
+        col = table.cols[name]
+        if col.mode == "raw":
+            return lambda v: int(v)
+        values = col.values
+        return lambda v: values[v]
+
+    def _cond_sql(self, relation, table, name, cond, colref) -> Optional[str]:
+        """Compile one predicate condition over one column reference."""
+        col = table.cols[name]
+        if col.mode == "code":
+            return cond.to_sql(colref, col.values)
+        compiled = cond.to_sql(colref, None)
+        if compiled is not None:
+            return compiled
+        values = self._column_values(relation, table, name)
+        if values is None:
+            return None
+        try:
+            matching = [v for v in values if cond.matches(v)]
+        except Exception:
+            return None
+        return codes_in_sql(colref, matching, len(values))
+
+    def _matching_reps(self, relation, table, name, test) -> Optional[str]:
+        """``test(value) → bool`` compiled to a rep-set predicate SQL
+        fragment builder; returns the accepted code/value list or None."""
+        values = self._column_values(relation, table, name)
+        if values is None:
+            return None
+        col = table.cols[name]
+        try:
+            if col.mode == "code":
+                return [i for i, v in enumerate(values) if test(v)]
+            return [v for v in values if test(v)]
+        except Exception:
+            return None
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+    def group_counts(self, relation, names) -> Dict[tuple, int]:
+        if self.engine_for(relation) == "numpy":
+            return NUMPY_EXECUTOR.group_counts(relation, names)
+        relation.schema.require(names)
+        names = list(names)
+        if not names or len(relation) == 0:
+            return relation.group_counts(names)
+        with self._lock:
+            table = self._register(relation)
+            sel = ", ".join(table.cols[n].sql for n in names)
+            rows = self._sql(
+                f"SELECT {sel}, COUNT(*) FROM {table.name} "
+                f"GROUP BY {sel} ORDER BY {sel}"
+            ).fetchall()
+            decoders = [self._decoder(relation, table, n) for n in names]
+            self.stats["pushed"] += 1
+        # ORDER BY the code/raw columns reproduces the numpy kernels'
+        # ascending-code insertion order for every storage mode.
+        out: Dict[tuple, int] = {}
+        for row in rows:
+            key = tuple(dec(v) for dec, v in zip(decoders, row))
+            out[key] = int(row[-1])
+        return out
+
+    def distinct(self, relation, names) -> List[tuple]:
+        if self.engine_for(relation) == "numpy":
+            return NUMPY_EXECUTOR.distinct(relation, names)
+        return sorted(
+            self.group_counts(relation, names).keys(), key=tuple_sort_key
+        )
+
+    def count_ccs(self, relation, ccs) -> List[int]:
+        if self.engine_for(relation) == "numpy":
+            return NUMPY_EXECUTOR.count_ccs(relation, ccs)
+        ccs = list(ccs)
+        if not ccs:
+            return []
+        with self._lock:
+            table = self._register(relation)
+            exprs = []
+            for cc in ccs:
+                relation.schema.require(cc.attributes)
+                disjuncts = []
+                for disjunct in cc.disjuncts:
+                    conj = []
+                    for attr, cond in disjunct.items:
+                        piece = self._cond_sql(
+                            relation, table, attr, cond, table.cols[attr].sql
+                        )
+                        if piece is None:
+                            self.stats["delegated"] += 1
+                            return NUMPY_EXECUTOR.count_ccs(relation, ccs)
+                        conj.append(piece)
+                    disjuncts.append(
+                        " AND ".join(conj) if conj else "1=1"
+                    )
+                body = " OR ".join(f"({d})" for d in disjuncts)
+                exprs.append(f"SUM(CASE WHEN {body} THEN 1 ELSE 0 END)")
+            row = self._sql(
+                f"SELECT {', '.join(exprs)} FROM {table.name}"
+            ).fetchone()
+            self.stats["pushed"] += 1
+        return [int(x or 0) for x in row]
+
+    def fk_join(self, r1, r2, fk_column, output_columns=None):
+        if self.engine_for(r1) == "numpy":
+            return NUMPY_EXECUTOR.fk_join(r1, r2, fk_column, output_columns)
+        if fk_column not in r1.schema:
+            raise SchemaError(f"R1 has no FK column {fk_column!r}")
+        if r2.schema.key is None:
+            raise SchemaError("R2 must declare a primary key column")
+        with self._lock:
+            r2_rows = self._fk_rows(r1, r2, fk_column)
+        if r2_rows is None:
+            self.stats["delegated"] += 1
+            return NUMPY_EXECUTOR.fk_join(r1, r2, fk_column, output_columns)
+        return materialize_fk_join(r1, r2, fk_column, r2_rows, output_columns)
+
+    def _fk_rows(self, r1, r2, fk_column) -> Optional[np.ndarray]:
+        """The r2 row joined to each r1 row, or ``None`` to delegate.
+
+        Mirrors :meth:`Relation.key_positions` exactly: duplicate keys
+        are reported first (smallest duplicate value), then the first
+        missing FK in r1 row order; both with identical messages.
+        """
+        t1 = self._register(r1)
+        t2 = self._register(r2)
+        key_column = r2.schema.key
+        fcol = t1.cols[fk_column]
+        kcol = t2.cols[key_column]
+        fvals = self._column_values(r1, t1, fk_column)
+        kvals = self._column_values(r2, t2, key_column)
+        if fvals is None or kvals is None:
+            return None
+        # The numpy path sorts the key column; its "first duplicate" is
+        # the smallest, which ORDER BY the key rep reproduces only when
+        # rep order is value order.  Unsortable (mixed-type) dictionaries
+        # take numpy's dict-lookup path instead.
+        if not _strictly_increasing(kvals):
+            return None
+        dup = self._sql(
+            f"SELECT {kcol.sql} FROM {t2.name} GROUP BY {kcol.sql} "
+            f"HAVING COUNT(*) > 1 ORDER BY {kcol.sql} LIMIT 1"
+        ).fetchone()
+        if dup is not None:
+            value = self._decoder(r2, t2, key_column)(dup[0])
+            raise SchemaError(f"duplicate key value {_plain(value)!r}")
+        # FK code → key code translation, built from the two (distinct,
+        # small) dictionaries; value equality is Python equality, the
+        # same cross-type semantics (7.0 == 7) as the numpy lookup.
+        try:
+            kmap = {}
+            for i, v in enumerate(kvals):
+                kmap[v] = i if kcol.mode == "code" else v
+            pairs = []
+            for i, v in enumerate(fvals):
+                krep = kmap.get(v)
+                if krep is not None:
+                    pairs.append((i if fcol.mode == "code" else v, krep))
+        except TypeError:
+            return None
+        tr = self._next_name("tr")
+        self._sql(f"CREATE TABLE {tr} (f INTEGER PRIMARY KEY, k INTEGER)")
+        try:
+            con = self._connection()
+            con.execute("BEGIN")
+            con.executemany(f"INSERT INTO {tr} VALUES (?, ?)", pairs)
+            con.execute("COMMIT")
+            miss = self._sql(
+                f"SELECT a.{fcol.sql} FROM {t1.name} a "
+                f"LEFT JOIN {tr} tr ON tr.f = a.{fcol.sql} "
+                f"WHERE tr.f IS NULL ORDER BY a.rowpos LIMIT 1"
+            ).fetchone()
+            if miss is not None:
+                value = self._decoder(r1, t1, fk_column)(miss[0])
+                raise SchemaError(
+                    f"FK key value {_plain(value)!r} not found "
+                    f"— no matching key in R2"
+                )
+            rows = self._sql(
+                f"SELECT b.rowpos FROM {t1.name} a "
+                f"JOIN {tr} tr ON tr.f = a.{fcol.sql} "
+                f"JOIN {t2.name} b ON b.{kcol.sql} = tr.k "
+                f"ORDER BY a.rowpos"
+            ).fetchall()
+        finally:
+            self._sql(f"DROP TABLE IF EXISTS {tr}")
+        self.stats["pushed"] += 1
+        return np.fromiter(
+            (r[0] for r in rows), dtype=np.int64, count=len(rows)
+        )
+
+    def dc_error(self, r1_hat, fk_column, dcs) -> float:
+        if self.engine_for(r1_hat) == "numpy":
+            return NUMPY_EXECUTOR.dc_error(r1_hat, fk_column, dcs)
+        if len(r1_hat) == 0 or not dcs:
+            return 0.0
+        r1_hat.schema.require([fk_column])
+        with self._lock:
+            table = self._register(r1_hat)
+            selects: List[str] = []
+            for dc in dcs:
+                per_dc = self._dc_selects(r1_hat, table, fk_column, dc)
+                if per_dc is None:
+                    self.stats["delegated"] += 1
+                    return NUMPY_EXECUTOR.dc_error(r1_hat, fk_column, dcs)
+                selects.extend(per_dc)
+            union = " UNION ".join(selects)
+            row = self._sql(
+                f"SELECT COUNT(*) FROM ({union}) AS viol"
+            ).fetchone()
+            self.stats["pushed"] += 1
+        return int(row[0] or 0) / len(r1_hat)
+
+    def _dc_selects(self, relation, table, fk_column, dc) -> Optional[list]:
+        """Violating-rowpos SELECTs for one DC, or ``None`` to delegate.
+
+        An arity-2 DC becomes an ordered self-join (``a`` = tuple
+        variable 0, ``b`` = variable 1) over equal FK values; both
+        orderings of a pair appear in the join, and every satisfied
+        ordered pair marks *both* members — exactly
+        :func:`repro.constraints.dc.violating_members`.
+        """
+        if dc.arity != 2:
+            return None
+        names = set(relation.schema.names)
+        if not (dc.attributes <= names) or fk_column not in names:
+            return None
+        joins: Dict[Tuple[str, str], str] = {}
+        conds: List[str] = []
+        for atom in dc.atoms:
+            if isinstance(atom, UnaryAtom):
+                alias = "a" if atom.var == 0 else "b"
+                op = _OPS[atom.op]
+                reps = self._matching_reps(
+                    relation,
+                    table,
+                    atom.attr,
+                    lambda v, op=op, c=atom.value: bool(op(v, c)),
+                )
+                if reps is None:
+                    return None
+                values = self._column_values(relation, table, atom.attr)
+                conds.append(
+                    codes_in_sql(
+                        f"{alias}.{table.cols[atom.attr].sql}",
+                        reps,
+                        len(values),
+                    )
+                )
+            elif isinstance(atom, BinaryAtom):
+                if atom.op == "in":
+                    return None
+                left = self._value_expr(
+                    relation,
+                    table,
+                    atom.left_attr,
+                    "a" if atom.left_var == 0 else "b",
+                    joins,
+                )
+                right = self._value_expr(
+                    relation,
+                    table,
+                    atom.right_attr,
+                    "a" if atom.right_var == 0 else "b",
+                    joins,
+                )
+                if left is None or right is None:
+                    return None
+                if atom.offset:
+                    right = f"({right} + {atom.offset})"
+                op = {"==": "=", "!=": "<>"}.get(atom.op, atom.op)
+                conds.append(f"{left} {op} {right}")
+            else:  # pragma: no cover - unknown atom type
+                return None
+        fk_sql = table.cols[fk_column].sql
+        join_sql = "".join(
+            f" JOIN {vm} {vj} ON {vj}.code = {alias}.{colsql}"
+            for (alias, colsql), (vm, vj) in joins.items()
+        )
+        where = " AND ".join(conds) if conds else "1=1"
+        base = (
+            f"FROM {table.name} a JOIN {table.name} b "
+            f"ON a.{fk_sql} = b.{fk_sql} AND a.rowpos <> b.rowpos"
+            f"{join_sql} WHERE {where}"
+        )
+        return [
+            f"SELECT a.rowpos AS rp {base}",
+            f"SELECT b.rowpos AS rp {base}",
+        ]
+
+    def _value_expr(
+        self, relation, table, attr, alias, joins
+    ) -> Optional[str]:
+        """A SQL expression for a column's *value* under an alias.
+
+        Raw integer columns are their own value.  Code columns join a
+        ``(code, val)`` map table — possible only when every dictionary
+        value is numeric (ints exactly as INTEGER, finite floats exactly
+        as REAL); anything else delegates to numpy.
+        """
+        col = table.cols[attr]
+        if col.mode == "raw":
+            return f"{alias}.{col.sql}"
+        vm = table.valmaps.get(attr)
+        if vm is None:
+            values = self._column_values(relation, table, attr)
+            if values is None:
+                return None
+            if all(isinstance(v, int) for v in values):
+                decl, conv = "INTEGER", int
+            elif all(
+                isinstance(v, float) and math.isfinite(v) for v in values
+            ):
+                decl, conv = "REAL", float
+            else:
+                return None
+            vm = self._next_name("vm")
+            self._sql(
+                f"CREATE TABLE {vm} (code INTEGER PRIMARY KEY, val {decl})"
+            )
+            self._connection().executemany(
+                f"INSERT INTO {vm} VALUES (?, ?)",
+                [(i, conv(v)) for i, v in enumerate(values)],
+            )
+            table.valmaps[attr] = vm
+        key = (alias, col.sql)
+        entry = joins.get(key)
+        if entry is None:
+            # the caller emits "JOIN vm vj ON vj.code = alias.col"
+            entry = joins[key] = (vm, f"v{len(joins)}")
+        return f"{entry[1]}.val"
+
+    def group_by_combo(self, assignment, relation) -> Dict[tuple, List[int]]:
+        if self.engine_for(relation) == "numpy":
+            return NUMPY_EXECUTOR.group_by_combo(assignment, relation)
+        rows = np.flatnonzero(assignment.assigned_mask())
+        if rows.size == 0:
+            return {}
+        q = len(assignment.r2_attrs)
+        if q == 0:
+            return {(): rows.tolist()}
+        codes = assignment.code_rows(rows)
+        with self._lock:
+            gb = self._next_name("gb")
+            names = [f"c{j}" for j in range(q)]
+            defs = ", ".join(f"{n} INTEGER" for n in names)
+            self._sql(
+                f"CREATE TABLE {gb} (rowpos INTEGER PRIMARY KEY, {defs})"
+            )
+            try:
+                marks = ", ".join("?" * (q + 1))
+                con = self._connection()
+                con.execute("BEGIN")
+                con.executemany(
+                    f"INSERT INTO {gb} VALUES ({marks})",
+                    zip(
+                        rows.tolist(),
+                        *(codes[:, j].tolist() for j in range(q)),
+                    ),
+                )
+                con.execute("COMMIT")
+                order = ", ".join(names)
+                fetched = self._sql(
+                    f"SELECT {order}, rowpos FROM {gb} "
+                    f"ORDER BY {order}, rowpos"
+                ).fetchall()
+            finally:
+                self._sql(f"DROP TABLE IF EXISTS {gb}")
+            self.stats["pushed"] += 1
+        out: Dict[tuple, List[int]] = {}
+        current_sig: Optional[tuple] = None
+        current_rows: List[int] = []
+        for row in fetched:
+            sig = tuple(row[:q])
+            if sig != current_sig:
+                combo = assignment.decode_combo(sig)
+                current_rows = out[combo] = []
+                current_sig = sig
+            current_rows.append(int(row[q]))
+        return out

@@ -20,8 +20,9 @@ edge-result cache, in the spirit of PartitionCache's variant caching.
 
 Options that cannot change the output (``workers``, ``storage``,
 ``chunk_rows``, ``storage_dir``, ``memory_budget_mb``, ``evaluate``,
-``parallel_workers``, per-edge ``serialize``) are excluded, so a cache
-entry survives re-submission under a different parallelism or storage
+``parallel_workers``, ``executor``, ``sql_min_rows``, per-edge
+``serialize``) are excluded, so a cache entry survives re-submission
+under a different parallelism, storage or kernel-executor
 configuration.
 """
 

@@ -1,0 +1,123 @@
+"""Empty-string vs NULL semantics at the SQL pushdown boundary.
+
+Python-side relations have no NULLs: an "empty" string cell is the
+ordinary value ``""``, a citizen of the column's dictionary like any
+other.  The SQL executors must preserve that — relations are registered
+as dictionary *codes* (integers), so ``""`` is just another code and SQL
+``NULL`` never enters the picture.  These tests pin the contract:
+
+* ``""`` groups, filters and joins exactly like any other category, and
+  never collides with a ``NULL`` or with other falsy values;
+* SQL kernels return ``""`` (not ``None``) wherever numpy does;
+* the CSV round-trip (``write_csv`` → ``read_csv_store``) keeps ``""``
+  intact, so a chunked store fed to a SQL executor still agrees with
+  the in-RAM original.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constraints.cc import CardinalityConstraint
+from repro.constraints.dc import DenialConstraint, UnaryAtom
+from repro.relational.csvio import read_csv_store, write_csv
+from repro.relational.executor import NUMPY_EXECUTOR, duckdb_available
+from repro.relational.predicate import Predicate, ValueSet
+from repro.relational.relation import Relation
+from repro.relational.schema import ColumnSpec, Schema
+from repro.relational.sql_backend import SQLExecutor
+from repro.relational.types import Dtype
+
+ENGINES = [
+    "sqlite",
+    pytest.param(
+        "duckdb",
+        marks=pytest.mark.skipif(
+            not duckdb_available(), reason="duckdb not installed"
+        ),
+    ),
+]
+
+
+def _relation():
+    schema = Schema(
+        [
+            ColumnSpec("fk", Dtype.INT),
+            ColumnSpec("name", Dtype.STR),
+            ColumnSpec("age", Dtype.INT),
+        ]
+    )
+    return Relation(
+        schema,
+        {
+            "fk": np.asarray([1, 2, 1, 2, 1], dtype=np.int64),
+            "name": np.asarray(["", "a", "", "b", "a"], dtype=object),
+            "age": np.asarray([0, 10, 0, 20, 10], dtype=np.int64),
+        },
+    )
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestEmptyStringSemantics:
+    def test_group_counts_keep_empty_string_distinct(self, engine):
+        rel = _relation()
+        ex = SQLExecutor(engine)
+        counts = ex.group_counts(rel, ["name"])
+        assert counts == NUMPY_EXECUTOR.group_counts(rel, ["name"])
+        assert counts[("",)] == 2
+        # The empty string comes back as exactly "" — not None, not a
+        # SQL NULL rendered into something else.
+        assert all(
+            isinstance(key[0], str) and key[0] is not None for key in counts
+        )
+        assert ("",) in ex.distinct(rel, ["name"])
+
+    def test_value_set_matches_empty_string_only(self, engine):
+        rel = _relation()
+        ex = SQLExecutor(engine)
+        cc = CardinalityConstraint(
+            Predicate({"name": ValueSet([""])}), 2
+        )
+        assert ex.count_ccs(rel, [cc]) == NUMPY_EXECUTOR.count_ccs(
+            rel, [cc]
+        ) == [2]
+
+    def test_unary_dc_on_empty_string(self, engine):
+        rel = _relation()
+        ex = SQLExecutor(engine)
+        dcs = [
+            DenialConstraint(
+                [
+                    UnaryAtom(0, "name", "==", ""),
+                    UnaryAtom(1, "name", "==", ""),
+                ]
+            )
+        ]
+        base = NUMPY_EXECUTOR.dc_error(rel, "fk", dcs)
+        assert base > 0  # rows 0 and 2 share fk=1 and both have name=""
+        assert ex.dc_error(rel, "fk", dcs) == base
+
+    def test_csv_round_trip_preserves_empty_string(self, engine, tmp_path):
+        rel = _relation()
+        path = tmp_path / "rel.csv"
+        write_csv(rel, path)
+        loaded = read_csv_store(
+            path, rel.schema, chunk_rows=2, directory=tmp_path / "store"
+        )
+        assert np.array_equal(loaded.column("name"), rel.column("name"))
+        ex = SQLExecutor(engine)
+        assert ex.group_counts(loaded, ["name", "age"]) == (
+            NUMPY_EXECUTOR.group_counts(rel, ["name", "age"])
+        )
+        assert ex.stats["pushed"] > 0
+
+    def test_empty_string_never_collides_with_zero(self, engine):
+        # "" (STR) and 0 (INT) live in different columns; grouping over
+        # both must not conflate them through any SQL coercion.
+        rel = _relation()
+        ex = SQLExecutor(engine)
+        counts = ex.group_counts(rel, ["name", "age"])
+        assert counts == NUMPY_EXECUTOR.group_counts(rel, ["name", "age"])
+        assert counts[("", 0)] == 2
+        assert ("a", 10) in counts

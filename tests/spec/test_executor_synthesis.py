@@ -1,0 +1,208 @@
+"""End-to-end executor equivalence: SQL pushdown through ``synthesize``.
+
+The executor knob is a pure execution decision — for any spec,
+``synthesize()`` with ``executor = "sqlite"`` (or ``"duckdb"`` where
+installed) must produce a database ``identical_to`` the numpy run.
+Hypothesis drives random two-table workloads through both executors;
+deterministic tests re-run every shipped example spec, combine SQL
+pushdown with the chunked mmap storage backend, and check the
+observability surface (per-edge ``executor`` in reports and summaries).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.config import SolverConfig
+from repro.errors import ReproError
+from repro.relational.executor import (
+    duckdb_available,
+    executor_from_config,
+)
+from repro.spec.api import synthesize
+from repro.spec.builder import SpecBuilder
+from repro.spec.io import load_spec
+
+ENGINES = [
+    "sqlite",
+    pytest.param(
+        "duckdb",
+        marks=pytest.mark.skipif(
+            not duckdb_available(), reason="duckdb not installed"
+        ),
+    ),
+]
+
+_RELS = ["Owner", "Spouse", "Child"]
+_AREAS = ["A", "B", ""]
+_EXAMPLES = sorted(
+    (Path(__file__).parent.parent.parent / "examples" / "specs").glob(
+        "*.toml"
+    )
+)
+
+
+def _spec(ages, rels, areas, ccs, dcs, **options):
+    return (
+        SpecBuilder("executor-equivalence")
+        .relation(
+            "people",
+            columns={
+                "pid": list(range(len(ages))),
+                "Age": ages,
+                "Rel": rels,
+            },
+            key="pid",
+        )
+        .relation(
+            "homes",
+            columns={"hid": list(range(len(areas))), "Area": areas},
+            key="hid",
+        )
+        .edge("people", "hid", "homes", ccs=ccs, dcs=dcs)
+        .fact_table("people")
+        .options(**options)
+        .build()
+    )
+
+
+@st.composite
+def _workloads(draw):
+    n = draw(st.integers(2, 10))
+    ages = draw(st.lists(st.integers(0, 99), min_size=n, max_size=n))
+    rels = draw(st.lists(st.sampled_from(_RELS), min_size=n, max_size=n))
+    m = draw(st.integers(1, 4))
+    areas = draw(st.lists(st.sampled_from(_AREAS), min_size=m, max_size=m))
+
+    ccs = []
+    if draw(st.booleans()):
+        lo = draw(st.integers(0, 99))
+        hi = draw(st.integers(lo, 99))
+        area = draw(st.sampled_from(_AREAS))
+        target = draw(st.integers(0, n))
+        ccs.append(
+            f"|Age >= {lo} & Age <= {hi} & Area == '{area}'| = {target}"
+        )
+
+    dcs = []
+    if draw(st.booleans()):
+        rel_a = draw(st.sampled_from(_RELS))
+        rel_b = draw(st.sampled_from(_RELS))
+        dcs.append(f"not(t1.Rel == '{rel_a}' & t2.Rel == '{rel_b}')")
+
+    return ages, rels, areas, ccs, dcs
+
+
+class TestSynthesisEquivalence:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(workload=_workloads())
+    def test_random_workloads_identical(self, engine, workload):
+        ages, rels, areas, ccs, dcs = workload
+        # evaluate=True so the SQL count_ccs / dc_error kernels run too.
+        base = synthesize(_spec(ages, rels, areas, ccs, dcs))
+        alt = synthesize(
+            _spec(ages, rels, areas, ccs, dcs, executor=engine)
+        )
+        assert base.database.identical_to(alt.database)
+        assert [e.errors.per_cc for e in base.edges] == [
+            e.errors.per_cc for e in alt.edges
+        ]
+        assert [e.errors.dc_error for e in base.edges] == [
+            e.errors.dc_error for e in alt.edges
+        ]
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_sql_plus_mmap_storage(self, engine):
+        ages = [30, 41, 5, 5, 77, 30]
+        rels = ["Owner", "Child", "Child", "Spouse", "Owner", "Owner"]
+        areas = ["A", "B", ""]
+        ccs = ["|Age >= 10 & Age <= 50 & Area == 'A'| = 2"]
+        dcs = ["not(t1.Rel == 'Owner' & t2.Rel == 'Owner')"]
+        base = synthesize(_spec(ages, rels, areas, ccs, dcs))
+        alt = synthesize(
+            _spec(
+                ages, rels, areas, ccs, dcs,
+                executor=engine, storage="mmap", chunk_rows=2,
+            )
+        )
+        assert base.database.identical_to(alt.database)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_edge_reports_record_executor(self, engine):
+        ages = [30, 41, 25]
+        rels = ["Owner", "Child", "Spouse"]
+        result = synthesize(
+            _spec(ages, rels, ["A", "B"], [], [], executor=engine)
+        )
+        (edge,) = result.edges
+        assert edge.executor == engine
+        assert edge.as_dict()["executor"] == engine
+        assert edge.as_payload()["executor"] == engine
+        summary_edge = result.summary()["edges"][0]
+        assert summary_edge["executor"] == engine
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_sql_min_rows_reports_numpy(self, engine):
+        ages = [30, 41, 25]
+        rels = ["Owner", "Child", "Spouse"]
+        result = synthesize(
+            _spec(
+                ages, rels, ["A", "B"], [], [],
+                executor=engine, sql_min_rows=1000,
+            )
+        )
+        (edge,) = result.edges
+        assert edge.executor == "numpy"
+
+    def test_numpy_default_reported(self):
+        result = synthesize(
+            _spec([30, 41], ["Owner", "Child"], ["A"], [], [])
+        )
+        assert result.edges[0].executor == "numpy"
+        assert result.edges[0].as_dict()["executor"] == "numpy"
+
+
+@pytest.mark.parametrize(
+    "path", _EXAMPLES, ids=[p.stem for p in _EXAMPLES]
+)
+@pytest.mark.parametrize("engine", ENGINES)
+def test_example_specs_identical(path, engine):
+    """Every shipped example spec: SQL pushdown output is identical."""
+    base = synthesize(load_spec(path).with_options(evaluate=False))
+    alt = synthesize(
+        load_spec(path).with_options(evaluate=False, executor=engine)
+    )
+    assert base.database.identical_to(alt.database)
+
+
+class TestExecutorConfig:
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            SolverConfig(executor="pandas")
+
+    def test_negative_sql_min_rows_rejected(self):
+        with pytest.raises(ValueError, match="sql_min_rows"):
+            SolverConfig(sql_min_rows=-1)
+
+    def test_duckdb_without_package_raises_repro_error(self):
+        if duckdb_available():
+            pytest.skip("duckdb installed; the gate cannot fire")
+        with pytest.raises(ReproError, match="duckdb"):
+            executor_from_config(SolverConfig(executor="duckdb"))
+
+    def test_executors_shared_per_engine_and_threshold(self):
+        a = executor_from_config(SolverConfig(executor="sqlite"))
+        b = executor_from_config(SolverConfig(executor="sqlite"))
+        c = executor_from_config(
+            SolverConfig(executor="sqlite", sql_min_rows=5)
+        )
+        assert a is b
+        assert a is not c
