@@ -12,14 +12,14 @@ disjoint support.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import SchemaError
 from repro.relational.relation import Relation
 
-__all__ = ["marginal_tvd", "fidelity_report"]
+__all__ = ["marginal_tvd", "max_marginal_tvd", "fidelity_report"]
 
 
 def marginal_tvd(
@@ -48,6 +48,27 @@ def marginal_tvd(
     pa = freq_a / freq_a.sum()
     pb = freq_b / freq_b.sum()
     return float(np.abs(pa - pb).sum() / 2)
+
+
+def max_marginal_tvd(
+    view_a: Relation,
+    view_b: Relation,
+    attrs: Optional[Sequence[str]] = None,
+) -> float:
+    """The worst single-attribute marginal TVD over ``attrs``.
+
+    ``attrs`` defaults to every column the two views share.  This is the
+    fuzzing oracle's fidelity bound: synthesis assigns FK columns but
+    must leave every pre-existing column untouched, so the shared
+    marginals of input and output must match *exactly* (TVD 0).
+    """
+    if attrs is None:
+        attrs = [
+            name for name in view_a.schema.names if name in view_b.schema
+        ]
+    if not attrs:
+        return 0.0
+    return max(marginal_tvd(view_a, view_b, [attr]) for attr in attrs)
 
 
 def fidelity_report(

@@ -361,6 +361,51 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.fuzz import FuzzConfig, run_fuzz
+
+    config = FuzzConfig(
+        seed=args.seed,
+        profile=args.profile,
+        budget_seconds=args.budget_seconds,
+        max_specs=args.max_specs,
+        max_cells=args.max_cells,
+        chaos_edge=args.chaos_edge,
+        check_faults=not args.no_faults,
+        minimize=not args.no_minimize,
+        out_dir=Path(args.out_dir) if args.out_dir else None,
+    )
+
+    def log(line: str) -> None:
+        failed = not (line.endswith(" ok") or line.endswith(" infeasible"))
+        if failed or args.verbose:
+            print(line)
+
+    report = run_fuzz(config, log=log)
+    outcomes = report["outcomes"]
+    counts = ", ".join(
+        f"{name}={outcomes[name]}" for name in sorted(outcomes)
+    ) or "none"
+    print(
+        f"fuzz: {report['specs_run']} spec(s) in {report['wall_s']}s "
+        f"({counts})"
+    )
+    for entry in report["failures"]:
+        print(f"  failure seed={entry['seed']} check={entry['check']}")
+        print(f"    replay: {entry['replay']}")
+        minimized = entry.get("minimized_toml")
+        if minimized:
+            print(f"    minimized: {minimized}")
+    if args.report_json:
+        path = Path(args.report_json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report, indent=2, default=str))
+        print(f"report: {path}")
+    return 1 if report["failures"] else 0
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-synth",
@@ -471,6 +516,42 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="max jobs synthesizing concurrently")
     serve.set_defaults(func=_cmd_serve)
 
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="fuzz adversarial workloads through the differential oracle",
+    )
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="base seed; iteration i fuzzes spec seed+i")
+    fuzz.add_argument("--profile", default="mixed",
+                      help="workload profile (mixed, deep, wide, skewed, "
+                      "infeasible, tiny, census)")
+    fuzz.add_argument("--budget-seconds", type=float, default=60.0,
+                      dest="budget_seconds",
+                      help="stop starting new specs after this long")
+    fuzz.add_argument("--max-specs", type=int, default=None,
+                      dest="max_specs",
+                      help="hard cap on iterations (default: budget-bound)")
+    fuzz.add_argument("--max-cells", type=int, default=4, dest="max_cells",
+                      help="executor×storage×workers cells per spec "
+                      "(baseline included)")
+    fuzz.add_argument("--chaos-edge", type=int, default=None,
+                      dest="chaos_edge",
+                      help="corrupt this edge's FK assignment in "
+                      "non-baseline cells (oracle self-test: every spec "
+                      "must diverge)")
+    fuzz.add_argument("--no-faults", action="store_true", dest="no_faults",
+                      help="skip the rollback/resume fault-injection legs")
+    fuzz.add_argument("--no-minimize", action="store_true",
+                      dest="no_minimize",
+                      help="skip delta-debugging failing specs")
+    fuzz.add_argument("--out-dir", default="", dest="out_dir",
+                      help="write failing + minimized spec TOMLs here")
+    fuzz.add_argument("--report-json", default="", dest="report_json",
+                      help="write the machine-readable run report here")
+    fuzz.add_argument("--verbose", action="store_true",
+                      help="log every iteration, not just failures")
+    fuzz.set_defaults(func=_cmd_fuzz)
+
     ev = sub.add_parser("evaluate", help="score a completed database")
     ev.add_argument("--r1", required=True)
     ev.add_argument("--r2", required=True)
@@ -487,7 +568,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (ReproError, FileNotFoundError) as exc:
+    except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -190,6 +190,18 @@ class SnowflakeSynthesizer:
             updated_child = child.drop_column(fk.column)
         updated_child = updated_child.with_column(fk_spec, fk_values)
         database.replace_relation(fk.child, updated_child)
+        current_parent = database.relation(fk.parent)
+        if (
+            r2_hat.is_chunked
+            and current_parent.is_chunked
+            and r2_hat.store.directory == current_parent.store.directory
+        ):
+            # An unchanged disk-backed parent round-trips through a pool
+            # worker as a fresh handle on the *same* store directory —
+            # a handle that does not own the backing TemporaryDirectory.
+            # Keep the database's own relation object instead, so the
+            # store outlives the input database that created it.
+            r2_hat = current_parent
         database.replace_relation(fk.parent, r2_hat)
 
     def solve(

@@ -17,8 +17,9 @@ from repro.constraints.dc import DenialConstraint
 from repro.datagen.census import CensusData
 from repro.datagen.constraints_census import all_dcs, cc_family, good_dcs
 from repro.datagen.scales import generate_scaled
+from repro.errors import ReproError
 
-__all__ = ["DatasetSpec", "DATASETS", "materialize"]
+__all__ = ["DatasetSpec", "DATASETS", "materialize", "census_spec"]
 
 
 @dataclass(frozen=True)
@@ -100,3 +101,50 @@ def materialize(
     )
     ccs = cc_family(data, spec.cc_kind, num_ccs or spec.num_ccs)
     return data, ccs, spec.dcs()
+
+
+def census_spec(
+    number: int,
+    *,
+    num_ccs: Optional[int] = None,
+    num_dcs: Optional[int] = None,
+    mini_divisor: int = 100,
+    n_areas: int = 12,
+    seed: int = 7,
+    name: Optional[str] = None,
+):
+    """One Table 2 row as a declarative :class:`SynthesisSpec`.
+
+    Materialises the row's (mini) data and constraint families and wraps
+    them in the same ``persons → housing`` spec the benches run, so any
+    front end — CLI, service, fuzzer — can execute a Table 2 workload
+    through :func:`repro.synthesize`.  ``num_ccs``/``num_dcs`` truncate
+    the constraint families and ``mini_divisor`` shrinks the data; the
+    result is fully in-memory and serialises to a self-contained spec
+    file (inline columns, pinned dtypes).
+    """
+    from repro.spec.builder import SpecBuilder
+
+    if number not in DATASETS:
+        raise ReproError(
+            f"unknown Table 2 dataset {number!r} "
+            f"(available: 1..{max(DATASETS)})"
+        )
+    spec = DATASETS[number]
+    data, ccs, dcs = materialize(
+        spec,
+        num_ccs=num_ccs,
+        mini_divisor=mini_divisor,
+        n_areas=n_areas,
+        seed=seed,
+    )
+    if num_dcs is not None:
+        dcs = dcs[:num_dcs]
+    return (
+        SpecBuilder(name or f"census-{number}")
+        .relation("persons", data=data.persons_masked, key="pid")
+        .relation("housing", data=data.housing, key="hid")
+        .edge("persons", "hid", "housing", ccs=list(ccs), dcs=list(dcs))
+        .fact_table("persons")
+        .build()
+    )

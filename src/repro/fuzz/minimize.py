@@ -1,0 +1,236 @@
+"""Delta-debugging shrinker for failing fuzz specs.
+
+Given a spec and the ``check`` string its :class:`OracleReport`
+recorded, :func:`minimize_spec` greedily removes structure while the
+re-run oracle **fails with the same check** — not merely any failure, so
+shrinking cannot drift onto a different bug.  Passes, to fixpoint or
+budget:
+
+1. drop whole relations (never the fact table) with their incident
+   edges;
+2. drop individual FK edges;
+3. drop individual CCs and DCs;
+4. clear per-edge knobs (strategy, options, solver overrides,
+   ``serialize``, ``capacity``);
+5. halve relation rows, then cut to three.
+
+Candidates are manipulated in the spec's plain-dict form (everything
+inline — Relation-backed specs are normalised through
+``to_dict``/``from_dict`` first), so an invalid candidate (orphaned
+edge, unreachable subgraph, empty spec) simply fails validation and is
+rejected like any other non-reproducing shrink.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.fuzz.oracle import OracleCell, run_oracle
+from repro.spec.model import SynthesisSpec
+
+__all__ = ["MinimizeResult", "minimize_spec"]
+
+
+@dataclass
+class MinimizeResult:
+    """Outcome of one shrink run."""
+
+    spec: SynthesisSpec
+    check: str
+    reproduced: bool
+    checks_used: int = 0
+    message: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "check": self.check,
+            "reproduced": self.reproduced,
+            "checks_used": self.checks_used,
+            "relations": len(self.spec.relations),
+            "edges": len(self.spec.edges),
+            "message": self.message,
+        }
+
+
+class _Budget:
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.used = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.used >= self.limit
+
+
+def _fails_same(
+    data: Dict[str, object],
+    check: str,
+    cells: Optional[Sequence[OracleCell]],
+    chaos_on: Optional[int],
+    budget: _Budget,
+) -> bool:
+    if budget.exhausted:
+        return False
+    budget.used += 1
+    try:
+        candidate = SynthesisSpec.from_dict(copy.deepcopy(data))
+    except ReproError:
+        return False
+    try:
+        report = run_oracle(
+            candidate,
+            cells,
+            check_faults=check.startswith("fault-"),
+            chaos_on=chaos_on,
+        )
+    except Exception:  # noqa: BLE001 — a blown-up oracle is not "same check"
+        return False
+    return report.check == check
+
+
+def _drop_relation(data: Dict, name: str) -> Dict:
+    out = copy.deepcopy(data)
+    out["relations"] = [
+        r for r in out.get("relations", []) if r["name"] != name
+    ]
+    out["edges"] = [
+        e
+        for e in out.get("edges", [])
+        if e["child"] != name and e["parent"] != name
+    ]
+    return out
+
+
+def _drop_edge(data: Dict, index: int) -> Dict:
+    out = copy.deepcopy(data)
+    del out["edges"][index]
+    return out
+
+
+def _drop_constraint(data: Dict, edge: int, kind: str, index: int) -> Dict:
+    out = copy.deepcopy(data)
+    del out["edges"][edge][kind][index]
+    if not out["edges"][edge][kind]:
+        del out["edges"][edge][kind]
+    return out
+
+
+def _clear_knobs(data: Dict, edge: int) -> Dict:
+    out = copy.deepcopy(data)
+    for knob in ("strategy", "options", "solver", "serialize", "capacity"):
+        out["edges"][edge].pop(knob, None)
+    return out
+
+
+def _truncate_rows(data: Dict, name: str, keep: int) -> Dict:
+    out = copy.deepcopy(data)
+    for entry in out.get("relations", []):
+        if entry["name"] == name and "columns" in entry:
+            entry["columns"] = {
+                column: list(values)[:keep]
+                for column, values in entry["columns"].items()
+            }
+    return out
+
+
+def minimize_spec(
+    spec: SynthesisSpec,
+    check: str,
+    *,
+    cells: Optional[Sequence[OracleCell]] = None,
+    chaos_on: Optional[int] = None,
+    max_checks: int = 200,
+) -> MinimizeResult:
+    """Shrink ``spec`` while the oracle still fails with ``check``.
+
+    ``cells``/``chaos_on`` must be the ones the failure was found with —
+    they are part of the failure's identity.  Returns ``reproduced =
+    False`` (with the untouched spec) when the full spec does not fail
+    with ``check`` in the first place: *no failure to minimize*.
+    """
+    budget = _Budget(max_checks)
+    data = spec.to_dict()
+    if not _fails_same(data, check, cells, chaos_on, budget):
+        return MinimizeResult(
+            spec=spec,
+            check=check,
+            reproduced=False,
+            checks_used=budget.used,
+            message="no failure to minimize (spec does not fail "
+            f"oracle check {check!r})",
+        )
+
+    def attempt(candidate: Dict) -> bool:
+        nonlocal data
+        if _fails_same(candidate, check, cells, chaos_on, budget):
+            data = candidate
+            return True
+        return False
+
+    fact = spec.fact()
+    changed = True
+    while changed and not budget.exhausted:
+        changed = False
+        # 1. whole relations (largest bite first).
+        for entry in list(data.get("relations", [])):
+            if entry["name"] == fact:
+                continue
+            if attempt(_drop_relation(data, entry["name"])):
+                changed = True
+        # 2. individual edges.
+        index = 0
+        while index < len(data.get("edges", [])):
+            if attempt(_drop_edge(data, index)):
+                changed = True
+            else:
+                index += 1
+        # 3. individual constraints.
+        for kind in ("ccs", "dcs"):
+            for edge_index in range(len(data.get("edges", []))):
+                position = 0
+                while position < len(
+                    data["edges"][edge_index].get(kind, [])
+                ):
+                    if attempt(
+                        _drop_constraint(data, edge_index, kind, position)
+                    ):
+                        changed = True
+                    else:
+                        position += 1
+        # 4. per-edge knobs.
+        for edge_index in range(len(data.get("edges", []))):
+            edge = data["edges"][edge_index]
+            if any(
+                knob in edge
+                for knob in (
+                    "strategy", "options", "solver", "serialize", "capacity",
+                )
+            ):
+                if attempt(_clear_knobs(data, edge_index)):
+                    changed = True
+        # 5. rows: halve, then cut to three.
+        for entry in list(data.get("relations", [])):
+            columns = entry.get("columns") or {}
+            rows = max((len(v) for v in columns.values()), default=0)
+            for keep in (rows // 2, 3):
+                if 0 <= keep < rows and attempt(
+                    _truncate_rows(data, entry["name"], keep)
+                ):
+                    changed = True
+                    break
+
+    minimal = SynthesisSpec.from_dict(copy.deepcopy(data))
+    minimal.name = (spec.name or "spec") + "-min"
+    return MinimizeResult(
+        spec=minimal,
+        check=check,
+        reproduced=True,
+        checks_used=budget.used,
+        message=(
+            f"minimized to {len(minimal.relations)} relations / "
+            f"{len(minimal.edges)} edges in {budget.used} oracle checks"
+        ),
+    )

@@ -1,0 +1,169 @@
+"""The budgeted fuzz loop behind ``repro-synth fuzz`` and the CI lanes.
+
+One iteration = generate spec ``seed + i`` for the profile, sample the
+cell matrix for that spec seed, run the differential oracle, and — on a
+failure — shrink the spec and emit a repro artifact (minimal TOML plus
+the exact ``repro-synth fuzz`` command that replays it).  Everything is
+derived from ``(seed, profile, max_cells, chaos_edge)``, so the replay
+command re-runs the failing iteration bit-for-bit on the same
+environment.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.fuzz.minimize import minimize_spec
+from repro.fuzz.oracle import OracleReport, run_oracle, sample_cells
+from repro.fuzz.specgen import generate_spec
+from repro.spec.io import save_spec
+
+__all__ = ["FuzzConfig", "replay_command", "replay_failure", "run_fuzz"]
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """One fuzz run, fully determined by its fields."""
+
+    seed: int = 0
+    profile: str = "mixed"
+    budget_seconds: float = 60.0
+    #: Hard cap on iterations (``None`` = budget-bound only).  At least
+    #: one spec always runs, however small the budget.
+    max_specs: Optional[int] = None
+    #: Engine-matrix cells per spec (baseline included).
+    max_cells: int = 4
+    #: Corrupt this edge's FK assignment in non-baseline cells — the
+    #: self-test switch: the oracle must report every iteration as a
+    #: divergence.
+    chaos_edge: Optional[int] = None
+    #: Skip the rollback/resume fault-injection legs (they triple the
+    #: per-spec solve count).
+    check_faults: bool = True
+    #: Run the shrinker on failures.
+    minimize: bool = True
+    #: Where failing/minimized spec TOMLs land (``None`` = don't write).
+    out_dir: Optional[Path] = None
+
+
+def replay_command(config: FuzzConfig, spec_seed: int) -> str:
+    """The exact CLI line that re-runs one iteration."""
+    parts = [
+        "repro-synth fuzz",
+        f"--seed {spec_seed}",
+        f"--profile {config.profile}",
+        "--max-specs 1",
+        f"--max-cells {config.max_cells}",
+    ]
+    if config.chaos_edge is not None:
+        parts.append(f"--chaos-edge {config.chaos_edge}")
+    if not config.check_faults:
+        parts.append("--no-faults")
+    return " ".join(parts)
+
+
+def replay_failure(
+    spec_seed: int,
+    profile: str = "mixed",
+    *,
+    max_cells: int = 4,
+    chaos_edge: Optional[int] = None,
+    check_faults: bool = True,
+) -> OracleReport:
+    """Re-run exactly one fuzz iteration (what the replay command does)."""
+    spec = generate_spec(spec_seed, profile)
+    cells = sample_cells(profile, spec_seed, max_cells)
+    return run_oracle(
+        spec, cells, check_faults=check_faults, chaos_on=chaos_edge
+    )
+
+
+def run_fuzz(
+    config: FuzzConfig, log=None
+) -> Dict[str, object]:
+    """Fuzz until the budget (or ``max_specs``) runs out.
+
+    Returns the JSON-shaped report the CI lane uploads: per-outcome
+    counts plus one entry per failure with its oracle check, replay
+    command and (when minimization succeeded) the minimized spec's
+    shape and artifact paths.
+    """
+    started = time.monotonic()
+    out_dir = Path(config.out_dir) if config.out_dir is not None else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    outcomes: Dict[str, int] = {}
+    failures: List[Dict[str, object]] = []
+    specs_run = 0
+    while True:
+        if config.max_specs is not None and specs_run >= config.max_specs:
+            break
+        if specs_run and (
+            time.monotonic() - started >= config.budget_seconds
+        ):
+            break
+        spec_seed = config.seed + specs_run
+        specs_run += 1
+        spec = generate_spec(spec_seed, config.profile)
+        cells = sample_cells(config.profile, spec_seed, config.max_cells)
+        report = run_oracle(
+            spec,
+            cells,
+            check_faults=config.check_faults,
+            chaos_on=config.chaos_edge,
+        )
+        outcomes[report.outcome] = outcomes.get(report.outcome, 0) + 1
+        if log is not None:
+            log(
+                f"[{specs_run}] seed={spec_seed} profile={config.profile} "
+                f"{report.outcome}"
+                + (f" ({report.check})" if report.check else "")
+            )
+        if not report.failed:
+            continue
+
+        entry: Dict[str, object] = {
+            "seed": spec_seed,
+            "profile": config.profile,
+            "outcome": report.outcome,
+            "check": report.check,
+            "detail": report.detail,
+            "cells": report.cells,
+            "replay": replay_command(config, spec_seed),
+        }
+        if out_dir is not None:
+            path = out_dir / f"failing-{config.profile}-{spec_seed}.toml"
+            save_spec(spec, path)
+            entry["spec_toml"] = str(path)
+        if config.minimize:
+            minimized = minimize_spec(
+                spec,
+                report.check,
+                cells=cells,
+                chaos_on=config.chaos_edge,
+            )
+            entry["minimize"] = minimized.to_dict()
+            if minimized.reproduced and out_dir is not None:
+                path = (
+                    out_dir
+                    / f"minimized-{config.profile}-{spec_seed}.toml"
+                )
+                save_spec(minimized.spec, path)
+                entry["minimized_toml"] = str(path)
+        failures.append(entry)
+
+    return {
+        "seed": config.seed,
+        "profile": config.profile,
+        "budget_seconds": config.budget_seconds,
+        "max_cells": config.max_cells,
+        "chaos_edge": config.chaos_edge,
+        "specs_run": specs_run,
+        "outcomes": outcomes,
+        "failures": failures,
+        "wall_s": round(time.monotonic() - started, 2),
+    }

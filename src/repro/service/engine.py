@@ -60,6 +60,7 @@ def run_spec(
     cache: Optional[EdgeCache] = None,
     on_event: Optional[Callable[[Dict[str, object]], None]] = None,
     should_cancel: Optional[Callable[[], bool]] = None,
+    solve_edge_fn: Optional[Callable] = None,
 ) -> SynthesisResult:
     """Synthesize ``spec``, splicing cached edges and caching new ones.
 
@@ -72,6 +73,13 @@ def run_spec(
     for *solved* edges only; cached edges appear in ``edges`` with
     ``cache_hit=True`` and their original timings.
 
+    ``solve_edge_fn`` swaps the per-edge solve (the crash-resume and
+    fault-injection seam: the fuzz oracle substitutes a solver that
+    fails on the Nth edge, then re-runs with the same cache to prove the
+    checkpoints resume to identical output).  Passing it forces every
+    edge in-process — injected behaviour would not survive the trip to a
+    pool worker.
+
     Aborts (failures *and* cancellations) clean up any spill
     directories this run created under the spec's ``storage_dir``; the
     cache's per-edge checkpoints are unaffected.
@@ -83,6 +91,7 @@ def run_spec(
             cache=cache,
             on_event=on_event,
             should_cancel=should_cancel,
+            solve_edge_fn=solve_edge_fn,
         )
 
 
@@ -92,6 +101,7 @@ def _run(
     cache: Optional[EdgeCache],
     on_event: Optional[Callable[[Dict[str, object]], None]],
     should_cancel: Optional[Callable[[], bool]],
+    solve_edge_fn: Optional[Callable] = None,
 ) -> SynthesisResult:
     database = spec.to_database()
     fingerprints = edge_fingerprints(spec, database)
@@ -212,12 +222,19 @@ def _run(
                     )
                 if not to_solve:
                     continue
-                if len(to_solve) < 2 or config.workers < 2:
+                if (
+                    len(to_solve) < 2
+                    or config.workers < 2
+                    or solve_edge_fn is not None
+                ):
+                    solve = (
+                        solve_edge if solve_edge_fn is None else solve_edge_fn
+                    )
                     for fk in to_solve:
                         check_cancel()
                         emit("edge_started", fk)
                         key = (fk.child, fk.column)
-                        step = solve_edge(
+                        step = solve(
                             synthesizer._extended_view(
                                 work, fk.child, completed
                             ),

@@ -103,15 +103,25 @@ class RelationSpec:
             path = Path(self.csv)
             if not path.is_absolute() and base_dir is not None:
                 path = Path(base_dir) / path
-            if spill and not self.dtypes:
-                schema = infer_csv_schema(path, key=self.key)
-                return read_csv_store(
-                    path,
-                    schema,
-                    chunk_rows=storage.chunk_rows,
-                    directory=storage.relation_directory(self.name),
-                )
-            built = read_csv_infer(path, key=self.key)
+            # Wrap every OS-level read failure (missing file, a path that
+            # is a directory, permissions) as the library's own error so
+            # front ends get one clean failure mode for bad CSV refs —
+            # including refs resolving outside the spec's directory.
+            try:
+                if spill and not self.dtypes:
+                    schema = infer_csv_schema(path, key=self.key)
+                    return read_csv_store(
+                        path,
+                        schema,
+                        chunk_rows=storage.chunk_rows,
+                        directory=storage.relation_directory(self.name),
+                    )
+                built = read_csv_infer(path, key=self.key)
+            except OSError as exc:
+                raise SchemaError(
+                    f"relation {self.name!r}: cannot read csv "
+                    f"{str(path)!r}: {exc}"
+                ) from None
         else:
             built = Relation.from_columns(dict(self.columns), key=self.key)
         built = self._apply_dtypes(built)

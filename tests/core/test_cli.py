@@ -100,6 +100,42 @@ class TestPipelineCommands:
         assert code == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_bad_csv_ref_reports_error_not_traceback(
+        self, tmp_path, capsys
+    ):
+        # A spec whose csv ref resolves outside the spec directory to
+        # something unreadable (here: a directory) must exit with the
+        # CLI's clean error contract, not a raw OSError traceback.
+        spec_dir = tmp_path / "specs"
+        spec_dir.mkdir()
+        (tmp_path / "outside").mkdir()
+        (spec_dir / "bad.toml").write_text(
+            'name = "bad"\n'
+            'fact_table = "r1"\n'
+            "[[relations]]\n"
+            'name = "r1"\n'
+            'key = "id"\n'
+            'csv = "../outside"\n'
+            "[[relations]]\n"
+            'name = "r2"\n'
+            'key = "id"\n'
+            'csv = "missing.csv"\n'
+            "[[edges]]\n"
+            'child = "r1"\n'
+            'column = "r2_id"\n'
+            'parent = "r2"\n'
+        )
+        code = main([
+            "solve",
+            "--spec", str(spec_dir / "bad.toml"),
+            "--out", str(tmp_path / "out"),
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "relation 'r1'" in err
+        assert "Traceback" not in err
+
 
 class TestCsvInference:
     def test_read_csv_infer(self, tmp_path):

@@ -2,7 +2,9 @@
 
 import pytest
 
-from repro.datagen.workloads import DATASETS, materialize
+from repro.datagen.workloads import DATASETS, census_spec, materialize
+from repro.errors import ReproError
+from repro.spec.api import synthesize
 
 
 class TestRegistry:
@@ -60,3 +62,31 @@ class TestMaterialize:
         )
         assert "County" in data.housing.schema
         assert "St" in data.housing.schema
+
+
+class TestCensusSpec:
+    def test_builds_runnable_two_relation_spec(self):
+        spec = census_spec(
+            11, num_ccs=6, num_dcs=3, mini_divisor=4000, n_areas=4
+        )
+        assert spec.name == "census-11"
+        assert spec.fact_table == "persons"
+        assert {r.name for r in spec.relations} == {"persons", "housing"}
+        edge = spec.edges[0]
+        assert (edge.child, edge.column, edge.parent) == (
+            "persons", "hid", "housing"
+        )
+        assert len(edge.ccs) == 6
+        assert len(edge.dcs) == 3
+        result = synthesize(spec)
+        fact = result.database.relation("persons")
+        assert "hid" in fact.schema
+
+    def test_deterministic_for_seed(self):
+        a = census_spec(11, num_ccs=4, mini_divisor=4000, seed=3)
+        b = census_spec(11, num_ccs=4, mini_divisor=4000, seed=3)
+        assert a.to_dict() == b.to_dict()
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ReproError, match="unknown Table 2 dataset"):
+            census_spec(99)

@@ -1,0 +1,72 @@
+"""The budgeted fuzz loop and the ``repro-synth fuzz`` CLI verb."""
+
+import json
+
+from repro.cli import main
+from repro.fuzz import FuzzConfig, run_fuzz
+from repro.fuzz.runner import replay_command
+
+
+class TestRunFuzz:
+    def test_bounded_clean_run(self):
+        report = run_fuzz(FuzzConfig(seed=7, max_specs=3, max_cells=2))
+        assert report["specs_run"] == 3
+        assert report["outcomes"].get("ok", 0) >= 1
+        assert report["failures"] == []
+
+    def test_budget_always_runs_one_spec(self):
+        report = run_fuzz(
+            FuzzConfig(seed=7, budget_seconds=0.0, max_cells=2)
+        )
+        assert report["specs_run"] == 1
+
+    def test_chaos_failure_emits_artifacts(self, tmp_path):
+        config = FuzzConfig(
+            seed=1,
+            max_specs=1,
+            max_cells=2,
+            chaos_edge=0,
+            check_faults=False,
+            out_dir=tmp_path,
+        )
+        report = run_fuzz(config)
+        assert len(report["failures"]) == 1
+        entry = report["failures"][0]
+        assert entry["outcome"] == "divergence"
+        assert entry["replay"] == replay_command(config, 1)
+        assert "--chaos-edge 0" in entry["replay"]
+        assert (tmp_path / "failing-mixed-1.toml").is_file()
+        assert entry["minimize"]["reproduced"]
+        assert (tmp_path / "minimized-mixed-1.toml").is_file()
+
+
+class TestFuzzCli:
+    def test_clean_run_writes_report(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        code = main([
+            "fuzz", "--seed", "7", "--max-specs", "2",
+            "--max-cells", "2", "--budget-seconds", "30",
+            "--report-json", str(report_path),
+        ])
+        assert code == 0
+        report = json.loads(report_path.read_text())
+        assert report["specs_run"] == 2
+        assert report["failures"] == []
+        assert "fuzz: 2 spec(s)" in capsys.readouterr().out
+
+    def test_failure_exits_nonzero_with_replay(self, tmp_path, capsys):
+        code = main([
+            "fuzz", "--seed", "1", "--max-specs", "1",
+            "--max-cells", "2", "--chaos-edge", "0", "--no-faults",
+            "--no-minimize",
+            "--out-dir", str(tmp_path),
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "divergence" in out
+        assert "replay: repro-synth fuzz --seed 1" in out
+
+    def test_unknown_profile_is_a_clean_error(self, capsys):
+        code = main(["fuzz", "--profile", "bogus", "--max-specs", "1"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
