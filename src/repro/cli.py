@@ -20,6 +20,13 @@ Subcommands:
 
       repro-synth serve --jobs-dir jobs/ --port 8321
 
+* ``lint`` — run repro-lint, the repo's own AST-based static-analysis
+  suite (determinism, executor-seam, store-lifetime, pool-payload and
+  config-drift checks) against a committed baseline::
+
+      repro-synth lint                  # or: python -m repro.lint
+      repro-synth lint --list-checks
+
 * ``discover`` — mine FK denial constraints from a *completed* pair of
   CSVs (:mod:`repro.extensions.discovery`) and emit a runnable spec with
   the mined DCs inlined::
@@ -361,6 +368,12 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import run_lint
+
+    return run_lint(args)
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     import json
 
@@ -551,6 +564,17 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--verbose", action="store_true",
                       help="log every iteration, not just failures")
     fuzz.set_defaults(func=_cmd_fuzz)
+
+    from repro.lint.cli import build_parser as _build_lint_parser
+
+    lint = sub.add_parser(
+        "lint",
+        help="run repro-lint, the repo's own static-analysis suite "
+        "(determinism, executor seam, store lifetime, pool payloads, "
+        "config drift); also available as `python -m repro.lint`",
+    )
+    _build_lint_parser(lint)
+    lint.set_defaults(func=_cmd_lint)
 
     ev = sub.add_parser("evaluate", help="score a completed database")
     ev.add_argument("--r1", required=True)

@@ -1,0 +1,100 @@
+"""The committed-baseline mechanism: land clean, then ratchet.
+
+A baseline file records the findings that existed when a check was
+introduced, keyed on ``(path, code, stripped source line)`` — never on
+line numbers, so unrelated edits above a finding don't invalidate the
+entry.  A lint run then classifies each finding:
+
+* **baselined** — matched by a baseline entry (old debt, not fatal);
+* **new** — not in the baseline: the run fails and CI goes red.
+
+Entries whose finding disappeared are reported as **stale** so the
+baseline only ever shrinks (``--update-baseline`` rewrites it from the
+current findings).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.lint.diagnostics import Diagnostic
+
+__all__ = ["Baseline"]
+
+_VERSION = 1
+
+
+class Baseline:
+    """A multiset of accepted findings, persisted as stable JSON."""
+
+    def __init__(self, counts: Union[Dict[str, int], None] = None) -> None:
+        self.counts: Counter = Counter(counts or {})
+
+    # Persistence ----------------------------------------------------
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        data = json.loads(Path(path).read_text())
+        if data.get("version") != _VERSION:
+            raise ValueError(
+                f"baseline {path}: unsupported version "
+                f"{data.get('version')!r} (expected {_VERSION})"
+            )
+        counts: Dict[str, int] = {}
+        for entry in data.get("entries", []):
+            key = (
+                f"{entry['path']}::{entry['code']}::{entry['context']}"
+            )
+            counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+        return cls(counts)
+
+    @classmethod
+    def from_findings(
+        cls, findings: Sequence[Diagnostic]
+    ) -> "Baseline":
+        return cls(Counter(d.baseline_key() for d in findings))
+
+    def save(self, path: Union[str, Path]) -> None:
+        entries = []
+        for key in sorted(self.counts):
+            file_path, code, context = key.split("::", 2)
+            entries.append(
+                {
+                    "path": file_path,
+                    "code": code,
+                    "context": context,
+                    "count": self.counts[key],
+                }
+            )
+        Path(path).write_text(
+            json.dumps(
+                {"version": _VERSION, "entries": entries}, indent=2
+            )
+            + "\n"
+        )
+
+    # Classification -------------------------------------------------
+    def split(
+        self, findings: Sequence[Diagnostic]
+    ) -> Tuple[List[Diagnostic], List[Diagnostic], List[str]]:
+        """``(new, baselined, stale_keys)`` for one run's findings.
+
+        When several findings share a key (the same source line repeated
+        in a file), baseline budget is consumed in diagnostic order and
+        the excess is new — adding a *second* violation on an already-
+        baselined line still fails.
+        """
+        budget = Counter(self.counts)
+        new: List[Diagnostic] = []
+        baselined: List[Diagnostic] = []
+        for diag in sorted(findings):
+            key = diag.baseline_key()
+            if budget[key] > 0:
+                budget[key] -= 1
+                baselined.append(diag)
+            else:
+                new.append(diag)
+        stale = sorted(key for key, left in budget.items() if left > 0)
+        return new, baselined, stale

@@ -1,0 +1,79 @@
+"""Small AST helpers shared by the checkers."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+__all__ = [
+    "call_name",
+    "dotted_name",
+    "iter_function_scopes",
+    "parent_map",
+    "referenced_names",
+    "walk_scope",
+]
+
+
+def parent_map(tree: ast.AST) -> Dict[ast.AST, ast.AST]:
+    """``node -> parent`` for every node in the tree."""
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """The dotted name a call invokes, else ``None``."""
+    return dotted_name(node.func)
+
+
+def referenced_names(node: ast.AST) -> Set[str]:
+    """Every ``Name`` identifier read anywhere inside ``node``."""
+    return {
+        child.id
+        for child in ast.walk(node)
+        if isinstance(child, ast.Name)
+    }
+
+
+def iter_function_scopes(tree: ast.AST) -> Iterator[ast.AST]:
+    """The module plus every (async) function definition, outermost
+    first — the granularity at which local-name tracking runs."""
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+_SCOPE_BOUNDARIES = (
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.Lambda,
+    ast.ClassDef,
+)
+
+
+def walk_scope(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``scope`` without descending into nested function/class
+    scopes — local-name tracking must not leak across def boundaries."""
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, _SCOPE_BOUNDARIES):
+            continue
+        stack.extend(ast.iter_child_nodes(node))

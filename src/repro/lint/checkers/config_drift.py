@@ -1,0 +1,258 @@
+"""F-series: configuration surfaces must not drift apart.
+
+The service layer's edge cache keys on per-edge fingerprints that fold
+in exactly the *result-affecting* slice of :class:`SolverConfig`
+(``RESULT_OPTION_FIELDS``); everything else is excluded because the
+output is byte-identical under it (``NON_RESULT_OPTION_FIELDS``).  A
+new ``SolverConfig`` field that lands in neither set silently either
+poisons the cache (result-affecting but unfingerprinted → stale hits)
+or wastes it (excluded knob fingerprinted → spurious misses).  The spec
+front door has the same failure mode between dataclass fields and the
+``from_dict`` key allowlists.
+
+* **F501** — a ``SolverConfig`` field in neither
+  ``RESULT_OPTION_FIELDS`` nor ``NON_RESULT_OPTION_FIELDS``.
+* **F502** — a stale classification: an entry naming no current field,
+  or a field claimed by *both* sets.
+* **F503** — a spec dataclass field missing from its own ``from_dict``
+  ``known`` key set (so the TOML surface silently cannot express it).
+  Programmatic-only fields (``relation``, ``base_dir``) are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import (
+    ModuleSource,
+    ProjectChecker,
+    register,
+)
+
+__all__ = ["ConfigDriftChecker"]
+
+_CONFIG_CLASS = "SolverConfig"
+_RESULT_TUPLE = "RESULT_OPTION_FIELDS"
+_EXCLUDED_TUPLE = "NON_RESULT_OPTION_FIELDS"
+
+#: Dataclass fields legitimately absent from the serialised spec
+#: surface: in-memory relations and the path anchor never round-trip.
+_SERIALIZATION_EXEMPT = {"relation", "base_dir"}
+
+
+@dataclass
+class _FieldSet:
+    module: ModuleSource
+    node: ast.AST
+    names: List[str] = field(default_factory=list)
+    lines: Dict[str, int] = field(default_factory=dict)
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        name = deco
+        if isinstance(deco, ast.Call):
+            name = deco.func
+        if isinstance(name, ast.Name) and name.id == "dataclass":
+            return True
+        if isinstance(name, ast.Attribute) and name.attr == "dataclass":
+            return True
+    return False
+
+
+def _dataclass_fields(node: ast.ClassDef) -> Iterable[Tuple[str, int]]:
+    for stmt in node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            # ClassVar annotations are not dataclass fields.
+            annotation = ast.unparse(stmt.annotation)
+            if "ClassVar" in annotation:
+                continue
+            yield stmt.target.id, stmt.lineno
+
+
+def _string_tuple(node: ast.AST) -> Optional[List[str]]:
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        values = []
+        for elt in node.elts:
+            if not (
+                isinstance(elt, ast.Constant)
+                and isinstance(elt.value, str)
+            ):
+                return None
+            values.append(elt.value)
+        return values
+    return None
+
+
+def _known_set(func: ast.AST) -> Optional[Tuple[List[str], int]]:
+    """The ``known = {...}`` key allowlist inside a ``from_dict``."""
+    for stmt in ast.walk(func):
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and stmt.targets[0].id == "known"
+        ):
+            names = _string_tuple(stmt.value)
+            if names is not None:
+                return names, stmt.lineno
+    return None
+
+
+@register
+class ConfigDriftChecker(ProjectChecker):
+    codes = {
+        "F501": "SolverConfig field classified neither result-affecting "
+                "(RESULT_OPTION_FIELDS) nor excluded "
+                "(NON_RESULT_OPTION_FIELDS)",
+        "F502": "stale fingerprint classification entry",
+        "F503": "spec dataclass field missing from its from_dict known "
+                "key set",
+    }
+
+    def check_project(
+        self, modules: Iterable[ModuleSource]
+    ) -> Iterator[Diagnostic]:
+        config_fields: Optional[_FieldSet] = None
+        result_fields: Optional[_FieldSet] = None
+        excluded_fields: Optional[_FieldSet] = None
+        spec_classes: List[Tuple[ModuleSource, ast.ClassDef]] = []
+
+        for module in modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef) and _is_dataclass(node):
+                    if node.name == _CONFIG_CLASS:
+                        fs = _FieldSet(module, node)
+                        for name, line in _dataclass_fields(node):
+                            fs.names.append(name)
+                            fs.lines[name] = line
+                        config_fields = fs
+                    elif any(
+                        isinstance(stmt, ast.FunctionDef)
+                        and stmt.name == "from_dict"
+                        for stmt in node.body
+                    ):
+                        spec_classes.append((module, node))
+                elif isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if not isinstance(target, ast.Name):
+                            continue
+                        if target.id in (_RESULT_TUPLE, _EXCLUDED_TUPLE):
+                            names = _string_tuple(node.value)
+                            if names is None:
+                                continue
+                            fs = _FieldSet(module, node, names)
+                            fs.lines = {n: node.lineno for n in names}
+                            if target.id == _RESULT_TUPLE:
+                                result_fields = fs
+                            else:
+                                excluded_fields = fs
+
+        yield from self._check_classification(
+            config_fields, result_fields, excluded_fields
+        )
+        yield from self._check_from_dict(spec_classes)
+
+    # F501/F502 ------------------------------------------------------
+    def _check_classification(
+        self,
+        config: Optional[_FieldSet],
+        result: Optional[_FieldSet],
+        excluded: Optional[_FieldSet],
+    ) -> Iterator[Diagnostic]:
+        if config is None or result is None:
+            # A partial tree (fixtures, a narrowed path filter) may not
+            # contain both sides; nothing to cross-check then.
+            return
+        result_names = set(result.names)
+        excluded_names = set(excluded.names) if excluded else set()
+        classified = result_names | excluded_names
+        for name in config.names:
+            if name not in classified:
+                yield Diagnostic(
+                    path=config.module.path,
+                    line=config.lines[name],
+                    col=1,
+                    code="F501",
+                    message=(
+                        f"SolverConfig.{name} is classified neither "
+                        f"result-affecting ({_RESULT_TUPLE}) nor "
+                        f"excluded ({_EXCLUDED_TUPLE}); an unclassified "
+                        "knob silently poisons or misses the edge cache"
+                    ),
+                    context=config.module.context(config.lines[name]),
+                )
+        config_names = set(config.names)
+        for fs, label in ((result, _RESULT_TUPLE),):
+            for name in fs.names:
+                if name not in config_names:
+                    yield self._stale(fs, name, label)
+        if excluded is not None:
+            for name in excluded.names:
+                if name not in config_names:
+                    yield self._stale(excluded, name, _EXCLUDED_TUPLE)
+                elif name in result_names:
+                    yield Diagnostic(
+                        path=excluded.module.path,
+                        line=excluded.lines[name],
+                        col=1,
+                        code="F502",
+                        message=(
+                            f"{name!r} appears in both {_RESULT_TUPLE} "
+                            f"and {_EXCLUDED_TUPLE}; a field is either "
+                            "result-affecting or excluded, not both"
+                        ),
+                        context=excluded.module.context(
+                            excluded.lines[name]
+                        ),
+                    )
+
+    def _stale(self, fs: _FieldSet, name: str, label: str) -> Diagnostic:
+        return Diagnostic(
+            path=fs.module.path,
+            line=fs.lines[name],
+            col=1,
+            code="F502",
+            message=(
+                f"{label} entry {name!r} names no current SolverConfig "
+                "field; remove the stale entry"
+            ),
+            context=fs.module.context(fs.lines[name]),
+        )
+
+    # F503 -----------------------------------------------------------
+    def _check_from_dict(
+        self, spec_classes: List[Tuple[ModuleSource, ast.ClassDef]]
+    ) -> Iterator[Diagnostic]:
+        for module, node in spec_classes:
+            from_dict = next(
+                stmt
+                for stmt in node.body
+                if isinstance(stmt, ast.FunctionDef)
+                and stmt.name == "from_dict"
+            )
+            known = _known_set(from_dict)
+            if known is None:
+                continue
+            known_names, known_line = known
+            known_set: Set[str] = set(known_names)
+            for name, line in _dataclass_fields(node):
+                if name in _SERIALIZATION_EXEMPT or name in known_set:
+                    continue
+                yield Diagnostic(
+                    path=module.path,
+                    line=known_line,
+                    col=1,
+                    code="F503",
+                    message=(
+                        f"{node.name}.{name} is a dataclass field but "
+                        f"missing from from_dict's known key set; spec "
+                        "files silently cannot express it"
+                    ),
+                    context=module.context(known_line),
+                )

@@ -1,0 +1,105 @@
+"""X-series: every kernel call dispatches through ``KernelExecutor``.
+
+PR 8's contract: outside ``relational/``, the columnar kernels —
+``group_counts``, ``distinct``, ``fk_join``, ``dc_error``,
+``group_by_combo`` — are reached only via a
+:class:`~repro.relational.executor.KernelExecutor`, so SQL pushdown,
+per-edge engine overrides and the ``pushed``/``delegated`` observability
+counters see every call.  A direct ``relation.group_counts(...)``
+outside that seam silently pins one call-site to numpy forever.
+
+* **X201** — direct kernel *method* call outside ``relational/`` on a
+  receiver that is not an executor.  Receivers named like executors
+  (``executor``, ``self.executor``, ``ex``, ``NUMPY_EXECUTOR``, …) are
+  the seam itself and pass.
+* **X202** — direct call of a kernel *function* imported from its home
+  module (``repro.relational.join.fk_join``,
+  ``repro.constraints.cc.count_ccs``) outside ``relational/``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Set
+
+from repro.lint.checkers._ast_util import dotted_name
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import Checker, ModuleSource, register
+
+__all__ = ["ExecutorSeamChecker"]
+
+_KERNEL_METHODS = {
+    "group_counts", "distinct", "fk_join", "dc_error", "group_by_combo",
+}
+
+#: ``module -> kernel functions`` whose direct import-and-call is X202.
+_KERNEL_FUNCTIONS = {
+    "repro.relational.join": {"fk_join"},
+    "repro.constraints.cc": {"count_ccs"},
+}
+
+_EXECUTORISH = re.compile(r"(^|_)(ex|exec|executor)s?($|_)|executor")
+
+
+def _is_executorish(name: str) -> bool:
+    return bool(_EXECUTORISH.search(name.lower()))
+
+
+@register
+class ExecutorSeamChecker(Checker):
+    codes = {
+        "X201": "direct kernel method call outside relational/; "
+                "dispatch through KernelExecutor",
+        "X202": "direct kernel function call outside relational/; "
+                "dispatch through KernelExecutor",
+    }
+
+    def in_scope(self, path: str) -> bool:
+        # The seam's own implementation (and the kernels themselves)
+        # live in relational/ — everything else must use the interface.
+        return "relational" not in self.path_parts(path)[:-1]
+
+    def check(self, module: ModuleSource) -> Iterator[Diagnostic]:
+        kernel_imports = _kernel_imports(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _KERNEL_METHODS
+            ):
+                receiver = dotted_name(func.value)
+                if receiver is not None and _is_executorish(receiver):
+                    continue
+                yield module.diagnostic(
+                    node, "X201",
+                    f"direct call to kernel method {func.attr!r} outside "
+                    "relational/; dispatch through a KernelExecutor "
+                    "(e.g. executor_from_config(config)."
+                    f"{func.attr}(relation, ...))",
+                )
+            elif isinstance(func, ast.Name) and func.id in kernel_imports:
+                yield module.diagnostic(
+                    node, "X202",
+                    f"direct call to kernel function {func.id!r} outside "
+                    "relational/; dispatch through a KernelExecutor",
+                )
+
+
+def _kernel_imports(tree: ast.Module) -> Set[str]:
+    """Local names bound to kernel functions by ``from ... import``."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ImportFrom) or node.module is None:
+            continue
+        kernels = _KERNEL_FUNCTIONS.get(node.module)
+        if not kernels:
+            continue
+        names.update(
+            alias.asname or alias.name
+            for alias in node.names
+            if alias.name in kernels
+        )
+    return names

@@ -1,0 +1,172 @@
+"""S-series: relations must not outlive the temp directory backing them.
+
+The PR 9 fuzzer's headline find: a pooled edge's unchanged mmap-backed
+parent round-tripped through a worker as a fresh store handle on the
+*same* directory — a handle that did not own the backing
+``TemporaryDirectory``, which died with the input database and left the
+committed result reading deleted files.  This checker flags the static
+shape of that bug class: building a store (or relation) rooted in a
+``TemporaryDirectory``/``mkdtemp`` path local to the function and then
+letting it escape.
+
+* **S301** — returning (or yielding) a value derived from a
+  function-local temporary directory: the directory's finalizer runs
+  when the local goes out of scope, and the returned store dangles.
+* **S302** — committing such a value into a database
+  (``replace_relation``/``add_relation``/``commit_edge``): the database
+  outlives the solve that created the temp dir.
+
+The analysis is a per-function forward taint: names bound to temp-dir
+constructors seed the taint; any assignment whose right-hand side
+references a tainted name propagates it.  Escapes through ``self``
+attributes are deliberately out of scope — an owner that stores the
+``TemporaryDirectory`` object itself (as ``MmapStoreWriter`` does)
+keeps the finalizer alive by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.lint.checkers._ast_util import (
+    call_name,
+    referenced_names,
+    walk_scope,
+)
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import Checker, ModuleSource, register
+
+__all__ = ["StoreLifetimeChecker"]
+
+_TEMP_CONSTRUCTORS = {
+    "TemporaryDirectory",
+    "tempfile.TemporaryDirectory",
+    "tempfile.mkdtemp",
+    "mkdtemp",
+}
+
+_COMMIT_METHODS = {"replace_relation", "add_relation", "commit_edge"}
+
+#: Builtins whose result is a plain scalar/summary — deriving one from a
+#: tainted name does not keep the backing files alive, so it must not
+#: propagate the taint (``hits = sum(1 for r in tainted.edges ...)``).
+_SCALAR_BUILTINS = {
+    "len", "sum", "any", "all", "min", "max", "bool",
+    "int", "float", "str", "repr", "hash",
+}
+
+
+def _is_temp_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and call_name(node) in _TEMP_CONSTRUCTORS
+    )
+
+
+@register
+class StoreLifetimeChecker(Checker):
+    codes = {
+        "S301": "returns a value rooted in a function-local temporary "
+                "directory; the backing files die with the function",
+        "S302": "commits a value rooted in a function-local temporary "
+                "directory into a longer-lived database",
+    }
+
+    def check(self, module: ModuleSource) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, node)
+
+    def _check_function(
+        self, module: ModuleSource, func: ast.AST
+    ) -> Iterator[Diagnostic]:
+        tainted: Set[str] = set()
+        # Seed + propagate in source order; two passes so a taint
+        # introduced late still colors an earlier helper assignment
+        # pattern (cheap fixpoint — function bodies are small).
+        statements = list(walk_scope(func))
+        statements.sort(key=lambda n: getattr(n, "lineno", 0))
+        for _ in range(2):
+            for node in statements:
+                targets = []
+                value = None
+                if isinstance(node, ast.Assign):
+                    targets, value = node.targets, node.value
+                elif (
+                    isinstance(node, ast.AnnAssign)
+                    and node.value is not None
+                ):
+                    targets, value = [node.target], node.value
+                elif isinstance(node, ast.withitem):
+                    if node.optional_vars is not None and _is_temp_call(
+                        node.context_expr
+                    ):
+                        if isinstance(node.optional_vars, ast.Name):
+                            tainted.add(node.optional_vars.id)
+                    continue
+                if value is None:
+                    continue
+                if (
+                    isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Name)
+                    and value.func.id in _SCALAR_BUILTINS
+                ):
+                    is_tainted = False
+                else:
+                    is_tainted = _is_temp_call(value) or bool(
+                        referenced_names(value) & tainted
+                    )
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        if is_tainted:
+                            tainted.add(target.id)
+                        elif target.id in tainted and not isinstance(
+                            value, ast.Name
+                        ):
+                            # Rebound to something untainted.
+                            tainted.discard(target.id)
+        if not tainted:
+            return
+
+        for node in statements:
+            if isinstance(node, ast.Return) and node.value is not None:
+                escaped = referenced_names(node.value) & tainted
+                if escaped:
+                    yield module.diagnostic(
+                        node, "S301",
+                        f"returning {sorted(escaped)[0]!r}, which is "
+                        "rooted in a function-local TemporaryDirectory; "
+                        "the store's files are deleted when the "
+                        "directory object is finalized (the PR 9 "
+                        "commit_edge bug class)",
+                    )
+            elif isinstance(node, ast.Call):
+                func_expr = node.func
+                if (
+                    isinstance(func_expr, ast.Attribute)
+                    and func_expr.attr in _COMMIT_METHODS
+                ) or (
+                    isinstance(func_expr, ast.Name)
+                    and func_expr.id in _COMMIT_METHODS
+                ):
+                    escaped = (
+                        set().union(
+                            *(referenced_names(a) for a in node.args)
+                        )
+                        if node.args
+                        else set()
+                    ) & tainted
+                    if escaped:
+                        method = (
+                            func_expr.attr
+                            if isinstance(func_expr, ast.Attribute)
+                            else func_expr.id
+                        )
+                        yield module.diagnostic(
+                            node, "S302",
+                            f"{method}() commits {sorted(escaped)[0]!r}, "
+                            "which is rooted in a function-local "
+                            "TemporaryDirectory; the database outlives "
+                            "the backing files",
+                        )

@@ -1,0 +1,34 @@
+"""The diagnostic record every checker emits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: ``path:line:col CODE message``.
+
+    ``path`` is stored relative to the lint invocation's base directory
+    (the repo root in CI), with forward slashes, so baselines written on
+    one machine match on another.  ``context`` is the stripped source
+    line the finding sits on — the baseline keys on it instead of the
+    line *number*, so unrelated edits that shift a file do not invalidate
+    the committed baseline.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    context: str = ""
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col} {self.code} {self.message}"
+        )
+
+    def baseline_key(self) -> str:
+        """The line-number-insensitive identity used by the baseline."""
+        return f"{self.path}::{self.code}::{self.context}"

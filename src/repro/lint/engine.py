@@ -1,0 +1,172 @@
+"""Collect files, run checkers, apply suppressions and the baseline."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.lint.baseline import Baseline
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import (
+    Checker,
+    ModuleSource,
+    ProjectChecker,
+    all_checkers,
+)
+from repro.lint.suppress import collect_suppressions
+
+__all__ = ["LintReport", "lint_paths"]
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    new: List[Diagnostic] = field(default_factory=list)
+    baselined: List[Diagnostic] = field(default_factory=list)
+    stale_baseline: List[str] = field(default_factory=list)
+    suppressed: int = 0
+    files: int = 0
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def findings(self) -> List[Diagnostic]:
+        """Every surviving finding, new and baselined, in file order."""
+        return sorted(self.new + self.baselined)
+
+    @property
+    def ok(self) -> bool:
+        """Clean run: nothing new, nothing unparseable."""
+        return not self.new and not self.errors
+
+
+def _collect_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    files: List[Path] = []
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            files.extend(
+                p
+                for p in sorted(path.rglob("*.py"))
+                if "__pycache__" not in p.parts
+            )
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise FileNotFoundError(
+                f"lint path {path} is neither a directory nor a .py file"
+            )
+    # De-duplicate while keeping the deterministic sorted order.
+    seen = {}
+    for path in files:
+        seen.setdefault(path.resolve(), path)
+    return list(seen.values())
+
+
+def _relpath(path: Path, base: Path) -> str:
+    try:
+        rel = path.resolve().relative_to(base.resolve())
+    except ValueError:
+        rel = path
+    return rel.as_posix()
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]],
+    *,
+    base: Union[str, Path, None] = None,
+    baseline: Optional[Baseline] = None,
+    checkers: Optional[Sequence[Checker]] = None,
+    respect_scopes: bool = True,
+) -> LintReport:
+    """Lint every ``.py`` file under ``paths``.
+
+    ``base`` anchors the relative paths findings (and the baseline) use;
+    it defaults to the current directory, i.e. the repo root in CI.
+    ``respect_scopes=False`` runs every checker on every file — the
+    fixtures corpus uses it so known-bad snippets fire without
+    replicating the repo's directory layout.
+    """
+    base_dir = Path(base) if base is not None else Path.cwd()
+    active = list(checkers) if checkers is not None else all_checkers()
+    report = LintReport()
+    raw: List[Diagnostic] = []
+    modules: List[ModuleSource] = []
+    suppressions = {}
+
+    for path in _collect_files(paths):
+        rel = _relpath(path, base_dir)
+        source = path.read_text()
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            report.errors.append(f"{rel}: cannot parse: {exc}")
+            continue
+        module = ModuleSource(path=rel, source=source, tree=tree)
+        modules.append(module)
+        suppressions[rel] = collect_suppressions(source)
+        report.files += 1
+        for checker in active:
+            if isinstance(checker, ProjectChecker):
+                continue
+            if respect_scopes and not checker.in_scope(rel):
+                continue
+            raw.extend(checker.check(module))
+
+    for checker in active:
+        if not isinstance(checker, ProjectChecker):
+            continue
+        scoped = [
+            m
+            for m in modules
+            if not respect_scopes or checker.in_scope(m.path)
+        ]
+        raw.extend(checker.check_project(scoped))
+
+    kept: List[Diagnostic] = []
+    for diag in raw:
+        supp = suppressions.get(diag.path)
+        if supp is not None and supp.is_suppressed(diag.line, diag.code):
+            report.suppressed += 1
+        else:
+            kept.append(diag)
+
+    if baseline is None:
+        report.new = sorted(kept)
+    else:
+        report.new, report.baselined, report.stale_baseline = (
+            baseline.split(kept)
+        )
+    return report
+
+
+def format_report(
+    report: LintReport,
+    *,
+    show_baselined: bool = False,
+) -> str:
+    """Human-readable text for one run."""
+    lines: List[str] = []
+    for error in report.errors:
+        lines.append(f"error: {error}")
+    shown = report.findings if show_baselined else report.new
+    for diag in shown:
+        suffix = ""
+        if show_baselined and diag not in report.new:
+            suffix = "  [baselined]"
+        lines.append(diag.render() + suffix)
+    for key in report.stale_baseline:
+        lines.append(
+            f"stale baseline entry (fixed? run --update-baseline): {key}"
+        )
+    lines.append(
+        f"repro-lint: {len(report.new)} new finding(s), "
+        f"{len(report.baselined)} baselined, "
+        f"{report.suppressed} suppressed, "
+        f"{len(report.stale_baseline)} stale baseline entr"
+        f"{'y' if len(report.stale_baseline) == 1 else 'ies'} "
+        f"across {report.files} file(s)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""The pluggable checker registry.
+
+A checker is a class with a ``codes`` table (``CODE -> one-line
+description``) and either a per-file :meth:`Checker.check` or a
+whole-tree :meth:`ProjectChecker.check_project`.  Registering is one
+decorator; the engine instantiates every registered checker per run, so
+checkers may keep per-run state.
+
+Scoping: each checker decides which files it applies to via
+:meth:`Checker.in_scope` over the file's base-relative path.  The engine
+can override scoping (``respect_scopes=False``) so the test fixtures can
+exercise every check without replicating the repo's directory layout.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Type
+
+from repro.lint.diagnostics import Diagnostic
+
+__all__ = [
+    "Checker",
+    "ModuleSource",
+    "ProjectChecker",
+    "all_checkers",
+    "checker_codes",
+    "register",
+]
+
+
+@dataclass
+class ModuleSource:
+    """One parsed file handed to the checkers."""
+
+    path: str  # base-relative, forward slashes
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+    def context(self, line: int) -> str:
+        """The stripped source line a diagnostic anchors to."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def diagnostic(
+        self, node: ast.AST, code: str, message: str
+    ) -> Diagnostic:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        return Diagnostic(
+            path=self.path,
+            line=line,
+            col=col,
+            code=code,
+            message=message,
+            context=self.context(line),
+        )
+
+
+class Checker:
+    """Base class: per-file AST checks."""
+
+    #: ``CODE -> short description``, e.g. ``{"D101": "..."}``.
+    codes: Dict[str, str] = {}
+
+    def in_scope(self, path: str) -> bool:
+        """Whether this checker applies to ``path`` (base-relative)."""
+        return True
+
+    def check(self, module: ModuleSource) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    # Shared scope helpers -------------------------------------------
+    @staticmethod
+    def path_parts(path: str) -> tuple:
+        return tuple(path.split("/"))
+
+
+class ProjectChecker(Checker):
+    """Whole-tree checks that need to see several files at once
+    (e.g. the F-series cross-references ``core/config.py`` against
+    ``spec/fingerprint.py``)."""
+
+    def check(self, module: ModuleSource) -> Iterator[Diagnostic]:
+        return iter(())
+
+    def check_project(
+        self, modules: Iterable[ModuleSource]
+    ) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+
+_REGISTRY: List[Type[Checker]] = []
+
+
+def register(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator adding a checker to the registry."""
+    overlap = {
+        code
+        for other in _REGISTRY
+        for code in other.codes
+        if code in cls.codes and other is not cls
+    }
+    if overlap:
+        raise ValueError(
+            f"checker {cls.__name__} re-registers codes {sorted(overlap)}"
+        )
+    if cls not in _REGISTRY:
+        _REGISTRY.append(cls)
+    return cls
+
+
+def all_checkers() -> List[Checker]:
+    """Fresh instances of every registered checker.
+
+    Importing :mod:`repro.lint.checkers` populates the registry; done
+    here so merely importing the engine has no import-order surprises.
+    """
+    import repro.lint.checkers  # noqa: F401  (registration side effect)
+
+    return [cls() for cls in _REGISTRY]
+
+
+def checker_codes() -> Dict[str, str]:
+    """``CODE -> description`` across every registered checker."""
+    import repro.lint.checkers  # noqa: F401
+
+    out: Dict[str, str] = {}
+    for cls in _REGISTRY:
+        out.update(cls.codes)
+    return dict(sorted(out.items()))

@@ -1,0 +1,85 @@
+"""Inline suppressions: ``# repro-lint: disable=CODE[,CODE...]``.
+
+A suppression comment on a finding's line silences exactly those codes
+on that line; ``disable`` with no ``=CODE`` (or ``=all``) silences every
+code on the line.  A module may silence a code everywhere with a
+top-of-file comment (before the first statement)::
+
+    # repro-lint: disable-file=D103
+
+Suppressions are collected with :mod:`tokenize` so strings containing
+the marker text don't count.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+__all__ = ["Suppressions", "collect_suppressions"]
+
+_MARKER = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable(?:-file)?)"
+    r"\s*(?:=\s*(?P<codes>[A-Za-z0-9_,\s]+))?"
+)
+
+#: Sentinel meaning "every code".
+ALL = "all"
+
+
+@dataclass
+class Suppressions:
+    """Per-line and whole-file disabled codes for one module."""
+
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    file_wide: Set[str] = field(default_factory=set)
+
+    def is_suppressed(self, line: int, code: str) -> bool:
+        for codes in (self.file_wide, self.by_line.get(line, ())):
+            if code in codes or ALL in codes:
+                return True
+        return False
+
+
+def _parse_codes(text: str) -> Set[str]:
+    if text is None:
+        return {ALL}
+    codes = {part.strip() for part in text.split(",") if part.strip()}
+    return {c.lower() if c.lower() == ALL else c.upper() for c in codes}
+
+
+def collect_suppressions(source: str) -> Suppressions:
+    """Scan a module's comments for suppression markers."""
+    out = Suppressions()
+    first_stmt_line = None
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return out
+    for tok in tokens:
+        if tok.type == tokenize.COMMENT:
+            match = _MARKER.search(tok.string)
+            if not match:
+                continue
+            codes = _parse_codes(match.group("codes"))
+            if match.group("kind") == "disable-file":
+                # Only honored in the module header, so a stray copy
+                # deep in a file can't silently blank the whole module.
+                if first_stmt_line is None:
+                    out.file_wide |= codes
+            else:
+                out.by_line.setdefault(tok.start[0], set()).update(codes)
+        elif tok.type not in (
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENCODING,
+            tokenize.STRING,  # the module docstring
+        ):
+            if first_stmt_line is None:
+                first_stmt_line = tok.start[0]
+    return out

@@ -40,6 +40,7 @@ from repro.relational.database import Database
 from repro.spec.model import EdgeSpec, SynthesisSpec
 
 __all__ = [
+    "NON_RESULT_OPTION_FIELDS",
     "RESULT_OPTION_FIELDS",
     "edge_fingerprints",
     "result_options",
@@ -57,6 +58,26 @@ RESULT_OPTION_FIELDS = (
     "partitioned_coloring",
     "time_limit",
     "mip_gap",
+)
+
+#: The documented complement: every remaining :class:`SolverConfig`
+#: field, each guaranteed byte-identical-output by the executor/storage
+#: contracts (parallelism by the deterministic traversal, storage by the
+#: columnar backend's layout independence, ``executor``/``sql_min_rows``
+#: by the PR 8 pushdown contract, ``evaluate`` because metrics never
+#: feed back into the solve).  ``repro-lint``'s F-series check enforces
+#: that the two tuples partition ``SolverConfig`` exactly: a new field
+#: must be added to one of them — deliberately — before CI passes.
+NON_RESULT_OPTION_FIELDS = (
+    "workers",
+    "parallel_workers",
+    "evaluate",
+    "storage",
+    "chunk_rows",
+    "memory_budget_mb",
+    "storage_dir",
+    "executor",
+    "sql_min_rows",
 )
 
 #: Bump when the fingerprint's byte layout changes — persisted cache

@@ -1,0 +1,65 @@
+"""Determinism corpus: a trailing expect-marker names each bad line.
+
+Lives under a ``core/`` directory so the D-series scope applies even
+when the engine respects checker scopes (as the CLI does).
+"""
+
+import glob
+import locale
+import os
+import random
+import time
+from datetime import datetime
+from pathlib import Path
+from random import shuffle
+
+import numpy as np
+
+
+def iterate_sets():
+    tags = {"a", "b", "c"}
+    out = []
+    for tag in tags:  # expect: D101
+        out.append(tag)
+    frozen = [t for t in tags]  # expect: D101
+    listed = list(tags)  # expect: D101
+    ok_sorted = sorted(tags)
+    ok_setcomp = {t.upper() for t in tags}
+    ok_len = len(tags)
+    return out, frozen, listed, ok_sorted, ok_setcomp, ok_len
+
+
+def draw(items):
+    a = random.random()  # expect: D102
+    np.random.seed(7)  # expect: D102
+    shuffle(items)  # expect: D102
+    rng = random.Random(7)
+    ok = rng.random()
+    return a, ok
+
+
+def stamp():
+    t = time.time()  # expect: D103
+    now = datetime.now()  # expect: D103
+    ok_duration = time.perf_counter()
+    return t, now, ok_duration
+
+
+def env_reads():
+    a = os.environ.get("HOME")  # expect: D104
+    b = os.getenv("LANG")  # expect: D104
+    return a, b
+
+
+def locale_read():
+    return locale.getlocale()  # expect: D105
+
+
+def listings(base):
+    entries = os.listdir(base)  # expect: D106
+    pats = glob.glob("*.csv")  # expect: D106
+    walked = [p for p in Path(base).iterdir()]  # expect: D106
+    ok_sorted = sorted(os.listdir(base))
+    ok_membership = "x" in os.listdir(base)
+    ok_any = any(Path(base).iterdir())
+    return entries, pats, walked, ok_sorted, ok_membership, ok_any

@@ -1,0 +1,38 @@
+"""Config-drift corpus: a miniature SolverConfig world out of sync."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    backend: str = "scipy"
+    time_limit: float = 10.0
+    workers: int = 1
+    mystery_knob: int = 0  # expect: F501
+
+
+RESULT_OPTION_FIELDS = (  # expect: F502
+    "backend",
+    "time_limit",
+    "vanished_option",
+)
+
+NON_RESULT_OPTION_FIELDS = (  # expect: F502
+    "workers",
+    "backend",
+)
+
+
+@dataclass
+class MiniSpec:
+    name: str
+    rows: int
+    secret: str = ""
+
+    @classmethod
+    def from_dict(cls, data):
+        known = {"name", "rows"}  # expect: F503
+        unexpected = set(data) - known
+        if unexpected:
+            raise ValueError(f"unknown keys {sorted(unexpected)}")
+        return cls(**data)

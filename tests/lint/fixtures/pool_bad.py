@@ -1,0 +1,28 @@
+"""Pool-payload corpus: unpicklable callables shipped to process pools."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def bad_lambda(payloads):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(lambda p: p * 2, p) for p in payloads]  # expect: P401
+    return [f.result() for f in futures]
+
+
+def bad_nested(payloads):
+    def work(p):
+        return p * 2
+
+    with ProcessPoolExecutor() as pool:
+        results = list(pool.map(work, payloads))  # expect: P402
+    return results
+
+
+def ok_module_level(payloads):
+    with ProcessPoolExecutor() as pool:
+        results = list(pool.map(module_level_work, payloads))
+    return results
+
+
+def module_level_work(p):
+    return p * 2

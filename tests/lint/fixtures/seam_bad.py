@@ -1,0 +1,29 @@
+"""Executor-seam corpus: direct kernel calls outside ``relational/``."""
+
+from repro.relational.executor import NUMPY_EXECUTOR, executor_from_config
+from repro.relational.join import fk_join
+
+
+def bad_counts(relation, attrs):
+    return relation.group_counts(attrs)  # expect: X201
+
+
+def bad_distinct(relation, attrs):
+    return relation.distinct(attrs)  # expect: X201
+
+
+def bad_join(r1, r2):
+    return fk_join(r1, r2, "fk")  # expect: X202
+
+
+def ok_executor_param(executor, relation, attrs):
+    return executor.group_counts(relation, attrs)
+
+
+def ok_default_executor(r1, r2):
+    return NUMPY_EXECUTOR.fk_join(r1, r2, "fk")
+
+
+def ok_from_config(config, relation, attrs):
+    ex = executor_from_config(config)
+    return ex.distinct(relation, attrs)

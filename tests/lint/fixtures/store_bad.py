@@ -1,0 +1,30 @@
+"""Store-lifetime corpus: relations escaping their TemporaryDirectory."""
+
+import tempfile
+
+from repro.relational.store import open_store
+
+
+def bad_return(spec):
+    tmp = tempfile.TemporaryDirectory()
+    store = open_store(tmp.name)
+    relation = store.load(spec)
+    return relation  # expect: S301
+
+
+def bad_commit(db, spec, loader):
+    with tempfile.TemporaryDirectory() as td:
+        relation = loader(td, spec)
+        db.replace_relation("r1", relation)  # expect: S302
+
+
+def ok_scalar_summary(spec):
+    tmp = tempfile.TemporaryDirectory()
+    store = open_store(tmp.name)
+    count = len(store.load(spec))
+    return count
+
+
+def ok_unrelated(db, relation):
+    db.replace_relation("r1", relation)
+    return relation

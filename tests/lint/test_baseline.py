@@ -1,0 +1,90 @@
+"""The committed-baseline ratchet: land clean, only ever shrink."""
+
+from __future__ import annotations
+
+from repro.lint import Baseline, lint_paths
+
+BAD = "import random\n\n\ndef f():\n    return random.random()\n"
+
+
+def _write(tmp_path, source):
+    path = tmp_path / "mod.py"
+    path.write_text(source)
+    return path
+
+
+def _lint(tmp_path, baseline=None):
+    return lint_paths(
+        [tmp_path], base=tmp_path, baseline=baseline, respect_scopes=False
+    )
+
+
+def test_baselined_finding_does_not_fail(tmp_path):
+    _write(tmp_path, BAD)
+    first = _lint(tmp_path)
+    assert not first.ok
+
+    baseline = Baseline.from_findings(first.new)
+    second = _lint(tmp_path, baseline)
+    assert second.ok
+    assert len(second.baselined) == 1
+    assert second.new == []
+
+
+def test_baseline_survives_line_shifts(tmp_path):
+    _write(tmp_path, BAD)
+    baseline = Baseline.from_findings(_lint(tmp_path).new)
+
+    # Prepend unrelated code: the finding moves down three lines but its
+    # (path, code, source-line) key is unchanged.
+    _write(tmp_path, "X = 1\nY = 2\nZ = 3\n" + BAD)
+    report = _lint(tmp_path, baseline)
+    assert report.ok
+    assert len(report.baselined) == 1
+
+
+def test_new_finding_alongside_baselined_one_fails(tmp_path):
+    _write(tmp_path, BAD)
+    baseline = Baseline.from_findings(_lint(tmp_path).new)
+
+    _write(tmp_path, BAD + "\n\ndef g():\n    return random.shuffle([])\n")
+    report = _lint(tmp_path, baseline)
+    assert not report.ok
+    assert len(report.baselined) == 1
+    assert len(report.new) == 1
+
+
+def test_duplicate_key_consumes_multiset_budget(tmp_path):
+    _write(tmp_path, BAD)
+    baseline = Baseline.from_findings(_lint(tmp_path).new)
+
+    # A second, textually identical violation shares the baseline key but
+    # exceeds its count budget of 1 — it must be new, not absorbed.
+    _write(
+        tmp_path,
+        BAD + "\n\ndef g():\n    return random.random()\n",
+    )
+    report = _lint(tmp_path, baseline)
+    assert len(report.baselined) == 1
+    assert len(report.new) == 1
+
+
+def test_fixed_finding_reports_stale_entry(tmp_path):
+    _write(tmp_path, BAD)
+    baseline = Baseline.from_findings(_lint(tmp_path).new)
+
+    _write(tmp_path, "import random\n\n\ndef f():\n    return 4\n")
+    report = _lint(tmp_path, baseline)
+    assert report.ok  # stale entries warn, they don't fail
+    assert len(report.stale_baseline) == 1
+    assert "D102" in report.stale_baseline[0]
+
+
+def test_roundtrip_through_disk(tmp_path):
+    _write(tmp_path, BAD)
+    report = _lint(tmp_path)
+    baseline_path = tmp_path / "baseline.json"
+    Baseline.from_findings(report.new).save(baseline_path)
+    loaded = Baseline.load(baseline_path)
+    assert loaded.counts == Baseline.from_findings(report.new).counts
+    assert _lint(tmp_path, loaded).ok
