@@ -33,8 +33,7 @@ from repro.core.stages import phase2_strategy
 from repro.errors import SchemaError
 from repro.phase1.hybrid import Phase1Result, run_phase1
 from repro.phase2.fk_assignment import Phase2Result
-from repro.relational.executor import executor_from_config
-from repro.relational.join import fk_join
+from repro.relational.executor import NUMPY_EXECUTOR, executor_from_config
 from repro.relational.relation import Relation
 
 __all__ = ["SolveReport", "CExtensionResult", "CExtensionSolver"]
@@ -88,7 +87,7 @@ class CExtensionResult:
 
     def join_view(self) -> Relation:
         """``R1̂ ⋈ R2̂`` — equals the Phase-I view (Proposition 5.5)."""
-        return fk_join(self.r1_hat, self.r2_hat, self.fk_column)
+        return NUMPY_EXECUTOR.fk_join(self.r1_hat, self.r2_hat, self.fk_column)
 
 
 class CExtensionSolver:

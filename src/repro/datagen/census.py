@@ -107,9 +107,9 @@ class CensusData:
         return self.persons.drop_column("hid")
 
     def ground_truth_join(self) -> Relation:
-        from repro.relational.join import fk_join
+        from repro.relational.executor import NUMPY_EXECUTOR
 
-        return fk_join(self.persons, self.housing, "hid")
+        return NUMPY_EXECUTOR.fk_join(self.persons, self.housing, "hid")
 
 
 def _sample_member_ages(

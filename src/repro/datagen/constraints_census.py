@@ -40,6 +40,7 @@ from repro.datagen.census import (
     REL_SPOUSE,
     REL_STEP_CHILD,
 )
+from repro.relational.executor import NUMPY_EXECUTOR
 from repro.relational.predicate import Interval, Predicate, ValueSet
 
 __all__ = [
@@ -259,12 +260,13 @@ def _r2_conditions(data: CensusData) -> List[Predicate]:
     housing = data.housing
     conditions: List[Predicate] = []
     if "Tenure" in housing.schema and "Area" in housing.schema:
-        for tenure, area in housing.distinct(["Tenure", "Area"]):
+        for tenure, area in NUMPY_EXECUTOR.distinct(housing,
+                                                    ["Tenure", "Area"]):
             conditions.append(
                 Predicate({"Tenure": ValueSet([tenure]),
                            "Area": ValueSet([area])})
             )
-    for (area,) in housing.distinct(["Area"]):
+    for (area,) in NUMPY_EXECUTOR.distinct(housing, ["Area"]):
         conditions.append(Predicate({"Area": ValueSet([area])}))
     return conditions
 

@@ -28,7 +28,7 @@ from repro.constraints.dc import DenialConstraint, UnaryAtom
 from repro.core.snowflake import EdgeConstraints
 from repro.errors import ReproError
 from repro.relational.database import Database
-from repro.relational.join import fk_join
+from repro.relational.executor import NUMPY_EXECUTOR
 from repro.relational.predicate import Predicate, ValueSet
 from repro.relational.relation import Relation
 from repro.relational.schema import ColumnSpec, Schema
@@ -78,10 +78,12 @@ class RetailData:
         products = self.database.relation("Products").with_column(
             ColumnSpec("supplier_id", Dtype.INT), self.truth_supplier
         )
-        view = fk_join(orders, self.database.relation("Customers"),
-                       "customer_id")
-        view = fk_join(view, products.drop_column("supplier_id"),
-                       "product_id")
+        view = NUMPY_EXECUTOR.fk_join(
+            orders, self.database.relation("Customers"), "customer_id"
+        )
+        view = NUMPY_EXECUTOR.fk_join(
+            view, products.drop_column("supplier_id"), "product_id"
+        )
         return view
 
 

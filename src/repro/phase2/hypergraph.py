@@ -40,12 +40,14 @@ class ConflictHypergraph:
         edge = frozenset(members)
         if len(edge) < 2 or edge in self._edge_set:
             return False
-        for v in edge:
+        # Sorted so vertex discovery order (and with it self.vertices,
+        # which seeds the coloring order) never depends on set layout.
+        for v in sorted(edge):
             self.add_vertex(v)
         index = len(self.edges)
         self.edges.append(edge)
         self._edge_set.add(edge)
-        for v in edge:
+        for v in sorted(edge):
             self._incident[v].append(index)
         return True
 

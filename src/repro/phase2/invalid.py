@@ -55,7 +55,7 @@ def _conflict_lists(
             pairs = set(conflicting_pairs(r1, dc, invalid_arr, all_rows))
             if not symmetric:
                 pairs.update(conflicting_pairs(r1, dc, all_rows, invalid_arr))
-            for u, v in pairs:
+            for u, v in sorted(pairs):
                 if u in invalid_set:
                     conflicts[u].add(v)
                 if v in invalid_set:
