@@ -133,8 +133,10 @@ def test_microbench_phase1():
             _bookkeeping_workload(NaiveViewAssignment, n)
         )
 
-        fast = _best_of(lambda: _bookkeeping_workload(ViewAssignment, n))
-        slow = _best_of(lambda: _bookkeeping_workload(NaiveViewAssignment, n))
+        fast = _best_of(lambda n=n: _bookkeeping_workload(ViewAssignment, n))
+        slow = _best_of(
+            lambda n=n: _bookkeeping_workload(NaiveViewAssignment, n)
+        )
         cell["assignment_bookkeeping"] = {
             "vectorized_s": round(fast, 6),
             "naive_s": round(slow, 6),
@@ -148,9 +150,13 @@ def test_microbench_phase1():
         assert count_ccs(relation, ccs) == [
             cc.count_in_naive(relation) for cc in ccs
         ]
-        fast = _best_of(lambda: count_ccs(relation, ccs))
+        fast = _best_of(
+            lambda relation=relation, ccs=ccs: count_ccs(relation, ccs)
+        )
         slow = _best_of(
-            lambda: [cc.count_in_naive(relation) for cc in ccs]
+            lambda relation=relation, ccs=ccs: [
+                cc.count_in_naive(relation) for cc in ccs
+            ]
         )
         cell["cc_counting"] = {
             "vectorized_s": round(fast, 6),

@@ -71,8 +71,8 @@ def test_microbench_relation():
         r2 = _r2(n // 4 + 1)
         cell = {}
 
-        fast = _best_of(lambda: r1.group_counts(["Age", "Area"]))
-        slow = _best_of(lambda: r1.group_counts_naive(["Age", "Area"]))
+        fast = _best_of(lambda r1=r1: r1.group_counts(["Age", "Area"]))
+        slow = _best_of(lambda r1=r1: r1.group_counts_naive(["Age", "Area"]))
         cell["group_counts"] = {
             "vectorized_s": round(fast, 6),
             "naive_s": round(slow, 6),
@@ -87,8 +87,8 @@ def test_microbench_relation():
             "speedup": round(slow / fast, 2),
         }
 
-        fast = _best_of(lambda: fk_join(r1, r2, "hid"))
-        slow = _best_of(lambda: fk_join_naive(r1, r2, "hid"))
+        fast = _best_of(lambda r1=r1, r2=r2: fk_join(r1, r2, "hid"))
+        slow = _best_of(lambda r1=r1, r2=r2: fk_join_naive(r1, r2, "hid"))
         cell["fk_join"] = {
             "vectorized_s": round(fast, 6),
             "naive_s": round(slow, 6),

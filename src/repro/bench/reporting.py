@@ -46,7 +46,9 @@ def render_table(
     lines = [title, header, sep]
     for row in data:
         lines.append(
-            " | ".join(str(row.get(col, "")).ljust(widths[col]) for col in columns)
+            " | ".join(
+                str(row.get(col, "")).ljust(widths[col]) for col in columns
+            )
         )
     return "\n".join(lines)
 
@@ -77,7 +79,8 @@ def render_breakdown(
 
 
 def error_histogram(
-    errors: Sequence[float], bins: Sequence[float] = (0.0, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0)
+    errors: Sequence[float],
+    bins: Sequence[float] = (0.0, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0),
 ) -> Dict[str, int]:
     """Bucketise per-CC relative errors (the Figure 9 distribution)."""
     out: Dict[str, int] = {}

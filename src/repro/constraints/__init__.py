@@ -10,7 +10,12 @@ from repro.constraints.dc import (
 from repro.constraints.hasse import HasseDiagram, HasseForest
 from repro.constraints.intervalize import Binning, build_binning
 from repro.constraints.marginals import marginal_constraints, relevant_bins
-from repro.constraints.parser import parse_cc, parse_dc, parse_dnf, parse_predicate
+from repro.constraints.parser import (
+    parse_cc,
+    parse_dc,
+    parse_dnf,
+    parse_predicate,
+)
 from repro.constraints.relationships import (
     CCRelationship,
     RelationshipTable,

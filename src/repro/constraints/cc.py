@@ -58,7 +58,9 @@ def _condition_row_mask(relation, attr: str, cond, cache: dict) -> np.ndarray:
     return mask
 
 
-def _disjunct_row_mask(relation, disjunct: Predicate, cache: dict) -> np.ndarray:
+def _disjunct_row_mask(
+    relation, disjunct: Predicate, cache: dict
+) -> np.ndarray:
     out = np.ones(len(relation), dtype=bool)
     for attr, cond in disjunct.items:
         out &= _condition_row_mask(relation, attr, cond, cache)

@@ -201,7 +201,9 @@ def parse_cc(
         raise ParseError(f"CC must look like '|<condition>| = k': {text!r}")
     disjuncts = parse_dnf(match.group(1), domains)
     if len(disjuncts) == 1:
-        return CardinalityConstraint(disjuncts[0], int(match.group(2)), name=name)
+        return CardinalityConstraint(
+            disjuncts[0], int(match.group(2)), name=name
+        )
     return CardinalityConstraint(disjuncts, int(match.group(2)), name=name)
 
 
@@ -254,7 +256,9 @@ def _parse_value_list(body: str, context: str) -> List[object]:
     return values
 
 
-def parse_dc(text: str, name: str = "", fk_column: str = "FK") -> DenialConstraint:
+def parse_dc(
+    text: str, name: str = "", fk_column: str = "FK"
+) -> DenialConstraint:
     """Parse ``"not(<atom> & <atom> & ...)"`` into a foreign-key DC.
 
     Atoms referencing ``fk_column`` (e.g. ``t1.hid == t2.hid``) are accepted
@@ -310,7 +314,9 @@ def parse_dc(text: str, name: str = "", fk_column: str = "FK") -> DenialConstrai
             if left_attr == fk_column and right_attr == fk_column:
                 continue  # implicit FK-equality atom
             atoms.append(
-                BinaryAtom(left_var, left_attr, op, right_var, right_attr, offset)
+                BinaryAtom(
+                    left_var, left_attr, op, right_var, right_attr, offset
+                )
             )
         else:
             value: object

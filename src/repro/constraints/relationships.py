@@ -159,7 +159,10 @@ class RelationshipTable:
                     dnf_splits[i], dnf_splits[j],
                     r1_attrs, r2_attrs,
                 )
-                if rel is CCRelationship.EQUAL and ccs[i].target != ccs[j].target:
+                if (
+                    rel is CCRelationship.EQUAL
+                    and ccs[i].target != ccs[j].target
+                ):
                     rel = CCRelationship.INTERSECTING
                 pairs[(i, j)] = rel
                 if rel is CCRelationship.INTERSECTING:
@@ -183,7 +186,10 @@ class RelationshipTable:
         """Indices j such that CC_i ⊆ CC_j (strictly)."""
         out = []
         for j in range(len(self.ccs)):
-            if j != i and self.relationship(i, j) is CCRelationship.CONTAINED_IN:
+            if (
+                j != i
+                and self.relationship(i, j) is CCRelationship.CONTAINED_IN
+            ):
                 out.append(j)
         return out
 

@@ -62,7 +62,10 @@ _HEADER_RE = re.compile(
 def loads_constraint_sections(
     text: str,
     origin: str = "<constraints>",
-) -> Dict[Optional[EdgeKey], Tuple[List[CardinalityConstraint], List[DenialConstraint]]]:
+) -> Dict[
+    Optional[EdgeKey],
+    Tuple[List[CardinalityConstraint], List[DenialConstraint]],
+]:
     """Parse constraints text into per-edge ``(ccs, dcs)`` sections.
 
     The anonymous (headerless) section is keyed by ``None`` and is only
@@ -101,7 +104,10 @@ def loads_constraint_sections(
 
 def load_constraint_sections(
     path: Path,
-) -> Dict[Optional[EdgeKey], Tuple[List[CardinalityConstraint], List[DenialConstraint]]]:
+) -> Dict[
+    Optional[EdgeKey],
+    Tuple[List[CardinalityConstraint], List[DenialConstraint]],
+]:
     """Parse a constraints file into per-edge ``(ccs, dcs)`` sections."""
     path = Path(path)
     return loads_constraint_sections(path.read_text(), origin=str(path))
@@ -259,7 +265,9 @@ def dump_constraint_sections(
     """
     lines = ["# generated by repro-synth"]
     written = 0
-    ordered = sorted(sections.items(), key=lambda kv: (kv[0] is not None, kv[0] or ()))
+    ordered = sorted(
+        sections.items(), key=lambda kv: (kv[0] is not None, kv[0] or ())
+    )
     for edge, (ccs, dcs) in ordered:
         if edge is not None:
             lines.append("")

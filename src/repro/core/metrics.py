@@ -23,7 +23,13 @@ from repro.constraints.dc import DenialConstraint, count_violating_tuples
 from repro.relational.executor import NUMPY_EXECUTOR, KernelExecutor
 from repro.relational.relation import Relation
 
-__all__ = ["cc_errors", "dc_error", "dc_error_naive", "ErrorReport", "evaluate"]
+__all__ = [
+    "cc_errors",
+    "dc_error",
+    "dc_error_naive",
+    "ErrorReport",
+    "evaluate",
+]
 
 
 def cc_errors(

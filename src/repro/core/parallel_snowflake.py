@@ -57,7 +57,9 @@ __all__ = [
 #: which ships only the store's directory path so worker memory stays
 #: chunk-bounded — plus the FK column, the edge's constraint set and the
 #: already-resolved config.
-EdgePayload = Tuple[Schema, object, Schema, object, str, "EdgeConstraints", SolverConfig]
+EdgePayload = Tuple[
+    Schema, object, Schema, object, str, "EdgeConstraints", SolverConfig
+]
 
 
 def solve_edge(

@@ -357,7 +357,7 @@ class SnowflakeSynthesizer:
                     steps = solve_batch(
                         payloads,
                         pool,
-                        on_result=lambda i, step: emit_solved(
+                        on_result=lambda i, step, batch=batch: emit_solved(
                             batch[i], step
                         ),
                     )

@@ -137,7 +137,9 @@ def _sample_member_ages(
     child_window = window(owner_age - 50, owner_age - 12)
     if child_window:
         for _ in range(rng.choices((0, 1, 2, 3), weights=(55, 30, 12, 3))[0]):
-            members.append((rng.choice(CHILD_RELS), rng.randint(*child_window)))
+            members.append(
+                (rng.choice(CHILD_RELS), rng.randint(*child_window))
+            )
         if rng.random() < 0.04:
             members.append((REL_FOSTER_CHILD, rng.randint(*child_window)))
 
@@ -202,9 +204,18 @@ def generate_census(config: Optional[CensusConfig] = None) -> CensusData:
     areas = [f"Area{1000 + i}" for i in range(config.n_areas)]
     tenures = _TENURES[: config.n_tenures]
     counties = {a: f"County{100 + i // 3}" for i, a in enumerate(areas)}
-    states = {c: f"St{10 + i // 2}" for i, c in enumerate(sorted(set(counties.values())))}
-    divisions = {s: f"Div{1 + i // 2}" for i, s in enumerate(sorted(set(states.values())))}
-    regions = {d: f"Reg{1 + i // 2}" for i, d in enumerate(sorted(set(divisions.values())))}
+    states = {
+        c: f"St{10 + i // 2}"
+        for i, c in enumerate(sorted(set(counties.values())))
+    }
+    divisions = {
+        s: f"Div{1 + i // 2}"
+        for i, s in enumerate(sorted(set(states.values())))
+    }
+    regions = {
+        d: f"Reg{1 + i // 2}"
+        for i, d in enumerate(sorted(set(divisions.values())))
+    }
 
     housing_rows = []
     for hid in range(1, config.n_households + 1):

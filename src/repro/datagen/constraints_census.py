@@ -25,9 +25,8 @@ from repro.constraints.cc import CardinalityConstraint
 from repro.constraints.dc import BinaryAtom, DenialConstraint, UnaryAtom
 from repro.datagen.census import (
     CHILD_RELS,
-    CensusData,
-    REL_BIO_CHILD,
     REL_ADOPTED_CHILD,
+    REL_BIO_CHILD,
     REL_CHILD_IN_LAW,
     REL_FOSTER_CHILD,
     REL_GRANDCHILD,
@@ -39,6 +38,7 @@ from repro.datagen.census import (
     REL_SIBLING,
     REL_SPOUSE,
     REL_STEP_CHILD,
+    CensusData,
 )
 from repro.relational.executor import NUMPY_EXECUTOR
 from repro.relational.predicate import Interval, Predicate, ValueSet

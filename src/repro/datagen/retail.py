@@ -34,7 +34,12 @@ from repro.relational.relation import Relation
 from repro.relational.schema import ColumnSpec, Schema
 from repro.relational.types import Dtype
 
-__all__ = ["RetailConfig", "RetailData", "generate_retail", "retail_constraints"]
+__all__ = [
+    "RetailConfig",
+    "RetailData",
+    "generate_retail",
+    "retail_constraints",
+]
 
 _SEGMENTS = ("Consumer", "Corporate", "SMB")
 _REGIONS = ("North", "South", "East", "West")

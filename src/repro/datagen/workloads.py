@@ -65,7 +65,9 @@ def _rows() -> List[DatasetSpec]:
     # 23-26 / 27-30: scales 40..160, S_good_DC, good/bad CCs.
     for cc_kind in ("good", "bad"):
         for scale in (40, 80, 120, 160):
-            rows.append(DatasetSpec(number, scale, "good", None, cc_kind, full))
+            rows.append(
+                DatasetSpec(number, scale, "good", None, cc_kind, full)
+            )
             number += 1
     # 31-34: scale 10, S_good_DC + S_good_CC, 4..10 Housing columns.
     for n_cols in (4, 6, 8, 10):

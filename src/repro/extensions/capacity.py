@@ -26,7 +26,6 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.relational.ordering import sort_key, tuple_sort_key
 from repro.constraints.cc import CardinalityConstraint
 from repro.constraints.dc import DenialConstraint
 from repro.core.config import SolverConfig
@@ -41,12 +40,13 @@ from repro.phase2.fk_assignment import (
     MintPool,
     Phase2Result,
     Phase2Stats,
-    partition_by_combo,
     assign_invalid_fresh,
     color_skipped_with_fresh,
     new_key_recorder,
+    partition_by_combo,
 )
 from repro.phase2.hypergraph import ConflictHypergraph
+from repro.relational.ordering import sort_key, tuple_sort_key
 from repro.relational.relation import Relation
 from repro.relational.schema import ColumnSpec
 
@@ -193,7 +193,7 @@ def capacity_phase2(
         stats.num_skipped += len(skipped)
         part_coloring = color_skipped_with_fresh(
             len(rows), part_coloring, skipped, pool, combo, record_new_key,
-            lambda fresh, col: capacity_coloring(
+            lambda fresh, col, graph=graph: capacity_coloring(
                 graph, fresh, max_per_key, col, usage
             ),
             label="capacity coloring",

@@ -53,11 +53,11 @@ from repro.phase2.fk_assignment import (
     MintPool,
     Phase2Result,
     Phase2Stats,
-    partition_by_combo,
     assign_invalid_fresh,
     color_partition,
     color_skipped_with_fresh,
     new_key_recorder,
+    partition_by_combo,
 )
 from repro.phase2.invalid import solve_invalid_tuples
 from repro.relational.ordering import sort_key, tuple_sort_key
@@ -213,8 +213,8 @@ def quota_coloring_phase2(
             part_coloring = color_skipped_with_fresh(
                 len(rows), part_coloring, skipped, pool, combo,
                 record_new_key,
-                lambda fresh, col: capacity_coloring(
-                    graph, fresh, quota, col, usage
+                lambda fresh, col, graph=graph, quota=quota: (
+                    capacity_coloring(graph, fresh, quota, col, usage)
                 ),
                 label="quota coloring",
             )

@@ -45,10 +45,10 @@ from repro.phase2.fk_assignment import (
     MintPool,
     Phase2Result,
     Phase2Stats,
-    partition_by_combo,
     assign_invalid_fresh,
     color_skipped_with_fresh,
     new_key_recorder,
+    partition_by_combo,
 )
 from repro.phase2.hypergraph import ConflictHypergraph
 from repro.relational.ordering import sort_key, tuple_sort_key
@@ -197,7 +197,7 @@ def soft_capacity_phase2(
         stats.num_skipped += len(skipped)
         part_coloring = color_skipped_with_fresh(
             len(rows), part_coloring, skipped, pool, combo, record_new_key,
-            lambda fresh, col: soft_capacity_coloring(
+            lambda fresh, col, graph=graph: soft_capacity_coloring(
                 graph, fresh, max_per_key, penalty, new_tuple_cost,
                 col, usage,
             ),

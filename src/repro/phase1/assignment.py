@@ -72,7 +72,9 @@ class ViewAssignment:
             self._code_values[j].append(value)
         return code
 
-    def _encode_values(self, values: Dict[str, object]) -> List[Tuple[int, int]]:
+    def _encode_values(
+        self, values: Dict[str, object]
+    ) -> List[Tuple[int, int]]:
         """``(column, code)`` pairs for a value dict; validates attrs."""
         unknown = set(values) - set(self.r2_attrs)
         if unknown:

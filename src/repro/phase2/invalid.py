@@ -14,12 +14,12 @@ from typing import Callable, Dict, List, Mapping, Sequence, Set
 
 import numpy as np
 
-from repro.relational.ordering import sort_key
 from repro.constraints.cc import CardinalityConstraint
 from repro.constraints.dc import DenialConstraint
 from repro.phase1.assignment import ViewAssignment
 from repro.phase1.combos import ComboCatalog
 from repro.phase2.edges import conflicting_pairs
+from repro.relational.ordering import sort_key
 from repro.relational.relation import Relation
 
 __all__ = ["solve_invalid_tuples"]

@@ -28,7 +28,9 @@ __all__ = ["color_partitions_parallel", "partition_payloads"]
 
 
 def _color_one(
-    payload: Tuple[dict, Schema, tuple, List[int], Sequence[DenialConstraint], int]
+    payload: Tuple[
+        dict, Schema, tuple, List[int], Sequence[DenialConstraint], int
+    ],
 ) -> Tuple[tuple, Dict[int, int], List[int], int]:
     """Worker: color one partition, reporting candidate *indices*.
 

@@ -1,5 +1,12 @@
 """Columnar relational substrate: relations, schemas, predicates, joins."""
 
+from repro.relational.csvio import (
+    infer_csv_schema,
+    read_csv,
+    read_csv_infer,
+    read_csv_store,
+    write_csv,
+)
 from repro.relational.database import Database, ForeignKey
 from repro.relational.join import fk_join, fk_join_naive, join_view_schema
 from repro.relational.ordering import sort_key, tuple_sort_key
@@ -22,13 +29,12 @@ from repro.relational.store import (
     NumpyColumnStore,
     StorageOptions,
 )
-from repro.relational.types import CatDomain, Domain, Dtype, IntDomain, infer_dtype
-from repro.relational.csvio import (
-    infer_csv_schema,
-    read_csv,
-    read_csv_infer,
-    read_csv_store,
-    write_csv,
+from repro.relational.types import (
+    CatDomain,
+    Domain,
+    Dtype,
+    IntDomain,
+    infer_dtype,
 )
 
 __all__ = [

@@ -94,7 +94,9 @@ def fk_join_naive(
     key_to_row = r2.key_index_naive()
     fk_values = r1.column(fk_column)
     try:
-        r2_rows = np.asarray([key_to_row[v] for v in fk_values], dtype=np.int64)
+        r2_rows = np.asarray(
+            [key_to_row[v] for v in fk_values], dtype=np.int64
+        )
     except KeyError as exc:  # pragma: no cover - message formatting
         raise SchemaError(
             f"FK value {exc.args[0]!r} has no matching key in R2"

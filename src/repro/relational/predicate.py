@@ -310,7 +310,9 @@ class Predicate:
 
     def __init__(self, conditions: Mapping[str, Condition]) -> None:
         object.__setattr__(
-            self, "items", tuple(sorted(conditions.items(), key=lambda kv: kv[0]))
+            self,
+            "items",
+            tuple(sorted(conditions.items(), key=lambda kv: kv[0])),
         )
 
     @property

@@ -136,7 +136,9 @@ class Relation:
         for spec in schema:
             if spec.name not in columns:
                 raise SchemaError(f"missing data for column {spec.name!r}")
-            arr = np.asarray(columns[spec.name], dtype=_storage_dtype(spec.dtype))
+            arr = np.asarray(
+                columns[spec.name], dtype=_storage_dtype(spec.dtype)
+            )
             arr.setflags(write=False)
             self._columns[spec.name] = arr
             lengths.add(len(arr))
@@ -337,7 +339,9 @@ class Relation:
     def row(self, i: int) -> dict:
         return {name: self._cell(name, i) for name in self.schema.names}
 
-    def row_tuple(self, i: int, names: Optional[Sequence[str]] = None) -> tuple:
+    def row_tuple(
+        self, i: int, names: Optional[Sequence[str]] = None
+    ) -> tuple:
         names = names if names is not None else self.schema.names
         return tuple(self._cell(name, i) for name in names)
 
@@ -509,7 +513,11 @@ class Relation:
         if n == 0:
             return [], np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
         if not names:
-            return [()], np.arange(n, dtype=np.int64), np.zeros(1, dtype=np.int64)
+            return (
+                [()],
+                np.arange(n, dtype=np.int64),
+                np.zeros(1, dtype=np.int64),
+            )
         if self._store.is_chunked:
             return self._group_slices_chunked(names)
         cols = [self.column(name) for name in names]
@@ -625,7 +633,9 @@ class Relation:
 
     # Naive per-row references, kept for equivalence testing.
     def distinct_naive(self, names: Sequence[str]) -> List[tuple]:
-        return sorted(self.group_counts_naive(names).keys(), key=tuple_sort_key)
+        return sorted(
+            self.group_counts_naive(names).keys(), key=tuple_sort_key
+        )
 
     def group_counts_naive(self, names: Sequence[str]) -> Dict[tuple, int]:
         self.schema.require(names)
@@ -636,7 +646,9 @@ class Relation:
             counts[key] = counts.get(key, 0) + 1
         return counts
 
-    def group_indices_naive(self, names: Sequence[str]) -> Dict[tuple, np.ndarray]:
+    def group_indices_naive(
+        self, names: Sequence[str]
+    ) -> Dict[tuple, np.ndarray]:
         self.schema.require(names)
         groups: Dict[tuple, list] = {}
         cols = [self.column(name) for name in names]
@@ -645,7 +657,9 @@ class Relation:
             groups.setdefault(key, []).append(i)
         return {k: np.asarray(v, dtype=np.int64) for k, v in groups.items()}
 
-    def with_column(self, spec: ColumnSpec, values: Sequence[object]) -> "Relation":
+    def with_column(
+        self, spec: ColumnSpec, values: Sequence[object]
+    ) -> "Relation":
         """A copy of this relation with one extra column appended.
 
         On a chunked relation the existing columns stay on disk; only the
@@ -806,15 +820,20 @@ class Relation:
         names = self.schema.names
         rows = self.to_rows()[:limit]
         widths = [
-            max(len(str(name)), *(len(str(r[i])) for r in rows)) if rows else len(str(name))
+            max(len(str(name)), *(len(str(r[i])) for r in rows))
+            if rows
+            else len(str(name))
             for i, name in enumerate(names)
         ]
         header = " | ".join(str(n).ljust(w) for n, w in zip(names, widths))
         sep = "-+-".join("-" * w for w in widths)
         body = [
-            " | ".join(str(v).ljust(w) for v, w in zip(row, widths)) for row in rows
+            " | ".join(str(v).ljust(w) for v, w in zip(row, widths))
+            for row in rows
         ]
-        suffix = [] if self._n <= limit else [f"... ({self._n - limit} more rows)"]
+        suffix = (
+            [] if self._n <= limit else [f"... ({self._n - limit} more rows)"]
+        )
         return "\n".join([header, sep, *body, *suffix])
 
 

@@ -100,7 +100,9 @@ class Schema:
         self, columns: Sequence[ColumnSpec], key: Optional[str] = None
     ) -> "Schema":
         """A schema with extra columns appended."""
-        return Schema(tuple(self.columns) + tuple(columns), key=key or self.key)
+        return Schema(
+            tuple(self.columns) + tuple(columns), key=key or self.key
+        )
 
     def domains(self) -> Mapping[str, Optional[Domain]]:
         return {c.name: c.domain for c in self.columns}

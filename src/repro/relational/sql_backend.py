@@ -42,8 +42,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import ReproError, SchemaError
 from repro.constraints.dc import _OPS, BinaryAtom, UnaryAtom
+from repro.errors import ReproError, SchemaError
 from repro.relational.executor import NUMPY_EXECUTOR, KernelExecutor
 from repro.relational.join import materialize_fk_join
 from repro.relational.ordering import tuple_sort_key

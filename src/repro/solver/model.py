@@ -89,7 +89,9 @@ class Model:
             raise SolverError(f"unknown constraint sense {sense!r}")
         for index in coeffs:
             if not 0 <= index < len(self._variables):
-                raise SolverError(f"constraint references unknown variable {index}")
+                raise SolverError(
+                    f"constraint references unknown variable {index}"
+                )
         constraint = Constraint(
             coeffs=tuple(sorted(coeffs.items())),
             sense=sense,
@@ -145,6 +147,10 @@ class Model:
         c = np.zeros(n, dtype=np.float64)
         for index, coeff in self._objective.items():
             c[index] = coeff
-        lower = np.asarray([v.lower for v in self._variables], dtype=np.float64)
-        upper = np.asarray([v.upper for v in self._variables], dtype=np.float64)
+        lower = np.asarray(
+            [v.lower for v in self._variables], dtype=np.float64
+        )
+        upper = np.asarray(
+            [v.upper for v in self._variables], dtype=np.float64
+        )
         return a, b, senses, c, lower, upper
