@@ -87,7 +87,9 @@ def _npy_header(rows: int) -> bytes:
     if pad < 0:  # pragma: no cover - 10**96 rows
         raise SchemaError(f"row count {rows} overflows the .npy preamble")
     header = body + " " * pad + "\n"
-    return _NPY_MAGIC + struct.pack("<H", len(header)) + header.encode("latin1")
+    return (
+        _NPY_MAGIC + struct.pack("<H", len(header)) + header.encode("latin1")
+    )
 
 
 class ColumnStore:
@@ -224,7 +226,7 @@ class MmapColumnStore(ColumnStore):
         # keeps the files alive while workers read them).
         self._owned: Optional[tempfile.TemporaryDirectory] = None
 
-    def __reduce__(self):
+    def __reduce__(self) -> Tuple[type, Tuple[str]]:
         return (MmapColumnStore, (str(self._directory),))
 
     @property

@@ -14,7 +14,7 @@ import shutil
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.metrics import ErrorReport
 from repro.core.snowflake import EdgeConstraints, SnowflakeSynthesizer
@@ -194,7 +194,7 @@ class SynthesisResult:
 
 
 @contextmanager
-def spill_guard(spec: SynthesisSpec):
+def spill_guard(spec: SynthesisSpec) -> Iterator[None]:
     """Remove spill directories a failed run created under its
     ``storage_dir``.
 

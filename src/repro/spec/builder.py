@@ -106,7 +106,7 @@ class SpecBuilder:
         return self
 
     def options(
-        self, config: Optional[SolverConfig] = None, **knobs
+        self, config: Optional[SolverConfig] = None, **knobs: object
     ) -> "SpecBuilder":
         """Set solver options from a config object and/or keyword knobs."""
         if config is not None and knobs:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.constraints.cc import CardinalityConstraint
 from repro.constraints.dc import DenialConstraint
@@ -206,8 +206,10 @@ class RelationSpec:
         )
 
 
-def _parse_constraints(items, parse, kind: str):
-    out = []
+def _parse_constraints(
+    items: Sequence[object], parse: Callable[[str], object], kind: str
+) -> List[object]:
+    out: List[object] = []
     for item in items:
         if isinstance(item, str):
             out.append(parse(item))
@@ -251,7 +253,7 @@ class EdgeSpec:
         self.solver = dict(self.solver or {})
 
     @property
-    def edge_key(self):
+    def edge_key(self) -> Tuple[str, str, str]:
         return (self.child, self.column, self.parent)
 
     def to_dict(self) -> Dict[str, object]:
@@ -338,7 +340,14 @@ class EdgeSpec:
             )
         return edge
 
-    def _extend_from_sections(self, sections, source: str) -> None:
+    def _extend_from_sections(
+        self,
+        sections: Mapping[
+            Optional[Tuple[str, str, str]],
+            Tuple[List[CardinalityConstraint], List[DenialConstraint]],
+        ],
+        source: str,
+    ) -> None:
         """Adopt this edge's section (and the anonymous one) from a file
         or inline block parsed by :mod:`repro.constraints.textio`."""
         matched = False
@@ -499,7 +508,7 @@ class SynthesisSpec:
             database.add_foreign_key(edge.child, edge.column, edge.parent)
         return database
 
-    def with_options(self, **overrides) -> "SynthesisSpec":
+    def with_options(self, **overrides: object) -> "SynthesisSpec":
         """A copy with some solver options replaced."""
         return replace(self, options=replace(self.options, **overrides))
 
